@@ -1,0 +1,116 @@
+// Ablation: the condition-(4) Pareto pruning of §4.4.
+//
+// The paper's claim: keeping only pairs with EA_k = min{EA_l : l >= k}
+// "describes all optimal paths and the function del using a minimum
+// amount of information", which "makes it feasible to analyze long
+// traces with hundred thousands of contacts".
+//
+// This bench quantifies that: it runs the hop-DP with (a) the pruned
+// frontier and (b) a naive variant that stores every generated
+// (LD, EA) pair with only exact-duplicate elimination, and compares
+// stored pair counts and wall-clock time as the trace grows.
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/optimal_paths.hpp"
+#include "trace/generators.hpp"
+#include "util/csv.hpp"
+
+using namespace odtn;
+
+namespace {
+
+/// Naive per-destination store: all pairs, duplicate-eliminated only.
+struct NaiveStore {
+  std::set<std::pair<double, double>> pairs;  // (ld, ea)
+
+  bool insert(double ld, double ea) { return pairs.emplace(ld, ea).second; }
+};
+
+/// Hop-DP with naive stores; returns total stored pairs.
+std::size_t run_naive(const TemporalGraph& g, NodeId src, int levels,
+                      std::size_t cap) {
+  std::vector<NaiveStore> cur(g.num_nodes());
+  cur[src].insert(std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity());
+  for (int k = 0; k < levels; ++k) {
+    auto prev = cur;
+    bool changed = false;
+    for (const Contact& c : g.contacts()) {
+      auto extend = [&](NodeId from, NodeId to) {
+        for (const auto& [ld, ea] : prev[from].pairs) {
+          if (ea > c.end) continue;  // concatenation condition
+          changed |= cur[to].insert(std::min(ld, c.end),
+                                    std::max(ea, c.begin));
+        }
+      };
+      extend(c.u, c.v);
+      extend(c.v, c.u);
+    }
+    std::size_t total = 0;
+    for (const auto& s : cur) total += s.pairs.size();
+    if (total > cap) return total;  // explosion guard
+    if (!changed) break;
+  }
+  std::size_t total = 0;
+  for (const auto& s : cur) total += s.pairs.size();
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation",
+                "condition-(4) pruning vs naive pair storage (per source)");
+  CsvWriter csv(bench::csv_path("ablation_pruning"));
+  csv.write_row({"contacts", "pruned_pairs", "pruned_ms", "naive_pairs",
+                 "naive_ms", "naive_capped"});
+
+  std::printf("%-10s %14s %12s %14s %12s\n", "contacts", "pruned pairs",
+              "pruned ms", "naive pairs", "naive ms");
+  for (double scale : {0.5, 1.0, 2.0}) {
+    SyntheticTraceSpec spec;
+    spec.num_internal = 20;
+    spec.duration = 2 * 86400.0;
+    spec.pair_contacts_mean = 2.0 * scale;
+    spec.num_communities = 4;
+    spec.gatherings = {60.0 * scale, 0.35, 0.06, 12.0 * 60.0, 0.8, 0.06};
+    spec.profile = ActivityProfile::conference();
+    const auto g = generate_trace(spec, 808).graph;
+
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    SingleSourceEngine engine(g, 0);
+    engine.run_to_fixpoint();
+    const std::size_t pruned = engine.total_pairs();
+    const auto t1 = Clock::now();
+    constexpr std::size_t kCap = 400'000;
+    const std::size_t naive = run_naive(g, 0, 32, kCap);
+    const auto t2 = Clock::now();
+
+    const double pruned_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double naive_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    const bool capped = naive > kCap;
+    std::printf("%-10zu %14zu %12.1f %13zu%s %12.1f\n", g.num_contacts(),
+                pruned, pruned_ms, naive, capped ? "+" : " ", naive_ms);
+    csv.write_numeric_row({static_cast<double>(g.num_contacts()),
+                           static_cast<double>(pruned), pruned_ms,
+                           static_cast<double>(naive), naive_ms,
+                           capped ? 1.0 : 0.0});
+  }
+  std::printf(
+      "\n('+' = the naive run was stopped at the pair-count cap.)\n"
+      "Paper check: without condition-(4) pruning the stored-pair count\n"
+      "explodes combinatorially with trace length, while the Pareto\n"
+      "frontier stays compact -- this is what makes hundred-thousand-\n"
+      "contact traces analyzable (§4.4).\n");
+  std::printf("[csv] wrote %s\n", bench::csv_path("ablation_pruning").c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension bench: aggregated inter-contact time distributions.
+//
+// Prior characterization work ([2], [9] in the paper) focused on this
+// statistic: the aggregated CCDF shows a slowly-decaying body over
+// minutes-to-hours followed by faster decay at the timescale of days --
+// §3.4 relies on the light tail holding "at the timescale of days and
+// weeks". This bench prints the aggregated CCDF for the four synthetic
+// data sets and their tail summaries.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/empirical.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/datasets.hpp"
+#include "trace/intercontact.hpp"
+#include "util/csv.hpp"
+
+using namespace odtn;
+
+int main() {
+  bench::banner("Extension ([2],[9])",
+                "aggregated inter-contact time CCDF, four data sets");
+  CsvWriter csv(bench::csv_path("ext_intercontact"));
+  csv.write_row({"dataset", "gap_seconds", "ccdf"});
+
+  std::vector<PlotSeries> series;
+  std::printf("%-16s %10s %12s %12s %12s %14s\n", "dataset", "gaps",
+              "median", "mean", "p90", "Hill tail exp");
+  for (const auto& preset : all_datasets()) {
+    const auto trace = preset.generate();
+    const auto summary = summarize_inter_contact(trace.graph);
+    std::printf("%-16s %10zu %12s %12s %12s %14.2f\n",
+                preset.spec.name.c_str(), summary.count,
+                format_duration(summary.median).c_str(),
+                format_duration(summary.mean).c_str(),
+                format_duration(summary.p90).c_str(), summary.tail_exponent);
+
+    EmpiricalDistribution gaps;
+    for (double gap : all_inter_contact_times(trace.graph))
+      gaps.add(std::max(gap, 1.0));
+    const auto grid = make_log_grid(kMinute, 2 * kWeek, 48);
+    const auto ccdf = gaps.ccdf_on_grid(grid);
+    for (std::size_t j = 0; j < grid.size(); ++j)
+      csv.write_row({preset.spec.name, std::to_string(grid[j]),
+                     std::to_string(ccdf[j])});
+    series.push_back({preset.spec.name, grid, ccdf});
+  }
+
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.x_as_duration = true;
+  opt.x_label = "inter-contact time";
+  opt.y_label = "CCDF  P[gap > x]";
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  std::printf("%s", render_ascii_plot(series, opt).c_str());
+
+  std::printf(
+      "\nPaper check (§3.4, [2], [9]): gaps spread over many decades\n"
+      "(minutes to days -- the slowly-decaying body), yet the tail at the\n"
+      "multi-day scale decays fast (large Hill exponent), which is the\n"
+      "regime where the base model's light-tail assumption holds.\n");
+  std::printf("[csv] wrote %s\n", bench::csv_path("ext_intercontact").c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7: CCDF of contact duration for the four data sets (log-log).
+//
+// The paper's observations checked here: durations span minutes to
+// hours; the bulk of conference contacts are a single scan interval
+// (~75% of Infocom06 contacts are one 2-minute slot) yet a heavy tail
+// of hour-long contacts remains (~0.4% above one hour).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/empirical.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/datasets.hpp"
+#include "util/csv.hpp"
+
+using namespace odtn;
+
+int main() {
+  bench::banner("Figure 7", "CCDF of contact duration, four data sets");
+
+  CsvWriter csv(bench::csv_path("fig07_contact_duration"));
+  csv.write_row({"dataset", "duration_seconds", "ccdf"});
+
+  std::vector<PlotSeries> series;
+  std::printf("%-16s %10s %14s %16s %16s %14s\n", "dataset", "contacts",
+              "P[one slot]", "P[> 10 min]", "P[> 1 hour]", "max");
+  for (const auto& preset : all_datasets()) {
+    const auto trace = preset.generate();
+    EmpiricalDistribution durations;
+    for (double d : trace.graph.contact_durations()) durations.add(d);
+
+    const auto grid = make_log_grid(60.0, 12 * kHour, 48);
+    const auto ccdf = durations.ccdf_on_grid(grid);
+    PlotSeries s{preset.spec.name, grid, ccdf};
+    for (std::size_t j = 0; j < grid.size(); ++j)
+      csv.write_row({preset.spec.name, std::to_string(grid[j]),
+                     std::to_string(ccdf[j])});
+    series.push_back(std::move(s));
+
+    const double g = preset.spec.granularity;
+    std::printf("%-16s %10zu %13.1f%% %15.2f%% %15.2f%% %14s\n",
+                preset.spec.name.c_str(), durations.count(),
+                100.0 * (durations.cdf(g) - durations.cdf(g - 1.0)),
+                100.0 * durations.ccdf(10 * kMinute),
+                100.0 * durations.ccdf(kHour),
+                format_duration(durations.finite_max()).c_str());
+  }
+
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.x_as_duration = true;
+  opt.x_label = "contact duration";
+  opt.y_label = "CCDF  P[duration > x]";
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  std::printf("%s", render_ascii_plot(series, opt).c_str());
+
+  std::printf(
+      "\nPaper check: most contacts last one scan interval, while a small\n"
+      "but structurally important fraction (familiar people, co-located\n"
+      "sessions) lasts from tens of minutes to hours.\n");
+  std::printf("[csv] wrote %s\n",
+              bench::csv_path("fig07_contact_duration").c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 11: empirical CDF of minimum delay when SHORT contacts are
+// removed (Infocom06 day 2): thresholds 2, 10 and 30 minutes.
+//
+// Paper claims checked: the thresholds remove roughly 75% / 92% / 99% of
+// contacts; unlike random removal of a comparable volume, keeping the
+// longest contacts preserves much more small-delay success -- but at the
+// cost of a LARGER diameter (5 -> 7 at the 10-minute threshold in the
+// paper): short contacts are the bridges that keep the network's
+// diameter small (§6.2).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/datasets.hpp"
+#include "trace/transforms.hpp"
+
+using namespace odtn;
+
+namespace {
+
+DelayCdfOptions day2_options(const TemporalGraph& g) {
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(2 * kMinute, kDay, 40);
+  opt.max_hops = 14;
+  opt.t_lo = g.start_time();
+  opt.t_hi = g.end_time();
+  return opt;
+}
+
+double cdf_at(const DelayCdfResult& r, double delay) {
+  std::size_t j = 0;
+  while (j + 1 < r.grid.size() && r.grid[j] < delay) ++j;
+  return r.cdf_unbounded[j];
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 11",
+                "CDF of minimum delay when short contacts are removed "
+                "(Infocom06 day 2)");
+  const auto trace = dataset_infocom06().generate();
+  const auto internal =
+      keep_internal_contacts(trace.graph, trace.num_internal);
+  const auto base = restrict_time_window(internal, 1.0 * kDay, 2.0 * kDay);
+  std::printf("base trace: %zu contacts among %zu devices\n",
+              base.num_contacts(), base.num_nodes());
+
+  const std::vector<int> shown{1, 2, 3, 4, 5, 7, kUnboundedHops};
+  const auto base_result = compute_delay_cdf(base, day2_options(base));
+  std::printf("\n--- original data set: diameter %d ---\n",
+              base_result.diameter(0.01));
+
+  for (double threshold : {2 * kMinute, 10 * kMinute, 30 * kMinute}) {
+    // "contacts that last less than t are removed": one-scan contacts
+    // have duration == granularity == 2 min, so the 2-minute threshold
+    // uses a strict cut just above one scan.
+    const double cut = threshold + 1.0;
+    const auto filtered = remove_contacts_shorter_than(base, cut);
+    const double removed = 100.0 * (1.0 - static_cast<double>(
+                                              filtered.num_contacts()) /
+                                              base.num_contacts());
+    const auto result = compute_delay_cdf(filtered, day2_options(base));
+    std::printf("\n--- contact durations > %s  (%.0f%% of contacts removed) "
+                "---\n",
+                format_duration(threshold).c_str(), removed);
+    bench::print_cdf_table(result, shown);
+    bench::plot_cdf_family(result, shown,
+                           "durations > " + format_duration(threshold));
+    std::printf("P[success within 10 min] = %5.2f%%   diameter = %d "
+                "(original: %d); within plot resolution: %d "
+                "(original: %d)\n",
+                100.0 * cdf_at(result, 10 * kMinute), result.diameter(0.01),
+                base_result.diameter(0.01), result.diameter_absolute(0.01),
+                base_result.diameter_absolute(0.01));
+    bench::write_cdf_csv(
+        "fig11_gt_" + std::to_string(static_cast<int>(threshold / kMinute)) +
+            "min",
+        result, shown, format_duration(threshold));
+  }
+
+  std::printf(
+      "\nPaper check: each threshold removes most contacts yet preserves\n"
+      "far more short-delay success than random removal of the same\n"
+      "volume (compare Figure 10); the diameter INCREASES when the short\n"
+      "bridging contacts disappear -- opportunistic schemes should use\n"
+      "short contacts not only because they are many, but because they\n"
+      "keep the diameter small.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 12: diameter (99% confidence) as a function of the delay
+// constraint, for Infocom06 (day 2) and its duration-filtered variants
+// (contacts > 10 min, contacts > 30 min).
+//
+// Paper claims checked: with a high contact rate the diameter DECREASES
+// with delay; with a low rate (aggressively filtered trace) it
+// INCREASES with delay; in between an intermediate regime shows a bump
+// over a narrow range of time scales.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/datasets.hpp"
+#include "trace/transforms.hpp"
+
+using namespace odtn;
+
+int main() {
+  bench::banner("Figure 12", "diameter as a function of the delay budget");
+  const auto trace = dataset_infocom06().generate();
+  const auto internal =
+      keep_internal_contacts(trace.graph, trace.num_internal);
+  const auto base = restrict_time_window(internal, 1.0 * kDay, 2.0 * kDay);
+
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(2 * kMinute, 12 * kHour, 40);
+  opt.max_hops = 14;
+  opt.t_lo = base.start_time();
+  opt.t_hi = base.end_time();
+
+  CsvWriter csv(bench::csv_path("fig12_diameter_vs_delay"));
+  csv.write_row({"variant", "delay_seconds", "diameter"});
+
+  struct Variant {
+    std::string name;
+    double threshold;  // 0 = original
+  };
+  std::vector<PlotSeries> series;
+  std::printf("%-10s %18s %18s %18s\n", "delay", "Infocom06",
+              "contacts > 10 min", "contacts > 30 min");
+  std::vector<std::vector<int>> columns;
+  std::vector<double> grid;
+  for (const Variant& v :
+       {Variant{"Infocom06", 0.0}, Variant{"contacts>10min", 10 * kMinute},
+        Variant{"contacts>30min", 30 * kMinute}}) {
+    const TemporalGraph g =
+        v.threshold == 0.0
+            ? base
+            : remove_contacts_shorter_than(base, v.threshold + 1.0);
+    const auto result = compute_delay_cdf(g, opt);
+    const auto per_delay = result.diameter_per_delay(0.01);
+    grid = result.grid;
+    columns.push_back(per_delay);
+    PlotSeries s{v.name, {}, {}};
+    for (std::size_t j = 0; j < result.grid.size(); ++j) {
+      s.x.push_back(result.grid[j]);
+      s.y.push_back(per_delay[j]);
+      csv.write_row({v.name, std::to_string(result.grid[j]),
+                     std::to_string(per_delay[j])});
+    }
+    series.push_back(std::move(s));
+  }
+  for (std::size_t j = 0; j < grid.size(); j += 2) {
+    std::printf("%-10s %18d %18d %18d\n", format_duration(grid[j]).c_str(),
+                columns[0][j], columns[1][j], columns[2][j]);
+  }
+
+  PlotOptions popt;
+  popt.log_x = true;
+  popt.x_as_duration = true;
+  popt.x_label = "delay budget";
+  popt.y_label = "hops needed for 99% of flooding success";
+  std::printf("%s", render_ascii_plot(series, popt).c_str());
+
+  std::printf(
+      "\nPaper check: the original (high contact rate) curve decreases\n"
+      "with delay; the heavily filtered (low rate) trace needs MORE hops\n"
+      "at larger delays; the intermediate filter bumps over a narrow\n"
+      "range -- connected, but missing shortcuts between far-away nodes.\n");
+  std::printf("[csv] wrote %s\n",
+              bench::csv_path("fig12_diameter_vs_delay").c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Performance bench (google-benchmark): the concise-representation
+// engine of §4.4 vs the flooding-per-boundary comparator [8].
+//
+// BM_EngineSingleSource   -- all delay-optimal paths from one source
+//                            (our algorithm), by trace size.
+// BM_FloodingBaseline     -- same output sampled by flooding from every
+//                            contact boundary (the [8]-style approach).
+// BM_EngineAllPairsCdf    -- the full Figure-9 pipeline on a
+//                            conference-scale trace.
+#include <benchmark/benchmark.h>
+
+#include "core/diameter.hpp"
+#include "core/optimal_paths.hpp"
+#include "sim/profile_baseline.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/generators.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+TemporalGraph make_trace(double scale) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 30;
+  spec.duration = 2 * kDay;
+  spec.pair_contacts_mean = 2.0 * scale;
+  spec.num_communities = 4;
+  spec.gatherings = {80.0 * scale, 0.35, 0.06, 12 * kMinute, 0.8, 0.06};
+  spec.profile = ActivityProfile::conference();
+  return generate_trace(spec, 4242).graph;
+}
+
+void BM_EngineSingleSource(benchmark::State& state) {
+  const auto g = make_trace(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    SingleSourceEngine engine(g, 0);
+    engine.run_to_fixpoint();
+    benchmark::DoNotOptimize(engine.total_pairs());
+  }
+  state.counters["contacts"] = static_cast<double>(g.num_contacts());
+}
+BENCHMARK(BM_EngineSingleSource)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FloodingBaseline(benchmark::State& state) {
+  const auto g = make_trace(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    const auto profiles = profiles_by_flooding(g, 0);
+    benchmark::DoNotOptimize(profiles.times.size());
+  }
+  state.counters["contacts"] = static_cast<double>(g.num_contacts());
+}
+// The baseline is quadratic in contacts; keep its sizes modest.
+BENCHMARK(BM_FloodingBaseline)->Arg(1)->Arg(2);
+
+void BM_EngineAllPairsCdf(benchmark::State& state) {
+  const auto g = make_trace(4.0);
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(2 * kMinute, kDay, 32);
+  opt.max_hops = 8;
+  for (auto _ : state) {
+    const auto result = compute_delay_cdf(g, opt);
+    benchmark::DoNotOptimize(result.diameter(0.01));
+  }
+  state.counters["contacts"] = static_cast<double>(g.num_contacts());
+}
+BENCHMARK(BM_EngineAllPairsCdf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,68 @@
+// §5.3.1 (last paragraph): "studying the CDF of the minimum delay
+// during day time only ... confirms the correlation between multi-hop
+// delay improvement at small time-scale and high contact rate."
+//
+// We compare, on Infocom05, the delay CDFs for messages created at ANY
+// time vs only during conference hours (9h-18h). Day-time creation
+// times see a much higher contact rate, so the relative improvement of
+// multi-hop paths over direct contacts at small time scales must be
+// larger in the day-time-only analysis.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/reachability.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/datasets.hpp"
+#include "trace/transforms.hpp"
+
+using namespace odtn;
+
+int main() {
+  bench::banner("Section 5.3.1",
+                "minimum-delay CDF, all start times vs day time only "
+                "(Infocom05)");
+  const auto trace = dataset_infocom05().generate();
+  const auto g = keep_internal_contacts(trace.graph, trace.num_internal);
+
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(2 * kMinute, kDay, 40);
+  opt.max_hops = 8;
+  const auto all_times = compute_delay_cdf(g, opt);
+
+  DelayCdfOptions day_opt = opt;
+  day_opt.windows =
+      daily_time_windows(g.start_time(), g.end_time(), 9.0, 18.0);
+  const auto day_only = compute_delay_cdf(g, day_opt);
+
+  const std::vector<int> shown{1, 2, 4, kUnboundedHops};
+  std::printf("\n--- all start times ---\n");
+  bench::print_cdf_table(all_times, shown);
+  std::printf("\n--- day time (9h-18h) start times only ---\n");
+  bench::print_cdf_table(day_only, shown);
+  bench::write_cdf_csv("sec53_all_times", all_times, shown, "all");
+  bench::write_cdf_csv("sec53_day_only", day_only, shown, "day");
+
+  // The paper's point, quantified: the multi-hop improvement factor
+  // (unbounded / 1-hop success) at a small time scale.
+  auto improvement = [&](const DelayCdfResult& r, std::size_t j) {
+    return r.cdf_by_hops[0][j] > 0 ? r.cdf_unbounded[j] / r.cdf_by_hops[0][j]
+                                   : 0.0;
+  };
+  const std::size_t j_small = 8;  // ~10 minutes on this grid
+  std::printf("\nmulti-hop improvement (flooding / direct) at %s:\n",
+              format_duration(all_times.grid[j_small]).c_str());
+  std::printf("  all start times:       %.2fx (success %.1f%% -> %.1f%%)\n",
+              improvement(all_times, j_small),
+              100.0 * all_times.cdf_by_hops[0][j_small],
+              100.0 * all_times.cdf_unbounded[j_small]);
+  std::printf("  day-time starts only:  %.2fx (success %.1f%% -> %.1f%%)\n",
+              improvement(day_only, j_small),
+              100.0 * day_only.cdf_by_hops[0][j_small],
+              100.0 * day_only.cdf_unbounded[j_small]);
+
+  std::printf(
+      "\nPaper check: restricted to day-time (high contact rate) start\n"
+      "times, both absolute success and the RELATIVE multi-hop gain at\n"
+      "small time scales are larger -- the correlation §5.3.1 reports.\n");
+  return 0;
+}

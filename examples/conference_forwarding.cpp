@@ -1,0 +1,104 @@
+// Design implication of the small diameter (paper §7): "messages can be
+// discarded after a few number of hops without occurring more than a
+// marginal performance cost."
+//
+// This example generates a conference trace, then compares forwarding
+// policies under increasing hop TTLs: success rate within one hour /
+// six hours, mean delay, and copy cost. The knee at TTL ~ diameter is
+// the actionable result: an epidemic protocol with TTL 4-6 performs
+// like unbounded flooding at a fraction of nothing lost.
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "sim/forwarding.hpp"
+#include "stats/summary.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/time_format.hpp"
+
+using namespace odtn;
+
+namespace {
+
+struct PolicyResult {
+  double success_1h = 0;
+  double success_6h = 0;
+  double mean_copies = 0;
+};
+
+PolicyResult evaluate(const TemporalGraph& g, ForwardingPolicy policy,
+                      const ForwardingOptions& options, Rng& rng) {
+  PolicyResult out;
+  SummaryStats copies;
+  const int messages = 300;
+  int ok_1h = 0, ok_6h = 0;
+  for (int m = 0; m < messages; ++m) {
+    const auto src = static_cast<NodeId>(rng.below(g.num_nodes()));
+    auto dst = static_cast<NodeId>(rng.below(g.num_nodes() - 1));
+    if (dst >= src) ++dst;
+    const double t0 =
+        rng.uniform(g.start_time(), g.end_time() - 6 * kHour);
+    const auto r = simulate_forwarding(g, src, dst, t0, policy, options);
+    const double delay = r.delivery_time - t0;
+    if (delay <= kHour) ++ok_1h;
+    if (delay <= 6 * kHour) ++ok_6h;
+    copies.add(r.copies);
+  }
+  out.success_1h = 100.0 * ok_1h / messages;
+  out.success_6h = 100.0 * ok_6h / messages;
+  out.mean_copies = copies.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  SyntheticTraceSpec spec;
+  spec.name = "conference";
+  spec.num_internal = 40;
+  spec.duration = 3 * kDay;
+  spec.pair_contacts_mean = 2.0;
+  spec.num_communities = 4;
+  spec.gatherings = {300.0, 0.35, 0.06, 12 * kMinute, 0.8, 0.06};
+  spec.profile = ActivityProfile::conference();
+  const auto trace = generate_trace(spec, 7777);
+  std::printf("conference trace: %zu devices, %zu contacts over %s\n\n",
+              trace.graph.num_nodes(), trace.graph.num_contacts(),
+              format_duration(trace.graph.duration()).c_str());
+
+  Rng rng(1);
+  std::printf("%-28s %12s %12s %12s\n", "policy", "P[<=1h] %", "P[<=6h] %",
+              "avg copies");
+
+  // Baselines.
+  for (auto policy : {ForwardingPolicy::kDirect,
+                      ForwardingPolicy::kTwoHopRelay,
+                      ForwardingPolicy::kSprayAndWait}) {
+    Rng r2(42);  // same message workload for every policy
+    const auto res = evaluate(trace.graph, policy, {}, r2);
+    std::printf("%-28s %12.1f %12.1f %12.1f\n",
+                forwarding_policy_name(policy), res.success_1h,
+                res.success_6h, res.mean_copies);
+  }
+
+  // Epidemic with increasing hop TTL: the diameter shows up as a knee.
+  for (int ttl : {1, 2, 3, 4, 5, 6, 8, 64}) {
+    ForwardingOptions options;
+    options.hop_ttl = ttl;
+    Rng r2(42);
+    const auto res =
+        evaluate(trace.graph, ForwardingPolicy::kEpidemic, options, r2);
+    char name[64];
+    std::snprintf(name, sizeof name, "epidemic, hop TTL %d%s", ttl,
+                  ttl == 64 ? " (~flooding)" : "");
+    std::printf("%-28s %12.1f %12.1f %12.1f\n", name, res.success_1h,
+                res.success_6h, res.mean_copies);
+  }
+
+  std::printf(
+      "\nTakeaway: success saturates around TTL = 4-6 -- the network's\n"
+      "diameter -- so a forwarding protocol can discard messages after a\n"
+      "few hops at only a marginal performance cost (paper §7).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// What-if study: how does the network degrade as contacts disappear?
+//
+// Applies the paper's §6 methodology to a configurable trace: sweeps
+// random-removal probabilities and duration thresholds, reporting
+// flooding success at three time scales and the 99%-diameter for each.
+// Shows the paper's asymmetry: random removal hurts delay but not the
+// diameter; removing SHORT contacts preserves delay better but inflates
+// the diameter.
+//
+// Usage: example_contact_removal_study [trace-file]
+#include <cstdio>
+#include <string>
+
+#include "core/diameter.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/transforms.hpp"
+#include "util/rng.hpp"
+#include "util/time_format.hpp"
+
+using namespace odtn;
+
+namespace {
+
+double cdf_at(const DelayCdfResult& r, double delay) {
+  std::size_t j = 0;
+  while (j + 1 < r.grid.size() && r.grid[j] < delay) ++j;
+  return 100.0 * r.cdf_unbounded[j];
+}
+
+void report_row(const char* label, const TemporalGraph& variant,
+                const TemporalGraph& base) {
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(2 * kMinute, kDay, 36);
+  opt.max_hops = 14;
+  opt.t_lo = base.start_time();  // same window for every variant
+  opt.t_hi = base.end_time();
+  const auto r = compute_delay_cdf(variant, opt);
+  std::printf("%-26s %9zu %11.1f %11.1f %11.1f %10d\n", label,
+              variant.num_contacts(), cdf_at(r, 10 * kMinute),
+              cdf_at(r, kHour), cdf_at(r, 6 * kHour), r.diameter(0.01));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TemporalGraph base = [&] {
+    if (argc > 1) return read_trace_file(argv[1]);
+    SyntheticTraceSpec spec;
+    spec.name = "study";
+    spec.num_internal = 35;
+    spec.duration = 2 * kDay;
+    spec.pair_contacts_mean = 2.0;
+    spec.num_communities = 5;
+    spec.gatherings = {260.0, 0.35, 0.06, 12 * kMinute, 0.8, 0.06};
+    spec.profile = ActivityProfile::conference();
+    return generate_trace(spec, 4040).graph;
+  }();
+
+  std::printf("base trace: %zu devices, %zu contacts, %s\n\n",
+              base.num_nodes(), base.num_contacts(),
+              format_duration(base.duration()).c_str());
+  std::printf("%-26s %9s %11s %11s %11s %10s\n", "variant", "contacts",
+              "P[<=10m] %", "P[<=1h] %", "P[<=6h] %", "diameter");
+
+  report_row("original", base, base);
+
+  Rng rng(11);
+  for (double p : {0.5, 0.9, 0.99}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "random removal p=%.2f", p);
+    report_row(label, remove_contacts_random(base, p, rng), base);
+  }
+  for (double threshold : {2 * kMinute, 10 * kMinute, 30 * kMinute}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "keep durations > %s",
+                  format_duration(threshold).c_str());
+    report_row(label, remove_contacts_shorter_than(base, threshold + 1.0),
+               base);
+  }
+
+  std::printf(
+      "\nReading the table: random removal collapses success at every\n"
+      "time scale but leaves the diameter small; duration filtering of a\n"
+      "comparable volume keeps far more success -- at the price of a\n"
+      "larger diameter, because the short cross-community contacts were\n"
+      "the shortcuts (paper §6).\n");
+  return 0;
+}

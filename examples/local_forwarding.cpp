@@ -1,0 +1,126 @@
+// The price of locality (paper §7, second open problem).
+//
+// Short delay-optimal paths EXIST (the small diameter) -- but can a
+// distributed algorithm using only local information find them? This
+// example compares single-copy local forwarding rules against the
+// delay-optimal oracle on a community-structured trace: success rates
+// at several time scales and the mean delay inflation over the optimum.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "core/optimal_paths.hpp"
+#include "sim/local_forwarding.hpp"
+#include "stats/summary.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/time_format.hpp"
+
+using namespace odtn;
+
+namespace {
+
+struct Workload {
+  NodeId src, dst;
+  double t0;
+};
+
+}  // namespace
+
+int main() {
+  SyntheticTraceSpec spec;
+  spec.name = "campus";
+  spec.num_internal = 30;
+  spec.duration = 4 * kDay;
+  spec.pair_contacts_mean = 1.0;
+  spec.num_communities = 5;
+  spec.intra_boost = 6.0;
+  spec.gatherings = {120.0, 0.45, 0.06, 12 * kMinute, 1.0, 0.08};
+  spec.profile = ActivityProfile::conference();
+  const auto trace = generate_trace(spec, 20077);
+  const auto& g = trace.graph;
+  std::printf("trace: %zu devices, %zu contacts over %s\n\n", g.num_nodes(),
+              g.num_contacts(), format_duration(g.duration()).c_str());
+
+  // A fixed message workload, shared by every rule.
+  Rng rng(5);
+  std::vector<Workload> workload;
+  for (int m = 0; m < 400; ++m) {
+    const auto src = static_cast<NodeId>(rng.below(g.num_nodes()));
+    auto dst = static_cast<NodeId>(rng.below(g.num_nodes() - 1));
+    if (dst >= src) ++dst;
+    workload.push_back(
+        {src, dst, rng.uniform(g.start_time(), g.end_time() - 12 * kHour)});
+  }
+
+  // The oracle: delay-optimal delivery per message.
+  std::vector<double> optimal(workload.size());
+  {
+    std::vector<int> order(g.num_nodes(), -1);
+    for (NodeId src = 0; src < g.num_nodes(); ++src) {
+      bool needed = false;
+      for (const auto& w : workload) needed |= (w.src == src);
+      if (!needed) continue;
+      SingleSourceEngine engine(g, src);
+      engine.run_to_fixpoint();
+      for (std::size_t i = 0; i < workload.size(); ++i)
+        if (workload[i].src == src)
+          optimal[i] = engine.frontier(workload[i].dst).deliver_at(
+              workload[i].t0);
+    }
+    (void)order;
+  }
+
+  std::printf("%-22s %10s %10s %10s %16s %10s\n", "rule", "P[<=1h]%",
+              "P[<=6h]%", "P[<=1d]%", "delay vs optimal", "handoffs");
+  SummaryStats oracle_delay;
+  int oracle_1h = 0, oracle_6h = 0, oracle_1d = 0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const double d = optimal[i] - workload[i].t0;
+    if (d <= kHour) ++oracle_1h;
+    if (d <= 6 * kHour) ++oracle_6h;
+    if (d <= kDay) ++oracle_1d;
+  }
+  std::printf("%-22s %10.1f %10.1f %10.1f %16s %10s\n",
+              "optimal path (oracle)",
+              100.0 * oracle_1h / workload.size(),
+              100.0 * oracle_6h / workload.size(),
+              100.0 * oracle_1d / workload.size(), "1.00x", "-");
+
+  for (auto rule : {LocalRule::kNone, LocalRule::kRandomWalk,
+                    LocalRule::kMostActive,
+                    LocalRule::kLastContactWithDestination,
+                    LocalRule::kFrequencyGreedy}) {
+    int ok_1h = 0, ok_6h = 0, ok_1d = 0;
+    SummaryStats inflation, handoffs;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      const auto out = simulate_local_forwarding(
+          g, workload[i].src, workload[i].dst, workload[i].t0, rule, 64,
+          /*seed=*/i + 1);
+      const double d = out.delivery_time - workload[i].t0;
+      if (d <= kHour) ++ok_1h;
+      if (d <= 6 * kHour) ++ok_6h;
+      if (d <= kDay) ++ok_1d;
+      handoffs.add(out.handoffs);
+      const double opt = optimal[i] - workload[i].t0;
+      if (std::isfinite(d) && opt > 0.0) inflation.add(d / opt);
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.2fx", inflation.mean());
+    std::printf("%-22s %10.1f %10.1f %10.1f %16s %10.1f\n",
+                local_rule_name(rule), 100.0 * ok_1h / workload.size(),
+                100.0 * ok_6h / workload.size(),
+                100.0 * ok_1d / workload.size(), ratio, handoffs.mean());
+  }
+
+  std::printf(
+      "\nReading the table: short opportunistic paths exist (the oracle),\n"
+      "and destination-aware local rules (last-contact, frequency-greedy)\n"
+      "recover much of flooding's success with a single copy -- but a gap\n"
+      "to the optimum remains: finding small-diameter paths with local\n"
+      "information only is exactly the open problem the paper leaves\n"
+      "(Kleinberg's navigability question, on temporal networks).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/time_format.hpp"
+
+namespace odtn::cli {
+
+std::optional<std::string> ArgList::take_option(std::string_view name) {
+  const std::string key = "--" + std::string(name);
+  const auto it = std::find(args_.begin(), args_.end(), key);
+  if (it == args_.end()) return std::nullopt;
+  const auto value_it = it + 1;
+  if (value_it == args_.end() || value_it->rfind("--", 0) == 0)
+    throw CliError("option " + key + " requires a value");
+  std::string value = *value_it;
+  args_.erase(it, value_it + 1);
+  return value;
+}
+
+bool ArgList::take_flag(std::string_view name) {
+  const std::string key = "--" + std::string(name);
+  const auto it = std::find(args_.begin(), args_.end(), key);
+  if (it == args_.end()) return false;
+  args_.erase(it);
+  return true;
+}
+
+std::optional<std::string> ArgList::take_positional() {
+  const auto it = std::find_if(args_.begin(), args_.end(),
+                               [](const std::string& a) {
+                                 return a.rfind("--", 0) != 0;
+                               });
+  if (it == args_.end()) return std::nullopt;
+  std::string value = *it;
+  args_.erase(it);
+  return value;
+}
+
+void ArgList::expect_empty() const {
+  if (args_.empty()) return;
+  std::string message = "unrecognized arguments:";
+  for (const auto& a : args_) message += " " + a;
+  throw CliError(message);
+}
+
+double parse_double(const std::string& text, std::string_view what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0')
+    throw CliError("invalid " + std::string(what) + ": '" + text + "'");
+  return value;
+}
+
+long parse_long(const std::string& text, std::string_view what) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw CliError("invalid " + std::string(what) + ": '" + text + "'");
+  return value;
+}
+
+double parse_duration(const std::string& text, std::string_view what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str())
+    throw CliError("invalid " + std::string(what) + ": '" + text + "'");
+  const std::string unit(end);
+  if (unit.empty() || unit == "s") return value;
+  if (unit == "min" || unit == "m") return value * kMinute;
+  if (unit == "h") return value * kHour;
+  if (unit == "d") return value * kDay;
+  if (unit == "wk" || unit == "w") return value * kWeek;
+  throw CliError("invalid " + std::string(what) + " unit: '" + unit +
+                 "' (use s, min, h, d, wk)");
+}
+
+}  // namespace odtn::cli

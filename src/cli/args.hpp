@@ -1,0 +1,54 @@
+// Minimal command-line argument handling for the odtn CLI.
+//
+// Kept deliberately small: `--name value` options, `--name` boolean
+// flags, and ordered positionals, consumed destructively so commands can
+// verify nothing unknown was passed. Errors are reported as
+// CliError exceptions carrying a user-facing message.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odtn::cli {
+
+/// User-facing command-line error (bad flag, malformed number, ...).
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Destructive view over a command's arguments.
+class ArgList {
+ public:
+  explicit ArgList(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  /// Consumes `--name value`; std::nullopt when absent. Throws CliError
+  /// when the option is present but the value is missing.
+  std::optional<std::string> take_option(std::string_view name);
+
+  /// Consumes a boolean `--name`; false when absent.
+  bool take_flag(std::string_view name);
+
+  /// Consumes the next positional (non `--`) argument.
+  std::optional<std::string> take_positional();
+
+  /// Throws CliError listing anything not consumed.
+  void expect_empty() const;
+
+  bool empty() const noexcept { return args_.empty(); }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Strict numeric parsing with user-facing errors.
+double parse_double(const std::string& text, std::string_view what);
+long parse_long(const std::string& text, std::string_view what);
+
+/// Parses durations like "90", "10min", "6h", "2d", "1wk" into seconds.
+double parse_duration(const std::string& text, std::string_view what);
+
+}  // namespace odtn::cli

@@ -1,0 +1,303 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <optional>
+
+#include "cli/args.hpp"
+#include "core/diameter.hpp"
+#include "core/path_enumeration.hpp"
+#include "core/reachability.hpp"
+#include "stats/empirical.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/datasets.hpp"
+#include "trace/imports.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/transforms.hpp"
+#include "util/rng.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn::cli {
+namespace {
+
+std::string required_positional(ArgList& args, std::string_view what) {
+  auto value = args.take_positional();
+  if (!value) throw CliError("missing " + std::string(what));
+  return *value;
+}
+
+std::string required_option(ArgList& args, std::string_view name) {
+  auto value = args.take_option(name);
+  if (!value) throw CliError("missing required option --" + std::string(name));
+  return *value;
+}
+
+int cmd_generate(ArgList args) {
+  const std::string preset_name = required_option(args, "preset");
+  const std::string out = required_option(args, "out");
+  const auto seed = args.take_option("seed");
+  args.expect_empty();
+
+  std::optional<DatasetPreset> preset;
+  for (auto& d : all_datasets()) {
+    std::string lower = d.spec.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == preset_name || d.spec.name == preset_name) preset = d;
+  }
+  if (!preset)
+    throw CliError("unknown preset '" + preset_name +
+                   "' (try infocom05, infocom06, hong-kong, realitymining)");
+  if (seed) preset->seed = static_cast<std::uint64_t>(
+      parse_long(*seed, "seed"));
+  const auto trace = preset->generate();
+  write_trace_file(out, trace.graph);
+  std::printf("wrote %s: %zu nodes (%zu experimental), %zu contacts, %s\n",
+              out.c_str(), trace.graph.num_nodes(), trace.num_internal,
+              trace.graph.num_contacts(),
+              format_duration(trace.graph.duration()).c_str());
+  return 0;
+}
+
+int cmd_stats(ArgList args) {
+  const std::string path = required_positional(args, "trace file");
+  args.expect_empty();
+  const TemporalGraph g = read_trace_file(path);
+
+  EmpiricalDistribution durations;
+  for (double d : g.contact_durations()) durations.add(d);
+
+  std::printf("trace:            %s\n", path.c_str());
+  std::printf("nodes:            %zu\n", g.num_nodes());
+  std::printf("contacts:         %zu\n", g.num_contacts());
+  std::printf("directed:         %s\n", g.directed() ? "yes" : "no");
+  std::printf("span:             %s (from %s to %s)\n",
+              format_duration(g.duration()).c_str(),
+              format_timestamp(g.start_time()).c_str(),
+              format_timestamp(g.end_time()).c_str());
+  std::printf("contact rate:     %.2f contacts/node/day\n",
+              g.contact_rate(kDay));
+  std::printf("connected pairs:  %zu\n", g.num_connected_pairs());
+  if (durations.count() > 0) {
+    std::printf("duration median:  %s\n",
+                format_duration(durations.quantile(0.5)).c_str());
+    std::printf("duration p95:     %s\n",
+                format_duration(durations.quantile(0.95)).c_str());
+    std::printf("duration max:     %s\n",
+                format_duration(durations.finite_max()).c_str());
+  }
+  return 0;
+}
+
+int cmd_cdf(ArgList args) {
+  const std::string path = required_positional(args, "trace file");
+  const auto max_hops = args.take_option("max-hops");
+  const auto eps = args.take_option("eps");
+  const auto grid_lo = args.take_option("grid-lo");
+  const auto grid_hi = args.take_option("grid-hi");
+  const auto daytime = args.take_option("daytime");
+  args.expect_empty();
+
+  const TemporalGraph g = read_trace_file(path);
+  if (g.num_contacts() == 0) throw CliError("trace has no contacts");
+
+  DelayCdfOptions opt;
+  if (daytime) {
+    // "--daytime 9-18": message creation restricted to those hours.
+    const auto dash = daytime->find('-');
+    if (dash == std::string::npos)
+      throw CliError("--daytime expects <hour>-<hour>, e.g. 9-18");
+    const double lo_h = parse_double(daytime->substr(0, dash), "daytime");
+    const double hi_h = parse_double(daytime->substr(dash + 1), "daytime");
+    if (!(0.0 <= lo_h && lo_h < hi_h && hi_h <= 24.0))
+      throw CliError("--daytime hours must satisfy 0 <= lo < hi <= 24");
+    opt.windows =
+        daily_time_windows(g.start_time(), g.end_time(), lo_h, hi_h);
+    if (opt.windows.empty())
+      throw CliError("--daytime window never intersects the trace");
+  }
+  const double lo =
+      grid_lo ? parse_duration(*grid_lo, "grid-lo") : 2 * kMinute;
+  const double hi = grid_hi ? parse_duration(*grid_hi, "grid-hi")
+                            : std::max(g.duration(), 2 * lo);
+  opt.grid = make_log_grid(lo, hi, 40);
+  opt.max_hops =
+      max_hops ? static_cast<int>(parse_long(*max_hops, "max-hops")) : 10;
+  const double epsilon = eps ? parse_double(*eps, "eps") : 0.01;
+
+  const auto result = compute_delay_cdf(g, opt);
+  std::printf("%-12s", "delay");
+  for (int k = 1; k <= opt.max_hops; k += (k < 4 ? 1 : 2))
+    std::printf(" %6d", k);
+  std::printf(" %6s\n", "inf");
+  for (std::size_t j = 0; j < result.grid.size(); j += 3) {
+    std::printf("%-12s", format_duration(result.grid[j]).c_str());
+    for (int k = 1; k <= opt.max_hops; k += (k < 4 ? 1 : 2))
+      std::printf(" %6.4f", result.cdf_by_hops[k - 1][j]);
+    std::printf(" %6.4f\n", result.cdf_unbounded[j]);
+  }
+  std::printf("\ndiameter (%.0f%% of flooding at every scale): %d hops\n",
+              100.0 * (1.0 - epsilon), result.diameter(epsilon));
+  std::printf("max hops on any delay-optimal path:          %d\n",
+              result.fixpoint_hops);
+  return 0;
+}
+
+int cmd_filter(ArgList args) {
+  const std::string path = required_positional(args, "trace file");
+  const std::string out = required_option(args, "out");
+  const auto min_duration = args.take_option("min-duration");
+  const auto keep_prob = args.take_option("keep-prob");
+  const auto seed = args.take_option("seed");
+  const auto window_lo = args.take_option("window-lo");
+  const auto window_hi = args.take_option("window-hi");
+  const auto internal = args.take_option("internal");
+  args.expect_empty();
+
+  TemporalGraph g = read_trace_file(path);
+  if (window_lo || window_hi) {
+    if (!window_lo || !window_hi)
+      throw CliError("--window-lo and --window-hi must be given together");
+    g = restrict_time_window(g, parse_duration(*window_lo, "window-lo"),
+                             parse_duration(*window_hi, "window-hi"));
+  }
+  if (internal)
+    g = keep_internal_contacts(
+        g, static_cast<std::size_t>(parse_long(*internal, "internal")));
+  if (min_duration)
+    g = remove_contacts_shorter_than(
+        g, parse_duration(*min_duration, "min-duration"));
+  if (keep_prob) {
+    const double keep = parse_double(*keep_prob, "keep-prob");
+    if (keep < 0.0 || keep > 1.0)
+      throw CliError("--keep-prob must be in [0, 1]");
+    Rng rng(seed ? static_cast<std::uint64_t>(parse_long(*seed, "seed")) : 1);
+    g = remove_contacts_random(g, 1.0 - keep, rng);
+  }
+  write_trace_file(out, g);
+  std::printf("wrote %s: %zu nodes, %zu contacts\n", out.c_str(),
+              g.num_nodes(), g.num_contacts());
+  return 0;
+}
+
+int cmd_import(ArgList args) {
+  const std::string path = required_positional(args, "input file");
+  const std::string out = required_option(args, "out");
+  const std::string format = required_option(args, "format");
+  args.expect_empty();
+  TemporalGraph g(0, {});
+  if (format == "crawdad") {
+    g = import_crawdad_contacts_file(path);
+  } else if (format == "one") {
+    g = import_one_events_file(path);
+  } else {
+    throw CliError("unknown format '" + format + "' (crawdad or one)");
+  }
+  write_trace_file(out, g);
+  std::printf("imported %s (%s): %zu nodes, %zu contacts -> %s\n",
+              path.c_str(), format.c_str(), g.num_nodes(), g.num_contacts(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_route(ArgList args) {
+  const std::string path = required_positional(args, "trace file");
+  const auto src = static_cast<NodeId>(
+      parse_long(required_option(args, "src"), "src"));
+  const auto dst = static_cast<NodeId>(
+      parse_long(required_option(args, "dst"), "dst"));
+  const auto time = args.take_option("time");
+  args.expect_empty();
+
+  const TemporalGraph g = read_trace_file(path);
+  if (src >= g.num_nodes() || dst >= g.num_nodes())
+    throw CliError("node id out of range");
+
+  const auto routes = enumerate_optimal_routes(g, src, dst);
+  if (routes.empty()) {
+    std::printf("no time-respecting path from %u to %u\n", src, dst);
+    return 0;
+  }
+  std::printf("%zu delay-optimal route(s) from %u to %u:\n", routes.size(),
+              src, dst);
+  for (const auto& route : routes) {
+    std::printf("  depart by %s, arrive at %s (%d hops):",
+                format_timestamp(route.pair.ld).c_str(),
+                format_timestamp(route.pair.ea).c_str(), route.hops());
+    for (std::size_t idx : route.contact_indices) {
+      const Contact& c = g.contacts()[idx];
+      std::printf(" %u-%u", c.u, c.v);
+    }
+    std::printf("\n");
+  }
+  if (time) {
+    const double t = parse_duration(*time, "time");
+    SingleSourceEngine engine(g, src);
+    engine.run_to_fixpoint();
+    const double arrival = engine.frontier(dst).deliver_at(t);
+    if (arrival < 1e300) {
+      std::printf("message created at %s delivered at %s (delay %s)\n",
+                  format_timestamp(t).c_str(),
+                  format_timestamp(arrival).c_str(),
+                  format_duration(arrival - t).c_str());
+    } else {
+      std::printf("message created at %s is never delivered\n",
+                  format_timestamp(t).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  return "odtn -- delay-optimal temporal paths & network diameter\n"
+         "\n"
+         "usage: odtn <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  generate --preset <infocom05|infocom06|hong-kong|realitymining>\n"
+         "           [--seed N] --out <file>    synthesize a Table-1 trace\n"
+         "  stats <trace>                       contact statistics report\n"
+         "  cdf <trace> [--max-hops K] [--eps E] [--daytime H-H]\n"
+         "      [--grid-lo D --grid-hi D]       delay CDFs + diameter\n"
+         "  filter <trace> --out <file> [--min-duration D]\n"
+         "      [--keep-prob P [--seed N]] [--window-lo D --window-hi D]\n"
+         "      [--internal N]                  Section-6 trace transforms\n"
+         "  route <trace> --src U --dst V [--time T]\n"
+         "                                      enumerate optimal routes\n"
+         "  import <file> --format <crawdad|one> --out <trace>\n"
+         "                                      convert published formats\n"
+         "  help                                this text\n"
+         "\n"
+         "durations accept suffixes: s, min, h, d, wk (e.g. --min-duration "
+         "10min)\n";
+}
+
+int run_cli(std::vector<std::string> args) {
+  try {
+    if (args.empty()) {
+      std::fputs(usage_text().c_str(), stdout);
+      return 2;
+    }
+    const std::string command = args.front();
+    ArgList rest(std::vector<std::string>(args.begin() + 1, args.end()));
+    if (command == "generate") return cmd_generate(std::move(rest));
+    if (command == "stats") return cmd_stats(std::move(rest));
+    if (command == "cdf") return cmd_cdf(std::move(rest));
+    if (command == "filter") return cmd_filter(std::move(rest));
+    if (command == "route") return cmd_route(std::move(rest));
+    if (command == "import") return cmd_import(std::move(rest));
+    if (command == "help" || command == "--help") {
+      std::fputs(usage_text().c_str(), stdout);
+      return 0;
+    }
+    throw CliError("unknown command '" + command + "' (see: odtn help)");
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "odtn: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "odtn: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace odtn::cli

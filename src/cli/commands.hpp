@@ -1,0 +1,27 @@
+// The odtn command-line tool, as a library so tests can drive it.
+//
+//   odtn generate --preset <name> [--seed N] --out <file>
+//   odtn stats <trace>
+//   odtn cdf <trace> [--max-hops K] [--eps E] [--grid-lo D --grid-hi D]
+//   odtn filter <trace> --out <file> [--min-duration D] [--keep-prob P
+//       [--seed N]] [--window-lo D --window-hi D] [--internal N]
+//   odtn route <trace> --src U --dst V [--time T]
+//   odtn help
+//
+// Every command prints to stdout and returns a process exit code;
+// user errors (CliError) are reported on stderr with code 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace odtn::cli {
+
+/// Runs one CLI invocation (argv without the program name).
+/// Returns the process exit code: 0 success, 2 usage error.
+int run_cli(std::vector<std::string> args);
+
+/// The `help` text.
+std::string usage_text();
+
+}  // namespace odtn::cli

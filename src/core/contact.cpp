@@ -1,0 +1,48 @@
+#include "core/contact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace odtn {
+
+bool is_valid_contact(const Contact& c) noexcept {
+  return c.u != kInvalidNode && c.v != kInvalidNode && c.u != c.v &&
+         std::isfinite(c.begin) && std::isfinite(c.end) && c.begin <= c.end;
+}
+
+bool contact_less(const Contact& a, const Contact& b) noexcept {
+  return std::tie(a.begin, a.end, a.u, a.v) <
+         std::tie(b.begin, b.end, b.u, b.v);
+}
+
+std::vector<Contact> merge_overlapping_contacts(std::vector<Contact> contacts) {
+  // Group by unordered pair, then sweep each pair's contacts in time order.
+  std::sort(contacts.begin(), contacts.end(),
+            [](const Contact& a, const Contact& b) {
+              const auto ka = std::minmax(a.u, a.v);
+              const auto kb = std::minmax(b.u, b.v);
+              return std::tie(ka.first, ka.second, a.begin, a.end) <
+                     std::tie(kb.first, kb.second, b.begin, b.end);
+            });
+  std::vector<Contact> merged;
+  merged.reserve(contacts.size());
+  for (const Contact& c : contacts) {
+    if (!merged.empty()) {
+      Contact& last = merged.back();
+      const auto kl = std::minmax(last.u, last.v);
+      const auto kc = std::minmax(c.u, c.v);
+      if (kl == kc && c.begin <= last.end) {
+        last.end = std::max(last.end, c.end);
+        continue;
+      }
+    }
+    merged.push_back(c);
+  }
+  std::sort(merged.begin(), merged.end(), contact_less);
+  return merged;
+}
+
+}  // namespace odtn

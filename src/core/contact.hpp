@@ -1,0 +1,43 @@
+// Contacts: the atomic connectivity events of an opportunistic network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace odtn {
+
+/// Device identifier. Nodes of a temporal graph are 0..num_nodes-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A contact: device `u` sees device `v` during [begin, end].
+/// In an undirected temporal graph the contact can carry data both ways;
+/// in a directed one only u -> v. Zero-duration contacts (begin == end)
+/// are legal and model instantaneous meetings (e.g. the continuous-time
+/// random model of Section 3.1.2 of the paper).
+struct Contact {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double begin = 0.0;
+  double end = 0.0;
+
+  double duration() const noexcept { return end - begin; }
+
+  friend bool operator==(const Contact&, const Contact&) = default;
+};
+
+/// True iff the contact has valid endpoints (u != v, both assigned) and a
+/// non-negative duration.
+bool is_valid_contact(const Contact& c) noexcept;
+
+/// Orders contacts by (begin, end, u, v); the canonical trace order.
+bool contact_less(const Contact& a, const Contact& b) noexcept;
+
+/// Sorts contacts into canonical order and merges overlapping or touching
+/// contacts of the same (unordered) node pair into single contacts.
+/// Used by trace generators and scan-granularity quantization.
+std::vector<Contact> merge_overlapping_contacts(std::vector<Contact> contacts);
+
+}  // namespace odtn

@@ -1,0 +1,96 @@
+#include "core/delivery_function.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// First index whose ld is >= the given value.
+std::size_t lower_bound_ld(const std::vector<PathPair>& pairs, double ld) {
+  return static_cast<std::size_t>(
+      std::lower_bound(pairs.begin(), pairs.end(), ld,
+                       [](const PathPair& p, double x) { return p.ld < x; }) -
+      pairs.begin());
+}
+
+}  // namespace
+
+bool DeliveryFunction::is_dominated(const PathPair& p) const noexcept {
+  // A dominating pair has ld >= p.ld and ea <= p.ea. Among pairs with
+  // ld >= p.ld the first one has the smallest ea (ea increases with ld),
+  // so it is the only candidate to check.
+  const std::size_t i = lower_bound_ld(pairs_, p.ld);
+  return i < pairs_.size() && pairs_[i].ea <= p.ea;
+}
+
+bool DeliveryFunction::insert(PathPair p) {
+  assert(!std::isnan(p.ld) && !std::isnan(p.ea));
+  const std::size_t pos = lower_bound_ld(pairs_, p.ld);
+  if (pos < pairs_.size() && pairs_[pos].ea <= p.ea) return false;
+  // Remove pairs dominated by p: they have ld <= p.ld and ea >= p.ea.
+  // Those are a suffix of [0, pos) (ea increases along the list), plus
+  // possibly the pair at pos itself when it shares p's ld (its ea is
+  // necessarily larger, otherwise p would have been dominated above).
+  std::size_t last_removed = pos;
+  if (last_removed < pairs_.size() && pairs_[last_removed].ld == p.ld)
+    ++last_removed;
+  std::size_t first_removed = pos;
+  while (first_removed > 0 && pairs_[first_removed - 1].ea >= p.ea)
+    --first_removed;
+  if (first_removed < last_removed) {
+    pairs_[first_removed] = p;
+    pairs_.erase(
+        pairs_.begin() + static_cast<std::ptrdiff_t>(first_removed) + 1,
+        pairs_.begin() + static_cast<std::ptrdiff_t>(last_removed));
+  } else {
+    pairs_.insert(pairs_.begin() + static_cast<std::ptrdiff_t>(pos), p);
+  }
+  return true;
+}
+
+double DeliveryFunction::deliver_at(double t) const noexcept {
+  // del(t) = max(t, ea_i) for the first pair with ld_i >= t: its ea is
+  // minimal among all usable pairs.
+  const std::size_t i = lower_bound_ld(pairs_, t);
+  if (i == pairs_.size()) return kInf;
+  return std::max(t, pairs_[i].ea);
+}
+
+double DeliveryFunction::delay(double t) const noexcept {
+  const double d = deliver_at(t);
+  return d == kInf ? kInf : d - t;
+}
+
+double DeliveryFunction::last_departure() const noexcept {
+  return pairs_.empty() ? -kInf : pairs_.back().ld;
+}
+
+void DeliveryFunction::accumulate_delay_measure(MeasureCdfAccumulator& acc,
+                                                double t_lo,
+                                                double t_hi) const {
+  assert(t_lo <= t_hi);
+  // Start times in (ld_{i-1}, ld_i] are served by pair i: arrival
+  // max(t, ea_i). Clip each segment to [t_lo, t_hi]; start times past the
+  // last departure have no path and contribute nothing to the numerator.
+  double prev_ld = -kInf;
+  for (const PathPair& p : pairs_) {
+    const double a = std::max(prev_ld, t_lo);
+    const double b = std::min(p.ld, t_hi);
+    if (a < b) acc.add_segment(a, b, p.ea);
+    prev_ld = p.ld;
+    if (prev_ld >= t_hi) break;
+  }
+}
+
+double deliver_at_bruteforce(const std::vector<PathPair>& pairs, double t) {
+  double best = kInf;
+  for (const PathPair& p : pairs) best = std::min(best, deliver_at(p, t));
+  return best;
+}
+
+}  // namespace odtn

@@ -1,0 +1,74 @@
+// DeliveryFunction: the concise representation of ALL delay-optimal paths
+// between one (source, destination) pair (paper §4.3-4.4, Figure 5).
+//
+// The function del(t) = min{ max(t, EA_k) : t <= LD_k } is fully described
+// by the subset of (LD, EA) pairs satisfying the paper's condition (4):
+// with pairs sorted by increasing LD, keep the k-th pair iff
+// EA_k = min{ EA_l : l >= k }. The surviving list is a Pareto frontier:
+// both LD and EA strictly increase along it, and each surviving pair is
+// exactly one delay-optimal path (one discontinuity of del).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/path_pair.hpp"
+#include "stats/measure_cdf.hpp"
+
+namespace odtn {
+
+/// Pareto frontier of (LD, EA) pairs for one source-destination pair.
+///
+/// Invariant: pairs are sorted with strictly increasing ld AND strictly
+/// increasing ea (later departure always costs later arrival).
+class DeliveryFunction {
+ public:
+  DeliveryFunction() = default;
+
+  /// Inserts a candidate pair, keeping the frontier minimal.
+  /// Returns true iff the candidate was kept (it was not dominated);
+  /// pairs the candidate dominates are removed. Amortized O(log F) plus
+  /// the number of removed pairs.
+  bool insert(PathPair p);
+
+  /// True iff inserting `p` would be a no-op (an existing pair departs no
+  /// earlier... i.e. some kept pair dominates `p`).
+  bool is_dominated(const PathPair& p) const noexcept;
+
+  /// Optimal delivery time del(t) for a message created at `t`;
+  /// +infinity when no path departs at or after `t`.
+  double deliver_at(double t) const noexcept;
+
+  /// Optimal delay del(t) - t (0 when the pair is contemporaneously
+  /// connected at t; +infinity when unreachable).
+  double delay(double t) const noexcept;
+
+  /// Number of delay-optimal paths (frontier size).
+  std::size_t size() const noexcept { return pairs_.size(); }
+  bool empty() const noexcept { return pairs_.empty(); }
+
+  const std::vector<PathPair>& pairs() const noexcept { return pairs_; }
+
+  /// Integrates this function's delay distribution for start times
+  /// uniform on [t_lo, t_hi] into `acc` (numerator only; the caller adds
+  /// the (t_hi - t_lo) observation measure). Exact, no sampling.
+  void accumulate_delay_measure(MeasureCdfAccumulator& acc, double t_lo,
+                                double t_hi) const;
+
+  /// Latest useful departure time (+infinity never occurs; -infinity when
+  /// empty).
+  double last_departure() const noexcept;
+
+  friend bool operator==(const DeliveryFunction&,
+                         const DeliveryFunction&) = default;
+
+ private:
+  std::vector<PathPair> pairs_;
+};
+
+/// Reference implementation of del(t) straight from Eq. (3), evaluated
+/// over an arbitrary (unpruned) pair list. Used by tests to validate the
+/// pruned representation.
+double deliver_at_bruteforce(const std::vector<PathPair>& pairs, double t);
+
+}  // namespace odtn

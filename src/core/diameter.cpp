@@ -1,0 +1,191 @@
+#include "core/diameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/measure_cdf.hpp"
+
+namespace odtn {
+namespace {
+
+using Windows = std::vector<std::pair<double, double>>;
+
+Windows resolve_windows(const TemporalGraph& graph,
+                        const DelayCdfOptions& options) {
+  if (!options.windows.empty()) {
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const auto& [lo, hi] : options.windows) {
+      if (!(lo <= hi) || lo < prev)
+        throw std::invalid_argument(
+            "compute_delay_cdf: windows must be disjoint and increasing");
+      prev = hi;
+    }
+    return options.windows;
+  }
+  double lo = options.t_lo, hi = options.t_hi;
+  if (std::isnan(lo)) lo = graph.start_time();
+  if (std::isnan(hi)) hi = graph.end_time();
+  if (!(lo <= hi))
+    throw std::invalid_argument("compute_delay_cdf: empty start-time window");
+  return {{lo, hi}};
+}
+
+double total_measure(const Windows& windows) {
+  double total = 0.0;
+  for (const auto& [lo, hi] : windows) total += hi - lo;
+  return total;
+}
+
+/// Per-thread partial result: one accumulator per hop budget + unbounded.
+struct Partial {
+  std::vector<MeasureCdfAccumulator> by_hops;
+  MeasureCdfAccumulator unbounded;
+  int fixpoint_hops = 0;
+
+  Partial(const std::vector<double>& grid, int max_hops)
+      : unbounded(grid) {
+    by_hops.reserve(max_hops);
+    for (int k = 0; k < max_hops; ++k) by_hops.emplace_back(grid);
+  }
+};
+
+void process_source(const TemporalGraph& graph, NodeId src,
+                    const std::vector<NodeId>& endpoints, const Windows& w,
+                    int max_hops, int max_levels, Partial& out) {
+  SingleSourceEngine engine(graph, src);
+  const double window_measure = total_measure(w);
+  auto accumulate = [&](MeasureCdfAccumulator& acc, NodeId dst) {
+    for (const auto& [lo, hi] : w)
+      engine.frontier(dst).accumulate_delay_measure(acc, lo, hi);
+    acc.add_observation_measure(window_measure);
+  };
+  for (int k = 1; k <= max_hops; ++k) {
+    engine.step();  // no-op once at fixpoint; frontiers stay L_inf
+    for (NodeId dst : endpoints) {
+      if (dst == src) continue;
+      accumulate(out.by_hops[k - 1], dst);
+    }
+  }
+  const int fixpoint = engine.run_to_fixpoint(max_levels);
+  out.fixpoint_hops = std::max(out.fixpoint_hops, fixpoint);
+  for (NodeId dst : endpoints) {
+    if (dst == src) continue;
+    accumulate(out.unbounded, dst);
+  }
+}
+
+}  // namespace
+
+int DelayCdfResult::diameter(double eps) const {
+  for (std::size_t k = 0; k < cdf_by_hops.size(); ++k) {
+    bool ok = true;
+    for (std::size_t j = 0; j < grid.size(); ++j) {
+      if (cdf_by_hops[k][j] < (1.0 - eps) * cdf_unbounded[j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return static_cast<int>(k) + 1;
+  }
+  // Hop budgets above max_hops were not evaluated separately, but the
+  // fixpoint level always satisfies the criterion.
+  return fixpoint_hops;
+}
+
+int DelayCdfResult::diameter_absolute(double tol) const {
+  for (std::size_t k = 0; k < cdf_by_hops.size(); ++k) {
+    bool ok = true;
+    for (std::size_t j = 0; j < grid.size(); ++j) {
+      if (cdf_unbounded[j] - cdf_by_hops[k][j] > tol) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return static_cast<int>(k) + 1;
+  }
+  return fixpoint_hops;
+}
+
+std::vector<int> DelayCdfResult::diameter_per_delay(double eps) const {
+  std::vector<int> out(grid.size(), 0);
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    if (cdf_unbounded[j] <= 0.0) continue;  // nothing to achieve
+    int k = fixpoint_hops;
+    for (std::size_t i = 0; i < cdf_by_hops.size(); ++i) {
+      if (cdf_by_hops[i][j] >= (1.0 - eps) * cdf_unbounded[j]) {
+        k = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+    out[j] = k;
+  }
+  return out;
+}
+
+DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
+                                 const DelayCdfOptions& options) {
+  if (options.grid.empty())
+    throw std::invalid_argument("compute_delay_cdf: empty grid");
+  if (options.max_hops < 1)
+    throw std::invalid_argument("compute_delay_cdf: max_hops must be >= 1");
+  const Windows w = resolve_windows(graph, options);
+
+  std::vector<NodeId> endpoints = options.endpoints;
+  if (endpoints.empty()) {
+    endpoints.resize(graph.num_nodes());
+    for (std::size_t i = 0; i < endpoints.size(); ++i)
+      endpoints[i] = static_cast<NodeId>(i);
+  }
+  for (NodeId n : endpoints) {
+    if (n >= graph.num_nodes())
+      throw std::invalid_argument("compute_delay_cdf: endpoint out of range");
+  }
+
+  unsigned threads = options.num_threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(endpoints.size()));
+  if (threads == 0) threads = 1;
+
+  std::vector<Partial> partials;
+  partials.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t)
+    partials.emplace_back(options.grid, options.max_hops);
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t i = t; i < endpoints.size(); i += threads) {
+          process_source(graph, endpoints[i], endpoints, w, options.max_hops,
+                         options.max_levels, partials[t]);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  Partial total = std::move(partials.front());
+  for (unsigned t = 1; t < threads; ++t) {
+    for (int k = 0; k < options.max_hops; ++k)
+      total.by_hops[k].merge(partials[t].by_hops[k]);
+    total.unbounded.merge(partials[t].unbounded);
+    total.fixpoint_hops = std::max(total.fixpoint_hops,
+                                   partials[t].fixpoint_hops);
+  }
+
+  DelayCdfResult result;
+  result.grid = options.grid;
+  result.cdf_by_hops.reserve(options.max_hops);
+  for (int k = 0; k < options.max_hops; ++k)
+    result.cdf_by_hops.push_back(total.by_hops[k].cdf());
+  result.cdf_unbounded = total.unbounded.cdf();
+  result.fixpoint_hops = total.fixpoint_hops;
+  result.denominator = total.unbounded.denominator();
+  return result;
+}
+
+}  // namespace odtn

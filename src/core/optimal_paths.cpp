@@ -1,0 +1,107 @@
+#include "core/optimal_paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace odtn {
+
+bool extend_frontier(const DeliveryFunction& from, double begin, double end,
+                     DeliveryFunction& into) {
+  const auto& pairs = from.pairs();
+  if (pairs.empty()) return false;
+  bool changed = false;
+
+  // Pairs with ea <= begin all extend to (min(ld, end), begin); the one
+  // with the largest ld dominates the rest. Pairs are sorted by
+  // increasing ea, so that is the last pair before `first_late`.
+  const auto first_late = static_cast<std::size_t>(
+      std::upper_bound(pairs.begin(), pairs.end(), begin,
+                       [](double x, const PathPair& p) { return x < p.ea; }) -
+      pairs.begin());
+  if (first_late > 0) {
+    const PathPair& p = pairs[first_late - 1];
+    changed |= into.insert({std::min(p.ld, end), begin});
+  }
+  // Pairs with begin < ea <= end extend to (min(ld, end), ea). Once a
+  // pair has ld >= end, later pairs (larger ld AND larger ea) only yield
+  // dominated (end, larger-ea) candidates.
+  for (std::size_t i = first_late; i < pairs.size() && pairs[i].ea <= end;
+       ++i) {
+    const PathPair& p = pairs[i];
+    changed |= into.insert({std::min(p.ld, end), p.ea});
+    if (p.ld >= end) break;
+  }
+  return changed;
+}
+
+SingleSourceEngine::SingleSourceEngine(const TemporalGraph& graph,
+                                       NodeId source)
+    : graph_(&graph), source_(source), frontiers_(graph.num_nodes()) {
+  if (source >= graph.num_nodes())
+    throw std::out_of_range("SingleSourceEngine: source out of range");
+  // The empty sequence: the message is at the source at all times.
+  frontiers_[source_].insert({std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()});
+}
+
+bool SingleSourceEngine::step() {
+  if (fixpoint_) return false;
+  scratch_ = frontiers_;  // L_k snapshot to extend from
+  bool changed = false;
+  for (const Contact& c : graph_->contacts()) {
+    changed |= extend_frontier(scratch_[c.u], c.begin, c.end, frontiers_[c.v]);
+    if (!graph_->directed())
+      changed |=
+          extend_frontier(scratch_[c.v], c.begin, c.end, frontiers_[c.u]);
+  }
+  ++level_;
+  if (!changed) {
+    fixpoint_ = true;
+    --level_;  // the budget did not actually grow anything new
+    return false;
+  }
+  return true;
+}
+
+int SingleSourceEngine::run_to_fixpoint(int max_levels) {
+  while (!fixpoint_ && level_ < max_levels) step();
+  return fixpoint_ ? level_ : max_levels + 1;
+}
+
+std::size_t SingleSourceEngine::total_pairs() const noexcept {
+  std::size_t total = 0;
+  for (const auto& f : frontiers_) total += f.size();
+  return total;
+}
+
+std::vector<std::vector<DeliveryFunction>> compute_hop_profiles(
+    const TemporalGraph& graph, NodeId source, const std::vector<int>& budgets,
+    int max_levels) {
+  for (int b : budgets) {
+    if (b < 1) throw std::invalid_argument("hop budget must be >= 1");
+  }
+  std::vector<std::vector<DeliveryFunction>> out(budgets.size());
+  SingleSourceEngine engine(graph, source);
+  int level = 0;
+  auto capture_if_requested = [&] {
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+      if (budgets[i] == level) out[i] = engine.frontiers();
+    }
+  };
+  while (level < max_levels) {
+    if (!engine.step()) break;
+    ++level;
+    capture_if_requested();
+  }
+  // Budgets at or beyond the fixpoint level (including kUnboundedHops)
+  // all equal the final frontiers.
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    if (budgets[i] > level || budgets[i] == kUnboundedHops) {
+      if (out[i].empty()) out[i] = engine.frontiers();
+    }
+  }
+  return out;
+}
+
+}  // namespace odtn

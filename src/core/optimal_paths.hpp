@@ -1,0 +1,99 @@
+// Exhaustive computation of delay-optimal paths (paper §4.4).
+//
+// For a fixed source s, the engine computes for every destination d and
+// every hop budget k the delivery function L_k(s, d) describing ALL
+// delay-optimal paths from s to d that use at most k contacts, by a
+// monotone dynamic program over hop levels:
+//
+//   L_0(s, s) = { identity (LD = +inf, EA = -inf) },    L_0(s, d) = {}
+//   L_{k+1}(s, d) = prune( L_k(s, d)
+//        union { (min(LD, end), max(EA, begin)) :
+//                (LD, EA) in L_k(s, w), contact (w, d, [begin, end]),
+//                EA <= end } )
+//
+// Extending only frontier (non-dominated) prefixes is lossless because the
+// extension map is monotone with respect to dominance. The fixpoint of the
+// iteration is L_infinity, and the level at which it is reached upper-
+// bounds the number of hops any delay-optimal path ever needs.
+//
+// Per contact and per source, the extension step touches
+// O(log F + #useful pairs) frontier entries thanks to the double-monotone
+// (LD and EA both increasing) frontier order -- this is what makes traces
+// with hundreds of thousands of contacts tractable (§4.4).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/delivery_function.hpp"
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// Hop budget value meaning "unbounded" (compute the fixpoint).
+inline constexpr int kUnboundedHops = std::numeric_limits<int>::max();
+
+/// Extends every usable pair of `from` through one contact edge
+/// [begin, end] and inserts the (pruned set of) results into `into`.
+/// Returns true iff `into` changed. Exposed for tests and for building
+/// custom propagation schemes.
+bool extend_frontier(const DeliveryFunction& from, double begin, double end,
+                     DeliveryFunction& into);
+
+/// Hop-level dynamic program from one source.
+///
+/// After construction the engine is at hop budget 0 (only the source's
+/// identity frontier). Each step() raises the budget by one; frontiers()
+/// then describe all delay-optimal paths with at most hops() contacts.
+class SingleSourceEngine {
+ public:
+  SingleSourceEngine(const TemporalGraph& graph, NodeId source);
+
+  /// Advances the hop budget by one. Returns false (and does nothing)
+  /// once the fixpoint has been reached.
+  bool step();
+
+  /// Runs step() until the fixpoint or `max_levels` levels, whichever
+  /// comes first. Returns the hop budget at which the frontiers stopped
+  /// changing (i.e. L_k == L_infinity), or max_levels+1 if not converged.
+  int run_to_fixpoint(int max_levels = 64);
+
+  /// Current hop budget.
+  int hops() const noexcept { return level_; }
+
+  /// True iff the last step produced no change (frontiers == L_infinity).
+  bool at_fixpoint() const noexcept { return fixpoint_; }
+
+  /// Frontier (delivery function) for `dst` at the current hop budget.
+  const DeliveryFunction& frontier(NodeId dst) const {
+    return frontiers_.at(dst);
+  }
+
+  const std::vector<DeliveryFunction>& frontiers() const noexcept {
+    return frontiers_;
+  }
+
+  NodeId source() const noexcept { return source_; }
+
+  /// Total number of stored Pareto pairs across destinations (a measure
+  /// of the representation size; used by the ablation bench).
+  std::size_t total_pairs() const noexcept;
+
+ private:
+  const TemporalGraph* graph_;
+  NodeId source_;
+  int level_ = 0;
+  bool fixpoint_ = false;
+  std::vector<DeliveryFunction> frontiers_;
+  std::vector<DeliveryFunction> scratch_;
+};
+
+/// Convenience: frontiers from `source` at each requested hop budget.
+/// `budgets` entries are >= 1 or kUnboundedHops; the result has one
+/// vector of num_nodes delivery functions per requested budget, in the
+/// same order.
+std::vector<std::vector<DeliveryFunction>> compute_hop_profiles(
+    const TemporalGraph& graph, NodeId source, const std::vector<int>& budgets,
+    int max_levels = 64);
+
+}  // namespace odtn

@@ -1,0 +1,40 @@
+// Explicit enumeration of delay-optimal routes.
+//
+// The Pareto frontier (core/delivery_function.hpp) says WHEN every
+// delay-optimal path departs and arrives; this module materializes one
+// explicit contact sequence realizing each frontier pair, so routes can
+// be inspected, replayed, or fed to a protocol simulator. Used by the
+// trace-analysis example, the CLI `route` command, and Figure 8.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/path_pair.hpp"
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// One delay-optimal route: the (LD, EA) summary plus an explicit
+/// time-respecting contact sequence (indices into graph.contacts())
+/// realizing it with the minimum number of hops.
+struct OptimalRoute {
+  PathPair pair;
+  std::vector<std::size_t> contact_indices;
+
+  int hops() const noexcept {
+    return static_cast<int>(contact_indices.size());
+  }
+};
+
+/// Enumerates one explicit route per delay-optimal path from `source`
+/// to `destination` (one per Pareto pair of the unbounded-hops delivery
+/// function), ordered by increasing departure time. Each route uses the
+/// minimum hop count achieving its pair's arrival. Empty when the
+/// destination is never reachable.
+std::vector<OptimalRoute> enumerate_optimal_routes(const TemporalGraph& graph,
+                                                   NodeId source,
+                                                   NodeId destination,
+                                                   int max_hops = 64);
+
+}  // namespace odtn

@@ -1,0 +1,34 @@
+#include "core/path_pair.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odtn {
+
+double deliver_at(const PathPair& p, double t) noexcept {
+  if (t > p.ld) return std::numeric_limits<double>::infinity();
+  return std::max(t, p.ea);
+}
+
+bool is_time_respecting(std::span<const Contact> sequence) noexcept {
+  double max_begin = -std::numeric_limits<double>::infinity();
+  for (const Contact& c : sequence) {
+    if (c.end < max_begin) return false;  // Eq. (2) violated
+    max_begin = std::max(max_begin, c.begin);
+  }
+  return true;
+}
+
+PathPair summarize_sequence(std::span<const Contact> sequence) noexcept {
+  assert(!sequence.empty());
+  assert(is_time_respecting(sequence));
+  PathPair p{std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity()};
+  for (const Contact& c : sequence) {
+    p.ld = std::min(p.ld, c.end);
+    p.ea = std::max(p.ea, c.begin);
+  }
+  return p;
+}
+
+}  // namespace odtn

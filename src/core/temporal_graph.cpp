@@ -1,0 +1,94 @@
+#include "core/temporal_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace odtn {
+
+TemporalGraph::TemporalGraph(std::size_t num_nodes,
+                             std::vector<Contact> contacts, bool directed)
+    : num_nodes_(num_nodes),
+      directed_(directed),
+      contacts_(std::move(contacts)) {
+  for (const Contact& c : contacts_) {
+    if (!is_valid_contact(c))
+      throw std::invalid_argument("TemporalGraph: malformed contact");
+    if (c.u >= num_nodes_ || c.v >= num_nodes_)
+      throw std::invalid_argument("TemporalGraph: contact node out of range");
+  }
+  std::sort(contacts_.begin(), contacts_.end(), contact_less);
+
+  if (!contacts_.empty()) {
+    start_ = contacts_.front().begin;
+    end_ = 0.0;
+    for (const Contact& c : contacts_) end_ = std::max(end_, c.end);
+  }
+
+  // Build the per-node contact index (counting sort by node).
+  node_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Contact& c : contacts_) {
+    ++node_offsets_[c.u + 1];
+    ++node_offsets_[c.v + 1];
+  }
+  for (std::size_t i = 1; i < node_offsets_.size(); ++i)
+    node_offsets_[i] += node_offsets_[i - 1];
+  node_contacts_.resize(2 * contacts_.size());
+  std::vector<std::uint32_t> cursor(node_offsets_.begin(),
+                                    node_offsets_.end() - 1);
+  for (std::uint32_t idx = 0; idx < contacts_.size(); ++idx) {
+    node_contacts_[cursor[contacts_[idx].u]++] = idx;
+    node_contacts_[cursor[contacts_[idx].v]++] = idx;
+  }
+}
+
+double TemporalGraph::contact_rate(double unit) const noexcept {
+  if (num_nodes_ == 0 || duration() <= 0.0) return 0.0;
+  // Each contact is logged by both endpoints (undirected) or by the
+  // observer only (directed).
+  const double logs = static_cast<double>(contacts_.size()) *
+                      (directed_ ? 1.0 : 2.0);
+  return logs / static_cast<double>(num_nodes_) / (duration() / unit);
+}
+
+std::span<const std::uint32_t> TemporalGraph::contacts_of(NodeId node) const {
+  if (node >= num_nodes_)
+    throw std::out_of_range("TemporalGraph::contacts_of: bad node");
+  return {node_contacts_.data() + node_offsets_[node],
+          node_contacts_.data() + node_offsets_[node + 1]};
+}
+
+std::vector<double> TemporalGraph::contact_durations() const {
+  std::vector<double> out;
+  out.reserve(contacts_.size());
+  for (const Contact& c : contacts_) out.push_back(c.duration());
+  return out;
+}
+
+double TemporalGraph::next_contact_time(NodeId node, double t) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t idx : contacts_of(node)) {
+    const Contact& c = contacts_[idx];
+    if (directed_ && c.u != node) continue;  // only outgoing visibility
+    if (c.end < t) continue;
+    best = std::min(best, std::max(c.begin, t));
+    if (best == t) break;  // cannot do better than "in contact now"
+  }
+  return best;
+}
+
+std::size_t TemporalGraph::num_connected_pairs() const {
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const Contact& c : contacts_) {
+    if (directed_) {
+      pairs.emplace(c.u, c.v);
+    } else {
+      pairs.emplace(std::min(c.u, c.v), std::max(c.u, c.v));
+    }
+  }
+  return pairs.size();
+}
+
+}  // namespace odtn

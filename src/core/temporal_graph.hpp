@@ -1,0 +1,72 @@
+// TemporalGraph: an opportunistic mobile network as a multigraph whose
+// edges (contacts) are labeled with time intervals (paper Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/contact.hpp"
+
+namespace odtn {
+
+/// Immutable temporal network over a fixed node set.
+///
+/// Contacts are stored sorted by (begin, end, u, v). An undirected graph
+/// (the default; scanning traces record symmetric radio contacts) lets
+/// every contact carry data both ways; a directed graph restricts each
+/// contact to u -> v.
+class TemporalGraph {
+ public:
+  /// Builds a graph with `num_nodes` nodes. Contacts are validated
+  /// (throws std::invalid_argument on malformed or out-of-range contacts)
+  /// and sorted into canonical order.
+  TemporalGraph(std::size_t num_nodes, std::vector<Contact> contacts,
+                bool directed = false);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  bool directed() const noexcept { return directed_; }
+  const std::vector<Contact>& contacts() const noexcept { return contacts_; }
+  std::size_t num_contacts() const noexcept { return contacts_.size(); }
+
+  /// Earliest contact begin (0 when the trace is empty).
+  double start_time() const noexcept { return start_; }
+  /// Latest contact end (0 when the trace is empty).
+  double end_time() const noexcept { return end_; }
+  double duration() const noexcept { return end_ - start_; }
+
+  /// Average number of contacts per node per `unit` seconds (each
+  /// undirected contact counts once for each endpoint, matching the
+  /// per-device logging of the paper's Table 1).
+  double contact_rate(double unit) const noexcept;
+
+  /// Indices (into contacts()) of the contacts involving `node`, in time
+  /// order.
+  std::span<const std::uint32_t> contacts_of(NodeId node) const;
+
+  /// Durations of all contacts, in contact order.
+  std::vector<double> contact_durations() const;
+
+  /// The next instant at or after `t` at which `node` is in contact with
+  /// any other device (the y-value of the paper's Figure 6):
+  /// t itself when a contact covering t exists, the next contact begin
+  /// otherwise, +infinity if the node is never in contact again.
+  double next_contact_time(NodeId node, double t) const;
+
+  /// Number of distinct unordered (or ordered, if directed) node pairs
+  /// with at least one contact.
+  std::size_t num_connected_pairs() const;
+
+ private:
+  std::size_t num_nodes_;
+  bool directed_;
+  std::vector<Contact> contacts_;
+  double start_ = 0.0;
+  double end_ = 0.0;
+  // CSR-style per-node index into contacts_.
+  std::vector<std::uint32_t> node_offsets_;
+  std::vector<std::uint32_t> node_contacts_;
+};
+
+}  // namespace odtn

@@ -1,0 +1,161 @@
+#include "random/contact_process.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "random/random_temporal_network.hpp"
+#include "util/samplers.hpp"
+
+namespace odtn {
+namespace {
+
+/// Balanced-means two-phase hyperexponential matching mean 1 and the
+/// requested CV: phase probability p, rates 2p and 2(1-p).
+double hyper_phase_probability(double cv) {
+  assert(cv > 1.0);
+  const double c2 = cv * cv;
+  return 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+}
+
+/// Raw moment E[X^k] of Pareto(alpha) truncated to [lo, hi].
+double bounded_pareto_moment(double lo, double hi, double alpha, int k) {
+  double a = alpha;
+  // Nudge away from the removable singularities at alpha == k.
+  if (std::abs(a - static_cast<double>(k)) < 1e-9) a += 1e-7;
+  const double norm = 1.0 - std::pow(lo / hi, a);
+  const double factor = a / (a - static_cast<double>(k));
+  return std::pow(lo, a) / norm * factor *
+         (std::pow(lo, static_cast<double>(k) - a) -
+          std::pow(hi, static_cast<double>(k) - a));
+}
+
+/// Lower cutoff such that BoundedPareto(lo, cap_factor * mean, alpha)
+/// has the requested mean. The mean is increasing in lo, so bisect.
+double bounded_pareto_lower_cutoff(double mean, double alpha,
+                                   double cap_factor) {
+  const double hi = mean * cap_factor;
+  double lo_min = mean * 1e-9, lo_max = mean;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo_min + lo_max);
+    if (bounded_pareto_moment(mid, hi, alpha, 1) < mean) {
+      lo_min = mid;
+    } else {
+      lo_max = mid;
+    }
+  }
+  return 0.5 * (lo_min + lo_max);
+}
+
+}  // namespace
+
+const char* inter_contact_law_name(InterContactLaw law) noexcept {
+  switch (law) {
+    case InterContactLaw::kExponential: return "exponential";
+    case InterContactLaw::kDeterministic: return "deterministic";
+    case InterContactLaw::kUniform: return "uniform";
+    case InterContactLaw::kHyperExponential: return "hyper-exponential";
+    case InterContactLaw::kBoundedPareto: return "bounded-pareto";
+  }
+  return "unknown";
+}
+
+double sample_inter_contact(Rng& rng, const RenewalConfig& config,
+                            double mean) {
+  if (!(mean > 0.0))
+    throw std::invalid_argument("sample_inter_contact: mean must be > 0");
+  switch (config.law) {
+    case InterContactLaw::kExponential:
+      return sample_exponential(rng, 1.0 / mean);
+    case InterContactLaw::kDeterministic:
+      return mean;
+    case InterContactLaw::kUniform:
+      return rng.uniform(0.0, 2.0 * mean);
+    case InterContactLaw::kHyperExponential: {
+      const double p = hyper_phase_probability(config.hyper_cv);
+      const double rate =
+          rng.bernoulli(p) ? 2.0 * p / mean : 2.0 * (1.0 - p) / mean;
+      return sample_exponential(rng, rate);
+    }
+    case InterContactLaw::kBoundedPareto: {
+      const double hi = mean * config.pareto_cap_factor;
+      const double lo = bounded_pareto_lower_cutoff(mean, config.pareto_alpha,
+                                                    config.pareto_cap_factor);
+      return sample_bounded_pareto(rng, lo, hi, config.pareto_alpha);
+    }
+  }
+  throw std::invalid_argument("sample_inter_contact: unknown law");
+}
+
+double inter_contact_cv(const RenewalConfig& config) {
+  switch (config.law) {
+    case InterContactLaw::kExponential:
+      return 1.0;
+    case InterContactLaw::kDeterministic:
+      return 0.0;
+    case InterContactLaw::kUniform:
+      return 1.0 / std::sqrt(3.0);
+    case InterContactLaw::kHyperExponential:
+      return config.hyper_cv;
+    case InterContactLaw::kBoundedPareto: {
+      // Scale-free: compute with mean 1.
+      const double lo = bounded_pareto_lower_cutoff(1.0, config.pareto_alpha,
+                                                    config.pareto_cap_factor);
+      const double hi = config.pareto_cap_factor;
+      const double m2 = bounded_pareto_moment(lo, hi, config.pareto_alpha, 2);
+      const double m1 = bounded_pareto_moment(lo, hi, config.pareto_alpha, 1);
+      return std::sqrt(std::max(0.0, m2 - m1 * m1)) / m1;
+    }
+  }
+  throw std::invalid_argument("inter_contact_cv: unknown law");
+}
+
+TemporalGraph make_contact_process_graph(std::size_t n, double lambda,
+                                         double duration,
+                                         const ContactProcessOptions& options,
+                                         Rng& rng) {
+  if (n < 2)
+    throw std::invalid_argument("make_contact_process_graph: need >= 2 nodes");
+  if (!(lambda > 0.0) || duration < 0.0)
+    throw std::invalid_argument("make_contact_process_graph: bad parameters");
+
+  std::vector<double> weight(n, 1.0);
+  if (options.node_weight_sigma > 0.0) {
+    const double sigma = options.node_weight_sigma;
+    for (double& w : weight)
+      w = sample_lognormal(rng, -0.5 * sigma * sigma, sigma);
+  }
+
+  const double profile_ceiling =
+      options.profile != nullptr ? options.profile->max_value() : 1.0;
+
+  std::vector<Contact> contacts;
+  for (std::size_t idx = 0; idx < num_pairs(n); ++idx) {
+    const auto [u, v] = decode_pair(idx, n);
+    const double rate =
+        lambda / static_cast<double>(n) * weight[u] * weight[v];
+    if (!(rate > 0.0)) continue;
+    const double mean = 1.0 / rate;
+    // Warm up so pairs are desynchronized (approximate stationarity for
+    // non-exponential laws; exact for exponential by memorylessness).
+    // The uniformly-random fraction of the first gap is essential for
+    // low-variance laws: with deterministic gaps a whole-gap warmup
+    // would leave every pair phase-locked.
+    double t = -options.warmup_means * mean;
+    t += rng.next_double() * sample_inter_contact(rng, options.renewal, mean);
+    while (t <= duration) {
+      if (t >= 0.0) {
+        const bool keep =
+            options.profile == nullptr ||
+            rng.next_double() * profile_ceiling <=
+                options.profile->value_at(t);
+        if (keep) contacts.push_back({u, v, t, t});
+      }
+      t += sample_inter_contact(rng, options.renewal, mean);
+    }
+  }
+  return TemporalGraph(n, std::move(contacts));
+}
+
+}  // namespace odtn

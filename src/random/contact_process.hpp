@@ -1,0 +1,79 @@
+// Generalized pairwise contact processes (paper §3.4).
+//
+// The base model of §3.1 assumes Bernoulli/Poisson contacts: light-tailed
+// exponential inter-contact times, homogeneous rates, stationarity. §3.4
+// discusses three relaxations and predicts their effect:
+//  * renewal processes with general finite-variance inter-contact laws
+//    ("major impact on the delay of a path, but a relatively small impact
+//    on hop-number"),
+//  * heterogeneity (people meet according to habits/communities),
+//  * non-stationarity (diurnal cycles).
+// This module builds random temporal networks under all three
+// relaxations; bench_ext_robustness quantifies the predictions.
+#pragma once
+
+#include <cstddef>
+
+#include "core/temporal_graph.hpp"
+#include "trace/mobility_model.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Inter-contact law of a pair's renewal process. All laws are
+/// parameterized to a common mean, so comparisons isolate the SHAPE of
+/// the distribution (variance / tail) from the contact rate.
+enum class InterContactLaw {
+  kExponential,      ///< the paper's base model (CV = 1)
+  kDeterministic,    ///< periodic contacts (CV = 0, e.g. bus schedules [8])
+  kUniform,          ///< mild variability (CV ~ 0.58)
+  kHyperExponential, ///< mixture of two exponentials, tunable CV > 1
+  kBoundedPareto,    ///< heavy tail up to a cap (finite variance)
+};
+
+/// Configuration of the renewal law.
+struct RenewalConfig {
+  InterContactLaw law = InterContactLaw::kExponential;
+  /// Desired coefficient of variation for kHyperExponential (must be
+  /// > 1) and tail exponent for kBoundedPareto (must be > 0; the cap is
+  /// mean * pareto_cap_factor).
+  double hyper_cv = 3.0;
+  double pareto_alpha = 1.5;
+  double pareto_cap_factor = 100.0;
+};
+
+/// Human-readable law name.
+const char* inter_contact_law_name(InterContactLaw law) noexcept;
+
+/// Samples one inter-contact gap with the given mean. Requires mean > 0.
+double sample_inter_contact(Rng& rng, const RenewalConfig& config,
+                            double mean);
+
+/// Exact coefficient of variation (stddev / mean) of the configured law.
+double inter_contact_cv(const RenewalConfig& config);
+
+/// Options for the generalized pairwise-process network.
+struct ContactProcessOptions {
+  RenewalConfig renewal;
+  /// Lognormal sigma of per-node activity weights; pair (i, j) gets rate
+  /// lambda/n * w_i * w_j with E[w] = 1. 0 = homogeneous (§3.1).
+  double node_weight_sigma = 0.0;
+  /// Optional diurnal/weekly modulation: contacts are thinned by
+  /// profile(t)/max(profile). Null profile = stationary.
+  const ActivityProfile* profile = nullptr;
+  /// Renewal warm-up, in multiples of the mean inter-contact time, so
+  /// the process is (approximately) stationary at t = 0 rather than
+  /// synchronized across pairs.
+  double warmup_means = 3.0;
+};
+
+/// Materializes the network over [0, duration]: every unordered pair
+/// runs an independent renewal process of instantaneous contacts with
+/// base rate lambda/n (so each node makes about lambda contacts per unit
+/// time before thinning). Requires n >= 2, lambda > 0, duration >= 0.
+TemporalGraph make_contact_process_graph(std::size_t n, double lambda,
+                                         double duration,
+                                         const ContactProcessOptions& options,
+                                         Rng& rng);
+
+}  // namespace odtn

@@ -1,0 +1,58 @@
+#include "random/phase_transition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/slot_flooding.hpp"
+
+namespace odtn {
+
+double estimate_path_probability(std::size_t n, double lambda, double tau,
+                                 double gamma, ContactCase mode,
+                                 std::size_t trials, Rng& rng) {
+  const double log_n = std::log(static_cast<double>(n));
+  const auto t_budget =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(tau * log_n)));
+  const auto k_budget = std::max<long>(
+      1, std::lround(gamma * static_cast<double>(t_budget)));
+
+  std::size_t successes = 0;
+  constexpr NodeId kSource = 0;
+  constexpr NodeId kDestination = 1;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    SlotFloodProcess process(n, lambda, mode, kSource, rng.split());
+    for (std::size_t s = 0; s < t_budget; ++s) {
+      process.step();
+      if (process.min_hops()[kDestination] <= k_budget) break;
+    }
+    if (process.min_hops()[kDestination] <= k_budget) ++successes;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+DelayOptimalStats measure_delay_optimal(std::size_t n, double lambda,
+                                        ContactCase mode, std::size_t trials,
+                                        std::size_t max_slots, Rng& rng) {
+  const double log_n = std::log(static_cast<double>(n));
+  DelayOptimalStats stats;
+  constexpr NodeId kSource = 0;
+  constexpr NodeId kDestination = 1;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    SlotFloodProcess process(n, lambda, mode, kSource, rng.split());
+    while (!process.reached(kDestination) && process.slots() < max_slots)
+      process.step();
+    if (!process.reached(kDestination)) {
+      ++stats.unreached;
+      continue;
+    }
+    // min_hops at the first slot of arrival is the hop-number of the
+    // delay-optimal path.
+    stats.delay_over_log_n.add(static_cast<double>(process.slots()) / log_n);
+    stats.hops_over_log_n.add(
+        static_cast<double>(process.min_hops()[kDestination]) / log_n);
+  }
+  return stats;
+}
+
+}  // namespace odtn

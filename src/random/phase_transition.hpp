@@ -1,0 +1,41 @@
+// Monte-Carlo experiments on random temporal networks (§3.2-3.3).
+//
+// These drivers validate the paper's analysis empirically:
+//  * estimate_path_probability: the probability that a path obeying the
+//    logarithmic constraints (delay <= tau*ln N, hops <= gamma*tau*ln N)
+//    exists -- exhibiting the phase transition of Corollary 1.
+//  * measure_delay_optimal: delay and hop-number of the delay-optimal
+//    path, normalized by ln N -- the quantities behind Figure 3.
+#pragma once
+
+#include <cstddef>
+
+#include "random/random_temporal_network.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Fraction of `trials` in which a path from a fixed source to a fixed
+/// destination exists within ceil(tau*ln n) slots and
+/// max(1, round(gamma * t)) hops.
+double estimate_path_probability(std::size_t n, double lambda, double tau,
+                                 double gamma, ContactCase mode,
+                                 std::size_t trials, Rng& rng);
+
+/// Statistics of the delay-optimal source->destination path.
+struct DelayOptimalStats {
+  SummaryStats delay_over_log_n;  ///< arrival slot / ln(n)
+  SummaryStats hops_over_log_n;   ///< hop count of the optimal path / ln(n)
+  std::size_t unreached = 0;      ///< trials that hit the slot cap
+};
+
+/// Floods until the destination is first reached (or `max_slots` slots)
+/// and records the arrival slot and the minimum hop count among paths
+/// arriving at that earliest slot -- the hop-number of the delay-optimal
+/// path.
+DelayOptimalStats measure_delay_optimal(std::size_t n, double lambda,
+                                        ContactCase mode, std::size_t trials,
+                                        std::size_t max_slots, Rng& rng);
+
+}  // namespace odtn

@@ -1,0 +1,87 @@
+#include "random/random_temporal_network.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/samplers.hpp"
+
+namespace odtn {
+
+std::pair<NodeId, NodeId> decode_pair(std::size_t index, std::size_t n) {
+  assert(index < num_pairs(n));
+  // Row u holds pairs (u, u+1..n-1); solve the triangular prefix sum.
+  const double nn = static_cast<double>(n);
+  const double disc = (2.0 * nn - 1.0) * (2.0 * nn - 1.0) -
+                      8.0 * static_cast<double>(index);
+  auto u = static_cast<std::size_t>((2.0 * nn - 1.0 - std::sqrt(disc)) / 2.0);
+  // Guard against floating-point rounding at row boundaries.
+  auto row_start = [n](std::size_t r) { return r * (2 * n - r - 1) / 2; };
+  while (u > 0 && row_start(u) > index) --u;
+  while (row_start(u + 1) <= index) ++u;
+  const std::size_t v = index - row_start(u) + u + 1;
+  return {static_cast<NodeId>(u), static_cast<NodeId>(v)};
+}
+
+std::size_t encode_pair(NodeId u, NodeId v, std::size_t n) {
+  assert(u != v && u < n && v < n);
+  if (u > v) std::swap(u, v);
+  const std::size_t uu = u;
+  return uu * (2 * n - uu - 1) / 2 + (v - u - 1);
+}
+
+std::vector<std::pair<NodeId, NodeId>> sample_slot_edges(std::size_t n,
+                                                         double p, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (n < 2 || p <= 0.0) return edges;
+  const std::size_t total = num_pairs(n);
+  if (p >= 1.0) {
+    edges.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) edges.push_back(decode_pair(i, n));
+    return edges;
+  }
+  // Geometric skips between successive present pairs.
+  std::size_t idx = sample_geometric_failures(rng, p);
+  while (idx < total) {
+    edges.push_back(decode_pair(idx, n));
+    idx += 1 + sample_geometric_failures(rng, p);
+  }
+  return edges;
+}
+
+TemporalGraph make_discrete_random_temporal_graph(std::size_t n,
+                                                  double lambda,
+                                                  std::size_t num_slots,
+                                                  Rng& rng) {
+  if (n < 2) throw std::invalid_argument("need at least 2 nodes");
+  const double p = lambda / static_cast<double>(n);
+  std::vector<Contact> contacts;
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    for (const auto& [u, v] : sample_slot_edges(n, p, rng)) {
+      const double t = static_cast<double>(s);
+      contacts.push_back({u, v, t, t + 0.5});
+    }
+  }
+  return TemporalGraph(n, std::move(contacts));
+}
+
+TemporalGraph make_continuous_random_temporal_graph(std::size_t n,
+                                                    double lambda,
+                                                    double duration,
+                                                    Rng& rng) {
+  if (n < 2) throw std::invalid_argument("need at least 2 nodes");
+  if (duration < 0.0) throw std::invalid_argument("negative duration");
+  const double rate = lambda / static_cast<double>(n);
+  std::vector<Contact> contacts;
+  for (std::size_t i = 0; i < num_pairs(n); ++i) {
+    const auto [u, v] = decode_pair(i, n);
+    double t = sample_exponential(rng, rate);
+    while (t <= duration) {
+      contacts.push_back({u, v, t, t});
+      t += sample_exponential(rng, rate);
+    }
+  }
+  return TemporalGraph(n, std::move(contacts));
+}
+
+}  // namespace odtn

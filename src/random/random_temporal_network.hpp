@@ -1,0 +1,60 @@
+// Random temporal network generators (paper §3.1).
+//
+// Discrete-time model: a sequence of independent uniform random graphs
+// G_t, each pair present with probability p = lambda/N (so each node
+// makes about lambda contacts per slot). Continuous-time model: each
+// pair meets at the instants of an independent Poisson process of rate
+// lambda/N (instantaneous contacts).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Bandwidth assumption for paths in slotted models (§3.1.3).
+enum class ContactCase {
+  kShort,  ///< at most one hop per time slot
+  kLong,   ///< any number of hops within one time slot
+};
+
+/// Number of unordered node pairs of an N-node set.
+constexpr std::size_t num_pairs(std::size_t n) noexcept {
+  return n * (n - 1) / 2;
+}
+
+/// Maps an index in [0, num_pairs(n)) to the unordered pair it encodes,
+/// enumerating (0,1), (0,2), ..., (0,n-1), (1,2), ...
+std::pair<NodeId, NodeId> decode_pair(std::size_t index, std::size_t n);
+
+/// Inverse of decode_pair.
+std::size_t encode_pair(NodeId u, NodeId v, std::size_t n);
+
+/// Samples the edge set of one slot: every unordered pair independently
+/// present with probability p. Uses geometric skip-sampling, so the cost
+/// is proportional to the number of edges drawn, not N^2.
+std::vector<std::pair<NodeId, NodeId>> sample_slot_edges(std::size_t n,
+                                                         double p, Rng& rng);
+
+/// Materializes `num_slots` slots of the discrete-time model as a
+/// TemporalGraph. A slot-s edge becomes the contact [s, s + 0.5]: slots
+/// never touch, so the continuous path machinery reproduces exactly the
+/// LONG contact case (any number of hops inside one slot, none across).
+TemporalGraph make_discrete_random_temporal_graph(std::size_t n,
+                                                  double lambda,
+                                                  std::size_t num_slots,
+                                                  Rng& rng);
+
+/// Materializes the continuous-time model over [0, duration]: for each
+/// pair, contact instants form a Poisson process of rate lambda/n
+/// (zero-duration contacts).
+TemporalGraph make_continuous_random_temporal_graph(std::size_t n,
+                                                    double lambda,
+                                                    double duration,
+                                                    Rng& rng);
+
+}  // namespace odtn

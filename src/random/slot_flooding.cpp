@@ -1,0 +1,60 @@
+#include "random/slot_flooding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odtn {
+
+SlotFloodProcess::SlotFloodProcess(std::size_t n, double lambda,
+                                   ContactCase mode, NodeId source, Rng rng)
+    : n_(n),
+      p_(lambda / static_cast<double>(n)),
+      mode_(mode),
+      rng_(rng),
+      min_hops_(n, kUnreached) {
+  if (n < 2) throw std::invalid_argument("SlotFloodProcess: need >= 2 nodes");
+  if (source >= n) throw std::out_of_range("SlotFloodProcess: bad source");
+  min_hops_[source] = 0;
+}
+
+std::size_t SlotFloodProcess::step() {
+  const auto edges = sample_slot_edges(n_, p_, rng_);
+  step_with_edges(edges);
+  return edges.size();
+}
+
+void SlotFloodProcess::step_with_edges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  ++slot_;
+  if (mode_ == ContactCase::kShort) {
+    // One hop per slot: relax every edge once against the pre-slot state.
+    std::vector<std::pair<NodeId, int>> updates;
+    for (const auto& [u, v] : edges) {
+      if (min_hops_[u] != kUnreached)
+        updates.emplace_back(v, min_hops_[u] + 1);
+      if (min_hops_[v] != kUnreached)
+        updates.emplace_back(u, min_hops_[v] + 1);
+    }
+    for (const auto& [node, hops] : updates)
+      min_hops_[node] = std::min(min_hops_[node], hops);
+  } else {
+    // Any number of hops inside the slot: close transitively over this
+    // slot's edges.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [u, v] : edges) {
+        if (min_hops_[u] != kUnreached && min_hops_[u] + 1 < min_hops_[v]) {
+          min_hops_[v] = min_hops_[u] + 1;
+          changed = true;
+        }
+        if (min_hops_[v] != kUnreached && min_hops_[v] + 1 < min_hops_[u]) {
+          min_hops_[u] = min_hops_[v] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace odtn

@@ -1,0 +1,56 @@
+// Slot-by-slot flooding on the discrete-time random temporal network,
+// under either bandwidth assumption (§3.1.3). Slots are generated lazily
+// so experiments can run "until the destination is reached" without
+// materializing a whole graph sequence.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "random/random_temporal_network.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Sentinel hop count for "not reached".
+inline constexpr int kUnreached = std::numeric_limits<int>::max();
+
+/// Tracks, for every node, the minimum number of hops over all paths
+/// from the source that have completed by the current slot. Because
+/// min-hops-so-far is non-increasing in time, a node is reachable within
+/// (t slots, k hops) iff min_hops()[node] <= k after t steps.
+class SlotFloodProcess {
+ public:
+  /// Flooding from `source` over an n-node network with per-pair
+  /// per-slot contact probability lambda/n.
+  SlotFloodProcess(std::size_t n, double lambda, ContactCase mode,
+                   NodeId source, Rng rng);
+
+  /// Simulates the next slot. Returns the number of edges drawn.
+  std::size_t step();
+
+  /// Advances one slot using the given edge set instead of sampling
+  /// (deterministic; used by tests and custom experiments).
+  void step_with_edges(
+      const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Number of slots simulated so far.
+  std::size_t slots() const noexcept { return slot_; }
+
+  /// min_hops()[v]: minimum hop count over all source->v paths completed
+  /// within the simulated slots (kUnreached if none).
+  const std::vector<int>& min_hops() const noexcept { return min_hops_; }
+
+  bool reached(NodeId v) const noexcept { return min_hops_[v] != kUnreached; }
+
+ private:
+  std::size_t n_;
+  double p_;
+  ContactCase mode_;
+  std::size_t slot_ = 0;
+  Rng rng_;
+  std::vector<int> min_hops_;
+};
+
+}  // namespace odtn

@@ -1,0 +1,134 @@
+#include "random/theory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double xlogx(double x) { return x <= 0.0 ? 0.0 : x * std::log(x); }
+
+/// log of C(n, m) * p^m * (1-p)^(n-m).
+double log_binomial_pmf(long n, long m, double p) {
+  assert(0 <= m && m <= n);
+  const double lp = std::log(p);
+  const double lq = std::log1p(-p);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(m) + 1.0) -
+         std::lgamma(static_cast<double>(n - m) + 1.0) +
+         static_cast<double>(m) * lp + static_cast<double>(n - m) * lq;
+}
+
+/// log of P[Binomial(n, p) >= k], by log-sum-exp over the tail.
+double log_binomial_tail(long n, long k, double p) {
+  if (k <= 0) return 0.0;
+  if (k > n || p <= 0.0) return -kInf;
+  if (p >= 1.0) return 0.0;
+  double max_term = -kInf;
+  for (long m = k; m <= n; ++m)
+    max_term = std::max(max_term, log_binomial_pmf(n, m, p));
+  double sum = 0.0;
+  for (long m = k; m <= n; ++m)
+    sum += std::exp(log_binomial_pmf(n, m, p) - max_term);
+  return max_term + std::log(sum);
+}
+
+/// ln[(N-2)(N-3)...(N-k)]: choices of k-1 distinct ordered relays.
+double log_relay_combinations(std::size_t n, long k) {
+  assert(k >= 1);
+  if (k == 1) return 0.0;
+  if (static_cast<std::size_t>(k) > n - 1) return -kInf;  // not enough relays
+  double out = 0.0;
+  for (long i = 2; i <= k; ++i)
+    out += std::log(static_cast<double>(n) - static_cast<double>(i));
+  return out;
+}
+
+void check_args(std::size_t n, long t, long k) {
+  if (n < 2 || t < 1 || k < 1)
+    throw std::invalid_argument("expected_paths: need N>=2, t>=1, k>=1");
+}
+
+}  // namespace
+
+double entropy_h(double x) {
+  if (x < 0.0 || x > 1.0) throw std::invalid_argument("entropy_h: x in [0,1]");
+  return -xlogx(x) - xlogx(1.0 - x);
+}
+
+double entropy_g(double x) {
+  if (x < 0.0) throw std::invalid_argument("entropy_g: x >= 0");
+  return (1.0 + x) * std::log1p(x) - xlogx(x);
+}
+
+double rate_short(double gamma, double lambda) {
+  return gamma * std::log(lambda) + entropy_h(gamma);
+}
+
+double rate_long(double gamma, double lambda) {
+  return gamma * std::log(lambda) + entropy_g(gamma);
+}
+
+double max_rate_short(double lambda) { return std::log1p(lambda); }
+
+double gamma_star_short(double lambda) { return lambda / (1.0 + lambda); }
+
+double max_rate_long(double lambda) {
+  return lambda < 1.0 ? -std::log1p(-lambda) : kInf;
+}
+
+double gamma_star_long(double lambda) {
+  if (lambda >= 1.0)
+    throw std::invalid_argument("gamma_star_long: requires lambda < 1");
+  return lambda / (1.0 - lambda);
+}
+
+double delay_constant_short(double lambda) {
+  return 1.0 / std::log1p(lambda);
+}
+
+double delay_constant_long(double lambda) {
+  return lambda < 1.0 ? -1.0 / std::log1p(-lambda) : 0.0;
+}
+
+double hop_constant_short(double lambda) {
+  return gamma_star_short(lambda) * delay_constant_short(lambda);
+}
+
+double hop_constant_long(double lambda) {
+  if (lambda < 1.0) return gamma_star_long(lambda) * delay_constant_long(lambda);
+  if (lambda == 1.0) return kInf;
+  return 1.0 / std::log(lambda);
+}
+
+double log_expected_paths_short(std::size_t n, double lambda, long t, long k) {
+  check_args(n, t, k);
+  const double p = std::min(1.0, lambda / static_cast<double>(n));
+  // Short contacts: one hop per slot; the waiting times concatenate into
+  // a single Bernoulli stream, so success <=> >= k successes in t trials.
+  return log_relay_combinations(n, k) + log_binomial_tail(t, k, p);
+}
+
+double log_expected_paths_long(std::size_t n, double lambda, long t, long k) {
+  check_args(n, t, k);
+  const double p = std::min(1.0, lambda / static_cast<double>(n));
+  // Long contacts: hops may share a slot; total waiting is 1 + sum of k
+  // geometric(>=0) variables <= t, i.e. >= k successes within t-1+k
+  // concatenated trials.
+  return log_relay_combinations(n, k) + log_binomial_tail(t - 1 + k, k, p);
+}
+
+double lemma1_exponent_short(double tau, double gamma, double lambda) {
+  return tau * rate_short(gamma, lambda) - 1.0;
+}
+
+double lemma1_exponent_long(double tau, double gamma, double lambda) {
+  return tau * rate_long(gamma, lambda) - 1.0;
+}
+
+}  // namespace odtn

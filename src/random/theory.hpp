@@ -1,0 +1,83 @@
+// Closed-form analysis of random temporal networks (paper §3).
+//
+// In the discrete-time model, every node pair is connected during each
+// time slot independently with probability p = lambda/N. Paths are
+// constrained to t_N = tau*ln(N) slots and k_N = gamma*t_N hops. Lemma 1
+// gives the expected number of such paths:
+//   E[Pi_N] = Theta( N^{ tau*(gamma*ln(lambda) + h(gamma)) - 1 } )  (short)
+//   E[Pi_N] = Theta( N^{ tau*(gamma*ln(lambda) + g(gamma)) - 1 } )  (long)
+// so the phase boundary is 1/tau = gamma*ln(lambda) + h(gamma) (resp. g).
+// This header provides h, g, the boundary curves of Figures 1-2, the
+// critical constants behind Figure 3, and *exact* (non-asymptotic)
+// expected path counts used to validate the Theta asymptotics.
+#pragma once
+
+#include <cstddef>
+
+namespace odtn {
+
+/// Binary entropy h(x) = -x*ln(x) - (1-x)*ln(1-x), x in [0, 1]
+/// (0 at both endpoints by continuity).
+double entropy_h(double x);
+
+/// g(x) = (1+x)*ln(1+x) - x*ln(x), x >= 0 (g(0) = 0 by continuity).
+double entropy_g(double x);
+
+/// Phase-boundary curve of Figure 1: gamma*ln(lambda) + h(gamma),
+/// gamma in [0, 1].
+double rate_short(double gamma, double lambda);
+
+/// Phase-boundary curve of Figure 2: gamma*ln(lambda) + g(gamma),
+/// gamma >= 0.
+double rate_long(double gamma, double lambda);
+
+/// Maximum of rate_short over gamma: ln(1 + lambda).
+double max_rate_short(double lambda);
+
+/// argmax of rate_short: gamma* = lambda / (1 + lambda).
+double gamma_star_short(double lambda);
+
+/// Maximum of rate_long over gamma: -ln(1 - lambda) for lambda < 1,
+/// +infinity for lambda >= 1 (the curve is increasing and unbounded).
+double max_rate_long(double lambda);
+
+/// argmax of rate_long for lambda < 1: gamma* = lambda / (1 - lambda).
+double gamma_star_long(double lambda);
+
+/// Predicted delay of the delay-optimal path, normalized by ln(N):
+/// tau* = 1 / ln(1 + lambda) (short contacts).
+double delay_constant_short(double lambda);
+
+/// tau* = -1 / ln(1 - lambda) for lambda < 1; 0 for lambda >= 1
+/// (long contacts: an almost-simultaneous giant component exists).
+double delay_constant_long(double lambda);
+
+/// Predicted hop-number of the delay-optimal path, normalized by ln(N)
+/// (the short-contact curve of Figure 3):
+/// k*/ln(N) = lambda / ((1 + lambda) * ln(1 + lambda)); tends to 1 as
+/// lambda -> 0.
+double hop_constant_short(double lambda);
+
+/// Long-contact curve of Figure 3:
+/// lambda < 1: lambda / ((1 - lambda) * (-ln(1 - lambda)));
+/// lambda > 1: 1 / ln(lambda); +infinity at lambda == 1 (singularity).
+double hop_constant_long(double lambda);
+
+/// Natural log of the EXACT expected number of k-hop paths delivered
+/// within t slots between two fixed nodes of the discrete-time model
+/// with N nodes and per-pair per-slot probability p = lambda/N, with
+/// distinct intermediate relays:
+///   ln[ (N-2)(N-3)...(N-k) * P(success) ]
+/// where P(success) = P[Binomial(t, p) >= k] for short contacts and
+/// P[Binomial(t - 1 + k, p) >= k] for long contacts (hops may share a
+/// slot). Returns -infinity when the count is zero (k > feasible).
+/// Requires N >= 2, k >= 1, t >= 1.
+double log_expected_paths_short(std::size_t n, double lambda, long t, long k);
+double log_expected_paths_long(std::size_t n, double lambda, long t, long k);
+
+/// The Theta exponent of Lemma 1: tau*(gamma*ln(lambda)+h_or_g(gamma)) - 1.
+/// ln E[Pi_N] / ln N converges to this as N grows.
+double lemma1_exponent_short(double tau, double gamma, double lambda);
+double lemma1_exponent_long(double tau, double gamma, double lambda);
+
+}  // namespace odtn

@@ -1,0 +1,100 @@
+#include "sim/flooding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double FloodingResult::arrival_with_hops(NodeId node, int hops) const {
+  assert(!arrival.empty());
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(hops, 0)),
+                            arrival.size() - 1);
+  return arrival[k][node];
+}
+
+double FloodingResult::best_arrival(NodeId node) const {
+  return arrival.back()[node];
+}
+
+int FloodingResult::optimal_hops(NodeId node) const {
+  const double best = best_arrival(node);
+  if (best == kInf) return -1;
+  for (std::size_t k = 0; k < arrival.size(); ++k) {
+    if (arrival[k][node] <= best) return static_cast<int>(k);
+  }
+  return static_cast<int>(arrival.size()) - 1;  // unreachable in theory
+}
+
+std::vector<std::size_t> FloodingResult::reconstruct(
+    const TemporalGraph& graph, NodeId node, int hops) const {
+  const std::size_t k_max =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(hops, 0)),
+                            arrival.size() - 1);
+  if (arrival[k_max][node] == kInf || node == source) return {};
+  std::vector<std::size_t> sequence;
+  NodeId cur = node;
+  std::size_t k = k_max;
+  while (cur != source) {
+    // Drop to the lowest level achieving the same arrival: the parent
+    // stored there is the contact that actually created the value
+    // (higher levels merely inherit it).
+    while (k > 1 && arrival[k - 1][cur] <= arrival[k][cur]) --k;
+    assert(k > 0 && parent[k][cur] >= 0);
+    const auto contact_idx = static_cast<std::size_t>(parent[k][cur]);
+    sequence.push_back(contact_idx);
+    const Contact& c = graph.contacts()[contact_idx];
+    cur = (c.v == cur) ? c.u : c.v;
+    --k;
+  }
+  std::reverse(sequence.begin(), sequence.end());
+  return sequence;
+}
+
+FloodingResult flood(const TemporalGraph& graph, NodeId source,
+                     double start_time, int max_hops) {
+  if (source >= graph.num_nodes())
+    throw std::out_of_range("flood: source out of range");
+  const std::size_t n = graph.num_nodes();
+  FloodingResult result;
+  result.source = source;
+  result.start_time = start_time;
+  result.arrival.emplace_back(n, kInf);
+  result.parent.emplace_back(n, -1);
+  result.arrival[0][source] = start_time;
+
+  const auto& contacts = graph.contacts();
+  for (int k = 1; k <= max_hops; ++k) {
+    const auto& prev = result.arrival.back();
+    std::vector<double> next = prev;
+    std::vector<std::int64_t> next_parent = result.parent.back();
+    bool changed = false;
+    for (std::size_t idx = 0; idx < contacts.size(); ++idx) {
+      const Contact& c = contacts[idx];
+      auto relax = [&](NodeId from, NodeId to) {
+        if (prev[from] > c.end) return;  // cannot use this contact
+        const double t = std::max(prev[from], c.begin);
+        if (t < next[to]) {
+          next[to] = t;
+          next_parent[to] = static_cast<std::int64_t>(idx);
+          changed = true;
+        }
+      };
+      relax(c.u, c.v);
+      if (!graph.directed()) relax(c.v, c.u);
+    }
+    if (!changed) break;
+    result.arrival.push_back(std::move(next));
+    result.parent.push_back(std::move(next_parent));
+  }
+  return result;
+}
+
+}  // namespace odtn

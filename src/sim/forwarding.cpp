@@ -1,0 +1,106 @@
+#include "sim/forwarding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct NodeState {
+  double have = kInf;  // time the node acquired a copy
+  int hops = -1;       // contacts on its acquisition route
+  int tokens = 0;      // remaining spray budget
+};
+
+}  // namespace
+
+const char* forwarding_policy_name(ForwardingPolicy policy) noexcept {
+  switch (policy) {
+    case ForwardingPolicy::kDirect: return "direct";
+    case ForwardingPolicy::kTwoHopRelay: return "two-hop";
+    case ForwardingPolicy::kEpidemic: return "epidemic";
+    case ForwardingPolicy::kSprayAndWait: return "spray-and-wait";
+  }
+  return "unknown";
+}
+
+ForwardingOutcome simulate_forwarding(const TemporalGraph& graph,
+                                      NodeId source, NodeId destination,
+                                      double start_time,
+                                      ForwardingPolicy policy,
+                                      const ForwardingOptions& options) {
+  if (source >= graph.num_nodes() || destination >= graph.num_nodes())
+    throw std::out_of_range("simulate_forwarding: node out of range");
+
+  std::vector<NodeState> state(graph.num_nodes());
+  state[source].have = start_time;
+  state[source].hops = 0;
+  state[source].tokens = std::max(1, options.copy_budget);
+
+  // Chronological sweeps to a fixpoint: overlapping contacts can chain
+  // within the same interval, which a single pass would miss.
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 1024) {
+    changed = false;
+    for (const Contact& c : graph.contacts()) {
+      auto try_transfer = [&](NodeId from, NodeId to) {
+        NodeState& f = state[from];
+        if (f.have > c.end) return;
+        const double t = std::max(f.have, c.begin);
+
+        bool eligible = false;
+        switch (policy) {
+          case ForwardingPolicy::kDirect:
+            eligible = from == source && to == destination;
+            break;
+          case ForwardingPolicy::kTwoHopRelay:
+            eligible = from == source || to == destination;
+            break;
+          case ForwardingPolicy::kEpidemic:
+            eligible = f.hops < options.hop_ttl;
+            break;
+          case ForwardingPolicy::kSprayAndWait:
+            // Spray phase while a node holds >= 2 tokens; any holder may
+            // always deliver directly to the destination.
+            eligible = f.tokens >= 2 || to == destination;
+            break;
+        }
+        if (!eligible) return;
+
+        NodeState& g = state[to];
+        if (policy == ForwardingPolicy::kSprayAndWait) {
+          // First infection wins; tokens are split once (binary spray).
+          if (g.have != kInf) return;
+          g.have = t;
+          g.hops = f.hops + 1;
+          if (to != destination) {
+            const int give = f.tokens / 2;
+            g.tokens = give;
+            f.tokens -= give;
+          }
+          changed = true;
+          return;
+        }
+        if (t < g.have || (t == g.have && f.hops + 1 < g.hops)) {
+          g.have = t;
+          g.hops = f.hops + 1;
+          changed = true;
+        }
+      };
+      try_transfer(c.u, c.v);
+      if (!graph.directed()) try_transfer(c.v, c.u);
+    }
+  }
+
+  ForwardingOutcome out{state[destination].have, state[destination].hops, 0};
+  if (out.delivery_time == kInf) out.delivery_hops = -1;
+  for (const NodeState& s : state)
+    if (s.have != kInf) ++out.copies;
+  return out;
+}
+
+}  // namespace odtn

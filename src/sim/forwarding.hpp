@@ -1,0 +1,48 @@
+// Simple opportunistic forwarding algorithms.
+//
+// The paper's headline implication (§7): because the diameter is small,
+// "messages can be discarded after a few number of hops without occurring
+// more than a marginal performance cost". These simulators let examples
+// and studies quantify that trade-off: delivery delay and copy cost of
+// classic policies under hop TTLs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// Forwarding policy simulated by simulate_forwarding().
+enum class ForwardingPolicy {
+  kDirect,        ///< source waits for a direct contact with the destination
+  kTwoHopRelay,   ///< source spreads to relays; relays deliver only to dst
+  kEpidemic,      ///< every carrier infects every encounter (hop TTL applies)
+  kSprayAndWait,  ///< binary spray of a fixed copy budget, then direct wait
+};
+
+struct ForwardingOptions {
+  int hop_ttl = 64;    ///< maximum contacts per message copy (epidemic)
+  int copy_budget = 8; ///< total logical copies (spray-and-wait)
+};
+
+/// Outcome of forwarding one message.
+struct ForwardingOutcome {
+  double delivery_time;  ///< +infinity if never delivered
+  int delivery_hops;     ///< contacts on the delivering route; -1 if none
+  int copies;            ///< number of nodes that ever carried the message
+};
+
+/// Simulates one message created at `start_time` at `source` addressed to
+/// `destination`, sweeping contacts chronologically to a fixpoint.
+ForwardingOutcome simulate_forwarding(const TemporalGraph& graph,
+                                      NodeId source, NodeId destination,
+                                      double start_time,
+                                      ForwardingPolicy policy,
+                                      const ForwardingOptions& options = {});
+
+/// Human-readable policy name ("direct", "two-hop", ...).
+const char* forwarding_policy_name(ForwardingPolicy policy) noexcept;
+
+}  // namespace odtn

@@ -1,0 +1,100 @@
+#include "sim/local_forwarding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Locally-observable per-node history, accumulated causally.
+struct History {
+  std::size_t contact_count = 0;
+  double last_seen_destination = -kInf;
+  std::size_t destination_contacts = 0;
+};
+
+}  // namespace
+
+const char* local_rule_name(LocalRule rule) noexcept {
+  switch (rule) {
+    case LocalRule::kNone: return "direct (no relay)";
+    case LocalRule::kRandomWalk: return "random walk";
+    case LocalRule::kMostActive: return "most-active";
+    case LocalRule::kLastContactWithDestination: return "last-contact";
+    case LocalRule::kFrequencyGreedy: return "frequency-greedy";
+  }
+  return "unknown";
+}
+
+LocalForwardingOutcome simulate_local_forwarding(const TemporalGraph& graph,
+                                                 NodeId source,
+                                                 NodeId destination,
+                                                 double start_time,
+                                                 LocalRule rule, int hop_limit,
+                                                 std::uint64_t seed) {
+  if (source >= graph.num_nodes() || destination >= graph.num_nodes())
+    throw std::out_of_range("simulate_local_forwarding: node out of range");
+  if (source == destination) return {start_time, 0};
+
+  Rng rng(seed);
+  std::vector<History> history(graph.num_nodes());
+  NodeId holder = source;
+  double available = start_time;  // time the holder can next forward
+  int handoffs = 0;
+
+  for (const Contact& c : graph.contacts()) {
+    // Update locally-observable state first: both parties log the
+    // meeting (and learn of it) at its beginning.
+    ++history[c.u].contact_count;
+    ++history[c.v].contact_count;
+    auto note_destination = [&](NodeId who) {
+      history[who].last_seen_destination = c.begin;
+      ++history[who].destination_contacts;
+    };
+    if (c.u == destination) note_destination(c.v);
+    if (c.v == destination) note_destination(c.u);
+
+    // Can the holder use this contact?
+    if (c.u != holder && c.v != holder) continue;
+    const NodeId peer = (c.u == holder) ? c.v : c.u;
+    const double t = std::max(c.begin, available);
+    if (t > c.end) continue;  // contact over before the holder had it
+
+    if (peer == destination) return {t, handoffs + 1};
+
+    if (handoffs + 1 >= hop_limit) continue;  // keep one hop for delivery
+    bool hand_over = false;
+    const History& mine = history[holder];
+    const History& theirs = history[peer];
+    switch (rule) {
+      case LocalRule::kNone:
+        break;
+      case LocalRule::kRandomWalk:
+        hand_over = rng.bernoulli(0.5);
+        break;
+      case LocalRule::kMostActive:
+        hand_over = theirs.contact_count > mine.contact_count;
+        break;
+      case LocalRule::kLastContactWithDestination:
+        hand_over =
+            theirs.last_seen_destination > mine.last_seen_destination;
+        break;
+      case LocalRule::kFrequencyGreedy:
+        hand_over = theirs.destination_contacts > mine.destination_contacts;
+        break;
+    }
+    if (hand_over) {
+      holder = peer;
+      available = t;
+      ++handoffs;
+    }
+  }
+  return {kInf, handoffs};
+}
+
+}  // namespace odtn

@@ -1,0 +1,56 @@
+// Distributed forwarding with LOCAL information -- the paper's second
+// open problem (§7): "this paper proves that short paths generally exist
+// between any two nodes, but it does not indicate whether these paths
+// can be found efficiently by a distributed algorithm using local
+// information in the nodes."
+//
+// This module simulates single-copy forwarding where the current
+// message holder decides, at each encounter and using only its own and
+// the peer's locally-observable history, whether to hand the message
+// over. Comparing the achieved delay against the delay-optimal path
+// (the engine's del(t)) quantifies the "price of locality".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// Handoff rule used by the holder at each encounter.
+enum class LocalRule {
+  /// Hand to the destination only: the direct-delivery lower bound.
+  kNone,
+  /// Hand over with probability 1/2 at every encounter (oblivious walk).
+  kRandomWalk,
+  /// Hand over if the peer has logged more contacts so far (seek hubs).
+  kMostActive,
+  /// Hand over if the peer saw the destination more recently.
+  kLastContactWithDestination,
+  /// Hand over if the peer's contact frequency with the destination is
+  /// higher (a PRoPHET-style delivery-predictability greedy).
+  kFrequencyGreedy,
+};
+
+/// Human-readable rule name.
+const char* local_rule_name(LocalRule rule) noexcept;
+
+/// Outcome of forwarding one message with a local rule.
+struct LocalForwardingOutcome {
+  double delivery_time;  ///< +infinity when never delivered
+  int handoffs;          ///< times the (single) copy changed hands
+};
+
+/// Simulates single-copy forwarding of a message created at `start_time`
+/// at `source` for `destination`, sweeping contacts chronologically.
+/// Node histories (contact counts, last-seen times, per-destination
+/// frequencies) accumulate causally from the trace start, so early
+/// messages act on little information -- as a real protocol would.
+/// `hop_limit` bounds the number of handoffs (+ the final delivery).
+LocalForwardingOutcome simulate_local_forwarding(
+    const TemporalGraph& graph, NodeId source, NodeId destination,
+    double start_time, LocalRule rule, int hop_limit = 64,
+    std::uint64_t seed = 1);
+
+}  // namespace odtn

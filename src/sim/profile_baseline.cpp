@@ -1,0 +1,32 @@
+#include "sim/profile_baseline.hpp"
+
+#include <algorithm>
+
+#include "sim/flooding.hpp"
+
+namespace odtn {
+
+SampledProfiles profiles_by_flooding(const TemporalGraph& graph,
+                                     NodeId source, int max_hops) {
+  SampledProfiles out;
+  out.times.reserve(2 * graph.num_contacts() + 1);
+  out.times.push_back(graph.start_time());
+  for (const Contact& c : graph.contacts()) {
+    out.times.push_back(c.begin);
+    out.times.push_back(c.end);
+  }
+  std::sort(out.times.begin(), out.times.end());
+  out.times.erase(std::unique(out.times.begin(), out.times.end()),
+                  out.times.end());
+
+  out.arrival.assign(graph.num_nodes(),
+                     std::vector<double>(out.times.size()));
+  for (std::size_t i = 0; i < out.times.size(); ++i) {
+    const FloodingResult fr = flood(graph, source, out.times[i], max_hops);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      out.arrival[v][i] = fr.arrival_with_hops(v, max_hops);
+  }
+  return out;
+}
+
+}  // namespace odtn

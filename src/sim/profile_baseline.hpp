@@ -1,0 +1,33 @@
+// Flooding-per-boundary baseline for computing delivery profiles.
+//
+// Mirrors the independent algorithm the paper mentions in §4.4 (Zhang et
+// al. [8]): create a probe "packet" at every contact boundary and simulate
+// flooding for each one. The result is the optimal delivery time del(t0)
+// sampled at every boundary t0 -- the complete set of values the delivery
+// function takes, since del only changes at contact ends. It costs one
+// full flooding pass per boundary, which is exactly the work the paper's
+// concise (LD, EA) representation avoids; we use it as a correctness
+// oracle in tests and as the baseline in the performance bench.
+#pragma once
+
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// del(t) sampled at every contact boundary, from one source.
+struct SampledProfiles {
+  /// Sorted distinct sample times: trace start plus all contact begins
+  /// and ends.
+  std::vector<double> times;
+  /// arrival[v][i] = optimal delivery time at node v of a message
+  /// created at the source at times[i]; +infinity when unreachable.
+  std::vector<std::vector<double>> arrival;
+};
+
+/// Floods from every boundary time with at most `max_hops` contacts.
+SampledProfiles profiles_by_flooding(const TemporalGraph& graph,
+                                     NodeId source, int max_hops = 64);
+
+}  // namespace odtn

@@ -1,0 +1,86 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace odtn {
+
+void EmpiricalDistribution::add(double value) {
+  assert(!std::isnan(value));
+  if (std::isinf(value)) {
+    assert(value > 0 && "negative infinity is not a meaningful delay");
+    ++infinite_;
+    return;
+  }
+  finite_.push_back(value);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::add(double value, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) add(value);
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(finite_.begin(), finite_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (count() == 0) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(finite_.begin(), finite_.end(), x);
+  return static_cast<double>(it - finite_.begin()) /
+         static_cast<double>(count());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  assert(count() > 0);
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto n = static_cast<double>(count());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;  // 0-based index of the q-quantile order statistic
+  if (rank >= finite_.size()) return std::numeric_limits<double>::infinity();
+  return finite_[rank];
+}
+
+double EmpiricalDistribution::finite_mean() const {
+  assert(!finite_.empty());
+  return std::accumulate(finite_.begin(), finite_.end(), 0.0) /
+         static_cast<double>(finite_.size());
+}
+
+double EmpiricalDistribution::finite_min() const {
+  assert(!finite_.empty());
+  ensure_sorted();
+  return finite_.front();
+}
+
+double EmpiricalDistribution::finite_max() const {
+  assert(!finite_.empty());
+  ensure_sorted();
+  return finite_.back();
+}
+
+std::vector<double> EmpiricalDistribution::cdf_on_grid(
+    const std::vector<double>& grid) const {
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (double x : grid) out.push_back(cdf(x));
+  return out;
+}
+
+std::vector<double> EmpiricalDistribution::ccdf_on_grid(
+    const std::vector<double>& grid) const {
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (double x : grid) out.push_back(ccdf(x));
+  return out;
+}
+
+}  // namespace odtn

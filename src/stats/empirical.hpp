@@ -1,0 +1,60 @@
+// Empirical distribution of scalar samples: CDF/CCDF/quantiles.
+//
+// Infinite samples are legal and tracked separately -- the paper's delay
+// distributions place positive mass at +infinity (pairs that are never
+// connected), which shows up as a CDF that saturates below 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odtn {
+
+/// Accumulates scalar samples and answers distribution queries.
+/// Queries sort lazily; adding samples after a query is allowed.
+class EmpiricalDistribution {
+ public:
+  /// Adds one sample. +infinity is allowed; NaN is rejected (assert).
+  void add(double value);
+
+  /// Adds `count` copies of `value`.
+  void add(double value, std::size_t count);
+
+  /// Total number of samples, including infinite ones.
+  std::size_t count() const noexcept { return finite_.size() + infinite_; }
+
+  /// Number of infinite samples.
+  std::size_t infinite_count() const noexcept { return infinite_; }
+
+  /// Empirical P[X <= x] (infinite samples count in the denominator).
+  double cdf(double x) const;
+
+  /// Empirical P[X > x].
+  double ccdf(double x) const { return 1.0 - cdf(x); }
+
+  /// Empirical q-quantile, q in [0, 1]. Returns +infinity when the
+  /// quantile falls in the infinite mass. Requires count() > 0.
+  double quantile(double q) const;
+
+  /// Mean of the finite samples. Requires at least one finite sample.
+  double finite_mean() const;
+
+  /// Minimum / maximum over finite samples (requires one finite sample).
+  double finite_min() const;
+  double finite_max() const;
+
+  /// Evaluates the CDF on every point of `grid`.
+  std::vector<double> cdf_on_grid(const std::vector<double>& grid) const;
+
+  /// Evaluates the CCDF on every point of `grid`.
+  std::vector<double> ccdf_on_grid(const std::vector<double>& grid) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> finite_;
+  mutable bool sorted_ = true;
+  std::size_t infinite_ = 0;
+};
+
+}  // namespace odtn

@@ -1,0 +1,32 @@
+#include "stats/log_grid.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace odtn {
+
+std::vector<double> make_log_grid(double lo, double hi, std::size_t points) {
+  assert(0.0 < lo && lo < hi && points >= 2);
+  std::vector<double> grid(points);
+  const double llo = std::log(lo), lhi = std::log(hi);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid[i] = std::exp(llo + f * (lhi - llo));
+  }
+  grid.front() = lo;
+  grid.back() = hi;
+  return grid;
+}
+
+std::vector<double> make_linear_grid(double lo, double hi, std::size_t points) {
+  assert(lo < hi && points >= 2);
+  std::vector<double> grid(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid[i] = lo + f * (hi - lo);
+  }
+  grid.back() = hi;
+  return grid;
+}
+
+}  // namespace odtn

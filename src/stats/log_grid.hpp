@@ -1,0 +1,20 @@
+// Logarithmically spaced evaluation grids.
+//
+// The paper evaluates delay distributions on time scales spanning 2 minutes
+// to one week; a log grid captures that range with a fixed point budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odtn {
+
+/// Returns `points` values logarithmically spaced over [lo, hi], inclusive
+/// of both endpoints. Requires 0 < lo < hi and points >= 2.
+std::vector<double> make_log_grid(double lo, double hi, std::size_t points);
+
+/// Returns `points` values linearly spaced over [lo, hi], inclusive.
+/// Requires lo < hi and points >= 2.
+std::vector<double> make_linear_grid(double lo, double hi, std::size_t points);
+
+}  // namespace odtn

@@ -1,0 +1,77 @@
+#include "stats/measure_cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace odtn {
+
+MeasureCdfAccumulator::MeasureCdfAccumulator(std::vector<double> grid)
+    : grid_(std::move(grid)),
+      const_diff_(grid_.size() + 1, 0.0),
+      slope_diff_(grid_.size() + 1, 0.0) {
+  if (grid_.empty()) throw std::invalid_argument("MeasureCdf: empty grid");
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_[i] < 0.0 || (i > 0 && grid_[i] <= grid_[i - 1]))
+      throw std::invalid_argument("MeasureCdf: grid must be >= 0, increasing");
+  }
+}
+
+void MeasureCdfAccumulator::add_segment(double a, double b, double arrival) {
+  assert(a <= b);
+  if (!(a < b)) return;
+  // Contribution to P[delay <= x] for x = grid[j]:
+  //   measure{ t in (a, b] : arrival - t <= x }
+  //   = b - max(a, arrival - x), clamped to [0, b - a]
+  //   = 0                       when x <  arrival - b   (no coverage)
+  //   = (b - arrival) + x       when arrival - b <= x < arrival - a
+  //   = b - a                   when x >= arrival - a   (full coverage).
+  const auto lo = static_cast<std::size_t>(
+      std::lower_bound(grid_.begin(), grid_.end(), arrival - b) -
+      grid_.begin());
+  const auto hi = static_cast<std::size_t>(
+      std::lower_bound(grid_.begin(), grid_.end(), arrival - a) -
+      grid_.begin());
+  // Partial coverage on [lo, hi): affine in x.
+  if (lo < hi) {
+    const_diff_[lo] += b - arrival;
+    const_diff_[hi] -= b - arrival;
+    slope_diff_[lo] += 1.0;
+    slope_diff_[hi] -= 1.0;
+  }
+  // Full coverage on [hi, end).
+  if (hi < grid_.size()) {
+    const_diff_[hi] += b - a;
+    const_diff_[grid_.size()] -= b - a;
+  }
+}
+
+void MeasureCdfAccumulator::add_observation_measure(double measure) {
+  assert(measure >= 0.0);
+  denominator_ += measure;
+}
+
+void MeasureCdfAccumulator::merge(const MeasureCdfAccumulator& other) {
+  if (other.grid_ != grid_)
+    throw std::invalid_argument("MeasureCdf: merging different grids");
+  for (std::size_t i = 0; i < const_diff_.size(); ++i) {
+    const_diff_[i] += other.const_diff_[i];
+    slope_diff_[i] += other.slope_diff_[i];
+  }
+  denominator_ += other.denominator_;
+}
+
+std::vector<double> MeasureCdfAccumulator::cdf() const {
+  std::vector<double> out(grid_.size(), 0.0);
+  if (denominator_ <= 0.0) return out;
+  double c = 0.0, s = 0.0;
+  for (std::size_t j = 0; j < grid_.size(); ++j) {
+    c += const_diff_[j];
+    s += slope_diff_[j];
+    out[j] = std::clamp((c + s * grid_[j]) / denominator_, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace odtn

@@ -1,0 +1,41 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace odtn {
+
+void SummaryStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double SummaryStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double SummaryStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SummaryStats::min() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double SummaryStats::max() const noexcept {
+  return n_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+double SummaryStats::stderr_mean() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace odtn

@@ -1,0 +1,33 @@
+// Streaming summary statistics (count/mean/variance/min/max) via Welford's
+// algorithm. Used by generators, Monte-Carlo experiments, and tests.
+#pragma once
+
+#include <cstddef>
+
+namespace odtn {
+
+/// Online accumulator for first and second moments plus extrema.
+class SummaryStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept;        ///< 0 when empty
+  double variance() const noexcept;    ///< sample variance; 0 when n < 2
+  double stddev() const noexcept;
+  double min() const noexcept;         ///< +inf when empty
+  double max() const noexcept;         ///< -inf when empty
+  double sum() const noexcept { return mean() * static_cast<double>(n_); }
+
+  /// Standard error of the mean (stddev / sqrt(n)); 0 when n < 2.
+  double stderr_mean() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace odtn

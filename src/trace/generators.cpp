@@ -1,0 +1,175 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/samplers.hpp"
+
+namespace odtn {
+namespace {
+
+/// Lognormal multiplier with unit mean: exp(N(-sigma^2/2, sigma)).
+double unit_mean_lognormal(Rng& rng, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return sample_lognormal(rng, -0.5 * sigma * sigma, sigma);
+}
+
+}  // namespace
+
+std::vector<NodeId> SyntheticTrace::internal_nodes() const {
+  std::vector<NodeId> nodes(num_internal);
+  for (std::size_t i = 0; i < num_internal; ++i)
+    nodes[i] = static_cast<NodeId>(i);
+  return nodes;
+}
+
+std::size_t SyntheticTrace::internal_contact_count() const {
+  std::size_t count = 0;
+  for (const Contact& c : graph.contacts())
+    if (c.u < num_internal && c.v < num_internal) ++count;
+  return count;
+}
+
+std::size_t SyntheticTrace::external_contact_count() const {
+  return graph.num_contacts() - internal_contact_count();
+}
+
+double SyntheticTrace::internal_contact_rate(double unit,
+                                             bool include_external) const {
+  if (num_internal == 0 || graph.duration() <= 0.0) return 0.0;
+  double logs = 2.0 * static_cast<double>(internal_contact_count());
+  if (include_external) logs += static_cast<double>(external_contact_count());
+  return logs / static_cast<double>(num_internal) /
+         (graph.duration() / unit);
+}
+
+SyntheticTrace generate_trace(const SyntheticTraceSpec& spec,
+                              std::uint64_t seed) {
+  if (spec.num_internal < 2)
+    throw std::invalid_argument("generate_trace: need >= 2 internal nodes");
+  if (spec.duration <= 0.0 || spec.granularity <= 0.0)
+    throw std::invalid_argument("generate_trace: bad duration/granularity");
+
+  Rng rng(seed);
+  const std::size_t n_int = spec.num_internal;
+  const std::size_t n_ext = spec.num_external;
+  const std::size_t communities = std::max<std::size_t>(1, spec.num_communities);
+
+  // Node attributes.
+  std::vector<double> activity(n_int);
+  std::vector<std::size_t> community(n_int);
+  for (std::size_t i = 0; i < n_int; ++i) {
+    activity[i] = unit_mean_lognormal(rng, spec.node_activity_sigma);
+    community[i] = i % communities;  // balanced assignment
+  }
+  std::vector<double> popularity(n_ext);
+  for (std::size_t e = 0; e < n_ext; ++e)
+    popularity[e] = unit_mean_lognormal(rng, spec.external_popularity_sigma);
+
+  std::vector<Contact> contacts;
+
+  auto emit_pair = [&](NodeId a, NodeId b, double mean_contacts,
+                       const DurationModel& durations) {
+    if (mean_contacts <= 0.0) return;
+    const std::size_t count = sample_poisson(rng, mean_contacts);
+    if (count == 0) return;
+    const auto begins =
+        sample_event_times(rng, spec.profile, spec.duration, count);
+    // The experiment (and its scanning) stops at spec.duration: clip.
+    const double trace_end =
+        std::ceil(spec.duration / spec.granularity) * spec.granularity;
+    for (double begin : begins) {
+      const double length = durations.sample(rng, spec.granularity);
+      Contact c{a, b, begin, begin + length};
+      c = quantize_contact(c, spec.granularity);
+      c.end = std::min(c.end, trace_end);
+      if (c.end > c.begin) contacts.push_back(c);
+    }
+  };
+
+  // Internal-internal pairs.
+  for (std::size_t i = 0; i < n_int; ++i) {
+    for (std::size_t j = i + 1; j < n_int; ++j) {
+      const bool same = community[i] == community[j];
+      const double mean = spec.pair_contacts_mean *
+                          (same ? spec.intra_boost : 1.0) * activity[i] *
+                          activity[j];
+      emit_pair(static_cast<NodeId>(i), static_cast<NodeId>(j), mean,
+                same ? spec.intra_duration : spec.cross_duration);
+    }
+  }
+
+  // Internal-external pairs: the experimental device logs the sighting.
+  for (std::size_t i = 0; i < n_int; ++i) {
+    for (std::size_t e = 0; e < n_ext; ++e) {
+      const double mean =
+          spec.external_pair_contacts_mean * activity[i] * popularity[e];
+      emit_pair(static_cast<NodeId>(i), static_cast<NodeId>(n_int + e), mean,
+                spec.cross_duration);
+    }
+  }
+
+  // Gatherings: co-location episodes creating clique-shaped
+  // contemporaneous contacts among the attendees.
+  if (spec.gatherings.per_day > 0.0 && communities >= 1) {
+    const GatheringModel& gm = spec.gatherings;
+    const double days = spec.duration / 86400.0;
+    const std::size_t count = sample_poisson(rng, gm.per_day * days);
+    const auto starts =
+        sample_event_times(rng, spec.profile, spec.duration, count);
+    const double mu =
+        std::log(gm.duration_mean) - 0.5 * gm.duration_sigma * gm.duration_sigma;
+    for (double start : starts) {
+      const std::size_t host = rng.below(communities);
+      const bool plenary = rng.bernoulli(gm.plenary_prob);
+      const double length = sample_lognormal(rng, mu, gm.duration_sigma) *
+                            (plenary ? gm.plenary_length_factor : 1.0);
+      // Attendee presence windows within [start, start + length].
+      std::vector<std::pair<double, double>> stays;  // (arrive, depart)
+      std::vector<NodeId> who;
+      for (std::size_t i = 0; i < n_int; ++i) {
+        const bool member = plenary || community[i] == host;
+        if (!rng.bernoulli(member ? gm.member_prob : gm.outsider_prob))
+          continue;
+        double arrive, depart;
+        if (member && !plenary) {
+          // Community members sit through their session together: the
+          // long "familiar people" contacts of §6.2.
+          arrive = start + rng.uniform(0.0, 0.3 * length);
+          depart = start + rng.uniform(0.7 * length, length);
+        } else {
+          // Outsiders drop by briefly; in plenaries (breaks, meals)
+          // everyone circulates, so pairwise co-location is brief even
+          // though the crowd is large -- these are the short shortcut
+          // contacts duration-filtering removes.
+          const double stay = gm.outsider_stay_fraction * length;
+          arrive = start + rng.uniform(0.0, length - stay);
+          depart = arrive + stay;
+        }
+        who.push_back(static_cast<NodeId>(i));
+        stays.emplace_back(arrive, depart);
+      }
+      for (std::size_t a = 0; a < who.size(); ++a) {
+        for (std::size_t b = a + 1; b < who.size(); ++b) {
+          const double begin = std::max(stays[a].first, stays[b].first);
+          const double end = std::min(stays[a].second, stays[b].second);
+          if (begin >= end) continue;
+          Contact c{who[a], who[b], begin, end};
+          c = quantize_contact(c, spec.granularity);
+          const double trace_end =
+              std::ceil(spec.duration / spec.granularity) * spec.granularity;
+          c.end = std::min(c.end, trace_end);
+          if (c.end > c.begin) contacts.push_back(c);
+        }
+      }
+    }
+  }
+
+  contacts = merge_overlapping_contacts(std::move(contacts));
+  SyntheticTrace trace{TemporalGraph(n_int + n_ext, std::move(contacts)),
+                       n_int, spec.name};
+  return trace;
+}
+
+}  // namespace odtn

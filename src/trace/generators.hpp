@@ -1,0 +1,113 @@
+// Synthetic mobility trace generator.
+//
+// Generates scan-style contact traces with the structural properties the
+// paper's empirical study relies on:
+//  * per-node activity heterogeneity (lognormal multipliers),
+//  * community structure -- pairs inside a community meet more often and
+//    longer ("familiar" people), cross-community contacts are mostly
+//    single-scan encounters that bridge the communities (§6.2 shows these
+//    short contacts are what keeps the diameter small),
+//  * diurnal/weekly activity cycles,
+//  * heavy-tailed contact durations with a large single-scan mass,
+//  * optional external devices: nodes seen by experimental devices whose
+//    own mutual contacts are unobserved (as in Hong-Kong / Infocom).
+//
+// Internal devices are node ids [0, num_internal); external devices
+// follow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+#include "trace/mobility_model.hpp"
+
+namespace odtn {
+
+/// Co-location episodes ("gatherings"): conference sessions, meals,
+/// hallway clusters, lab meetings. All attendees of a gathering are
+/// pairwise in contact while their stays overlap, which gives the
+/// instantaneous contact graph the transitivity (triangles) real
+/// proximity traces have -- without it, the last percentile of flooding
+/// success at small time scales needs unrealistically deep relay chains
+/// and the measured diameter overshoots the paper's 4-6 hops.
+struct GatheringModel {
+  double per_day = 0.0;        ///< expected gatherings per day (0 = off)
+  double member_prob = 0.6;    ///< attendance prob. for community members
+  double outsider_prob = 0.04; ///< attendance prob. for everyone else
+  double duration_mean = 12.0 * 60.0;  ///< mean episode length (seconds)
+  double duration_sigma = 0.8;         ///< lognormal sigma of the length
+  /// Probability a gathering is a plenary (coffee break, meal): every
+  /// node attends with member_prob regardless of community.
+  double plenary_prob = 0.0;
+  /// Outsiders only drop by: their stay covers this fraction of the
+  /// gathering (members stay for most of it). These brief visits are the
+  /// short cross-community contacts that bridge the network (§6.2).
+  double outsider_stay_fraction = 0.3;
+  /// Plenaries (breaks, meals) last this many times longer than regular
+  /// gatherings, but everyone circulates (brief pairwise stays).
+  double plenary_length_factor = 3.0;
+};
+
+/// Full parameterization of one synthetic data set.
+struct SyntheticTraceSpec {
+  std::string name = "synthetic";
+  std::size_t num_internal = 40;
+  std::size_t num_external = 0;
+  double duration = 3.0 * 86400.0;
+  double granularity = 120.0;
+
+  /// Expected contacts per internal-internal pair over the whole trace
+  /// for a cross-community pair of average-activity nodes.
+  double pair_contacts_mean = 5.0;
+  /// Same-community pairs meet intra_boost times more often.
+  std::size_t num_communities = 4;
+  double intra_boost = 4.0;
+
+  /// Expected contacts per (internal, external) pair over the whole
+  /// trace for an external device of average popularity.
+  double external_pair_contacts_mean = 0.0;
+  /// Lognormal sigma of external device popularity (hubs vs passers-by).
+  double external_popularity_sigma = 1.0;
+
+  /// Lognormal sigma of per-internal-node activity multipliers.
+  double node_activity_sigma = 0.6;
+
+  ActivityProfile profile = ActivityProfile::flat();
+
+  /// Durations of same-community contacts (longer, "familiar" people).
+  DurationModel intra_duration{0.55, 1.05, 6.0 * 3600.0};
+  /// Durations of cross-community and external contacts (mostly one scan).
+  DurationModel cross_duration{0.92, 1.4, 1.0 * 3600.0};
+
+  /// Co-location episodes among (mostly) community members.
+  GatheringModel gatherings;
+};
+
+/// A generated data set: the temporal graph plus which nodes are
+/// experimental (internal) devices.
+struct SyntheticTrace {
+  TemporalGraph graph;
+  std::size_t num_internal = 0;
+  std::string name;
+
+  /// Node ids of the experimental devices, i.e. [0, num_internal).
+  std::vector<NodeId> internal_nodes() const;
+
+  /// Contacts where both endpoints are internal.
+  std::size_t internal_contact_count() const;
+
+  /// Contacts with at least one external endpoint.
+  std::size_t external_contact_count() const;
+
+  /// Contacts per internal device per `unit` seconds, counting internal
+  /// contacts twice (both endpoints log them) and external once.
+  double internal_contact_rate(double unit, bool include_external) const;
+};
+
+/// Deterministically generates the data set described by `spec`.
+SyntheticTrace generate_trace(const SyntheticTraceSpec& spec,
+                              std::uint64_t seed);
+
+}  // namespace odtn

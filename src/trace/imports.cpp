@@ -1,0 +1,124 @@
+#include "trace/imports.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace odtn {
+namespace {
+
+[[noreturn]] void fail(const char* format_name, std::size_t line,
+                       const std::string& message) {
+  throw std::runtime_error(std::string(format_name) + " parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+bool is_comment_or_blank(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#' || c == ';';
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+TemporalGraph import_crawdad_contacts(std::istream& in) {
+  struct RawContact {
+    long u, v;
+    double begin, end;
+  };
+  std::vector<RawContact> raw;
+  std::string line;
+  std::size_t line_no = 0;
+  long min_id = std::numeric_limits<long>::max();
+  long max_id = std::numeric_limits<long>::min();
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (is_comment_or_blank(line)) continue;
+    std::istringstream row(line);
+    RawContact c{};
+    if (!(row >> c.u >> c.v >> c.begin >> c.end))
+      fail("crawdad", line_no, "expected 'u v start end'");
+    if (c.u < 0 || c.v < 0) fail("crawdad", line_no, "negative node id");
+    if (c.u == c.v) fail("crawdad", line_no, "self contact");
+    if (c.end < c.begin) fail("crawdad", line_no, "end before start");
+    min_id = std::min({min_id, c.u, c.v});
+    max_id = std::max({max_id, c.u, c.v});
+    raw.push_back(c);
+  }
+  if (raw.empty()) return TemporalGraph(0, {});
+  // 1-based data sets never use id 0; shift them down.
+  const long shift = min_id >= 1 ? 1 : 0;
+  std::vector<Contact> contacts;
+  contacts.reserve(raw.size());
+  for (const RawContact& c : raw)
+    contacts.push_back({static_cast<NodeId>(c.u - shift),
+                        static_cast<NodeId>(c.v - shift), c.begin, c.end});
+  return TemporalGraph(static_cast<std::size_t>(max_id - shift + 1),
+                       std::move(contacts));
+}
+
+TemporalGraph import_one_events(std::istream& in) {
+  std::map<std::pair<long, long>, double> open;  // pair -> up time
+  std::vector<Contact> contacts;
+  long max_id = -1;
+  double last_time = 0.0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (is_comment_or_blank(line)) continue;
+    std::istringstream row(line);
+    double time = 0.0;
+    std::string kind, state;
+    long u = 0, v = 0;
+    if (!(row >> time >> kind >> u >> v >> state))
+      fail("ONE", line_no, "expected '<time> CONN <u> <v> up|down'");
+    if (kind != "CONN") continue;  // other ONE event types are ignored
+    if (u < 0 || v < 0 || u == v) fail("ONE", line_no, "bad node pair");
+    if (time < last_time) fail("ONE", line_no, "events out of order");
+    last_time = std::max(last_time, time);
+    max_id = std::max({max_id, u, v});
+    const auto key = std::minmax(u, v);
+    if (state == "up") {
+      if (!open.emplace(key, time).second)
+        fail("ONE", line_no, "connection already up");
+    } else if (state == "down") {
+      const auto it = open.find(key);
+      if (it == open.end()) fail("ONE", line_no, "down without up");
+      contacts.push_back({static_cast<NodeId>(key.first),
+                          static_cast<NodeId>(key.second), it->second, time});
+      open.erase(it);
+    } else {
+      fail("ONE", line_no, "state must be 'up' or 'down'");
+    }
+  }
+  // Close connections still open at the end of input.
+  for (const auto& [key, up_time] : open)
+    contacts.push_back({static_cast<NodeId>(key.first),
+                        static_cast<NodeId>(key.second), up_time, last_time});
+  return TemporalGraph(static_cast<std::size_t>(max_id + 1),
+                       std::move(contacts));
+}
+
+TemporalGraph import_crawdad_contacts_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return import_crawdad_contacts(in);
+}
+
+TemporalGraph import_one_events_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return import_one_events(in);
+}
+
+}  // namespace odtn

@@ -1,0 +1,39 @@
+// Importers for published contact-trace formats.
+//
+// The real data sets behind the paper are distributed in a handful of
+// ad-hoc text formats. These importers turn the two most common ones
+// into TemporalGraphs so the full pipeline (stats, CDFs, diameter,
+// transforms) runs on real downloads unchanged:
+//
+//  * CRAWDAD/Haggle contact lists: whitespace-separated
+//        <u> <v> <start> <end> [extra columns ignored]
+//    with 1-based or 0-based ids (auto-detected) and integer seconds.
+//  * ONE simulator connection events:
+//        <time> CONN <u> <v> up|down
+//    (pairs open with "up" and close with "down"; connections still
+//    open at the end of input are closed at the last event time).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// Parses a CRAWDAD-style contact list. Lines starting with '#' or ';'
+/// and blank lines are skipped; extra columns beyond the fourth are
+/// ignored. Node ids may start at 0 or 1 (auto-shifted to 0-based).
+/// Throws std::runtime_error with a line number on malformed input.
+TemporalGraph import_crawdad_contacts(std::istream& in);
+
+/// Parses ONE simulator connectivity events ("<time> CONN <u> <v> up" /
+/// "... down"). Unmatched "down" events and malformed lines throw;
+/// connections left open are closed at the maximum event time seen.
+TemporalGraph import_one_events(std::istream& in);
+
+/// File variants; throw std::runtime_error when unreadable.
+TemporalGraph import_crawdad_contacts_file(const std::string& path);
+TemporalGraph import_one_events_file(const std::string& path);
+
+}  // namespace odtn

@@ -1,0 +1,44 @@
+// Inter-contact time analysis.
+//
+// The inter-contact time -- the gap between two successive contacts of
+// the same device pair -- is THE statistic prior characterization work
+// focused on ([2], [9] in the paper): its aggregated distribution shows
+// a power-law-like body up to about half a day followed by an
+// exponential decay. §3.4 notes the base model's light-tailed
+// assumption "holds only at the timescale of days and weeks". This
+// module extracts per-pair gaps and the aggregated CCDF from any trace
+// so the assumption can be checked (bench_ext_intercontact).
+#pragma once
+
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// All inter-contact gaps of one unordered pair: time from the end of a
+/// contact to the begin of the pair's next contact. Pairs with fewer
+/// than two contacts contribute nothing.
+std::vector<double> pair_inter_contact_times(const TemporalGraph& graph,
+                                             NodeId u, NodeId v);
+
+/// Aggregated gaps over all pairs (the paper's [2] aggregation).
+std::vector<double> all_inter_contact_times(const TemporalGraph& graph);
+
+/// Summary of the aggregated inter-contact distribution.
+struct InterContactSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  /// Tail exponent estimate (Hill-style, over the top `tail_fraction`
+  /// of the sample); large values indicate light tails.
+  double tail_exponent = 0.0;
+};
+
+/// Computes the summary; `tail_fraction` in (0, 1] selects the upper
+/// order statistics used for the tail-exponent estimate.
+InterContactSummary summarize_inter_contact(const TemporalGraph& graph,
+                                            double tail_fraction = 0.1);
+
+}  // namespace odtn

@@ -1,0 +1,116 @@
+#include "trace/mobility_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/samplers.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+
+ActivityProfile::ActivityProfile() {
+  hourly_.fill(1.0);
+  weekly_.fill(1.0);
+  max_ = 1.0;
+}
+
+ActivityProfile::ActivityProfile(std::array<double, 24> hourly,
+                                 std::array<double, 7> weekly)
+    : hourly_(hourly), weekly_(weekly) {
+  double max_h = 0.0, max_w = 0.0;
+  for (double h : hourly_) max_h = std::max(max_h, h);
+  for (double w : weekly_) max_w = std::max(max_w, w);
+  max_ = max_h * max_w;
+}
+
+double ActivityProfile::value_at(double t) const noexcept {
+  if (t < 0) t = 0;
+  const double day_seconds = std::fmod(t, kDay);
+  const auto hour = static_cast<std::size_t>(day_seconds / kHour) % 24;
+  const auto day = static_cast<std::size_t>(t / kDay) % 7;
+  return hourly_[hour] * weekly_[day];
+}
+
+ActivityProfile ActivityProfile::conference() {
+  std::array<double, 24> hourly{};
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (h >= 9 && h < 18) {
+      hourly[h] = 1.0;  // sessions and breaks
+    } else if (h >= 18 && h < 23) {
+      hourly[h] = 0.35;  // evening social events
+    } else {
+      hourly[h] = 0.02;  // night
+    }
+  }
+  std::array<double, 7> weekly{};
+  weekly.fill(1.0);
+  return ActivityProfile(hourly, weekly);
+}
+
+ActivityProfile ActivityProfile::campus() {
+  std::array<double, 24> hourly{};
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (h >= 9 && h < 17) {
+      hourly[h] = 1.0;  // classes / lab hours
+    } else if ((h >= 7 && h < 9) || (h >= 17 && h < 22)) {
+      hourly[h] = 0.4;
+    } else {
+      hourly[h] = 0.05;
+    }
+  }
+  std::array<double, 7> weekly{1.0, 1.0, 1.0, 1.0, 1.0, 0.35, 0.3};
+  return ActivityProfile(hourly, weekly);
+}
+
+ActivityProfile ActivityProfile::city() {
+  std::array<double, 24> hourly{};
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (h >= 8 && h < 23) {
+      hourly[h] = 1.0;
+    } else {
+      hourly[h] = 0.15;
+    }
+  }
+  std::array<double, 7> weekly{};
+  weekly.fill(1.0);
+  return ActivityProfile(hourly, weekly);
+}
+
+std::vector<double> sample_event_times(Rng& rng,
+                                       const ActivityProfile& profile,
+                                       double duration, std::size_t count) {
+  assert(duration > 0.0);
+  std::vector<double> times;
+  times.reserve(count);
+  const double ceiling = profile.max_value();
+  while (times.size() < count) {
+    const double t = rng.uniform(0.0, duration);
+    if (rng.next_double() * ceiling <= profile.value_at(t))
+      times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+double DurationModel::sample(Rng& rng, double granularity) const {
+  if (rng.bernoulli(short_fraction)) return granularity;
+  return sample_bounded_pareto(rng, granularity,
+                               std::max(max_duration, granularity * 2.0),
+                               alpha);
+}
+
+Contact quantize_contact(const Contact& c, double granularity) noexcept {
+  assert(granularity > 0.0);
+  Contact out = c;
+  out.begin = std::floor(c.begin / granularity) * granularity;
+  // A periodic scanner sees the contact on round(duration / g) scans
+  // (at least one): a device seen during a single scan yields exactly a
+  // one-interval contact, as in the paper's Figure 7 discussion.
+  const double scans =
+      std::max(1.0, std::round(c.duration() / granularity));
+  out.end = out.begin + scans * granularity;
+  return out;
+}
+
+}  // namespace odtn

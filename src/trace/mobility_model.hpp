@@ -1,0 +1,71 @@
+// Building blocks of the synthetic mobility model.
+//
+// The four experimental data sets of the paper are proprietary; the
+// generators in trace/generators.hpp stand in for them. This header holds
+// the reusable pieces: diurnal/weekly activity shaping, heavy-tailed
+// contact-duration sampling, and scanner-granularity quantization -- the
+// structural properties the paper's conclusions rest on.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/contact.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Piecewise-constant relative activity by hour-of-day (period 24 h),
+/// optionally modulated by day-of-week (period 7 days, day 0 = trace
+/// start). Values are relative weights; value_at is their product.
+class ActivityProfile {
+ public:
+  ActivityProfile();  ///< flat (always 1)
+  ActivityProfile(std::array<double, 24> hourly, std::array<double, 7> weekly);
+
+  double value_at(double time_seconds) const noexcept;
+  double max_value() const noexcept { return max_; }
+
+  /// Conference hours: active 9h-18h with a strong day bias and a small
+  /// evening social tail; identical every day (conferences ignore
+  /// weekends).
+  static ActivityProfile conference();
+
+  /// Campus life: workday peaks, quiet nights, reduced weekends.
+  static ActivityProfile campus();
+
+  /// City roaming: mild daytime bias, every day alike.
+  static ActivityProfile city();
+
+  static ActivityProfile flat() { return ActivityProfile(); }
+
+ private:
+  std::array<double, 24> hourly_;
+  std::array<double, 7> weekly_;
+  double max_ = 1.0;
+};
+
+/// Samples `count` event times over [0, duration] with density
+/// proportional to profile.value_at (rejection sampling). Sorted output.
+std::vector<double> sample_event_times(Rng& rng, const ActivityProfile& profile,
+                                       double duration, std::size_t count);
+
+/// Contact-duration mixture: with probability `short_fraction` the
+/// contact lasts exactly one scan interval (granularity); otherwise it is
+/// bounded-Pareto(granularity, max_duration, alpha) -- a heavy tail of
+/// minutes-to-hours contacts, as in Figure 7 of the paper.
+struct DurationModel {
+  double short_fraction = 0.75;
+  double alpha = 1.1;
+  double max_duration = 4.0 * 3600.0;
+
+  double sample(Rng& rng, double granularity) const;
+};
+
+/// Quantizes a raw contact to scanner granularity g: the begin snaps to
+/// the scan tick at or before it, and the duration rounds up to a whole
+/// number of scan intervals (a device seen during one scan yields a
+/// one-interval contact). Requires g > 0.
+Contact quantize_contact(const Contact& c, double granularity) noexcept;
+
+}  // namespace odtn

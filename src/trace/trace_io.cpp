@@ -1,0 +1,90 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace odtn {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+TemporalGraph read_trace(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_magic = false;
+  bool saw_nodes = false;
+  std::size_t num_nodes = 0;
+  bool directed = false;
+  std::vector<Contact> contacts;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim trailing CR for files written on other platforms.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::string key;
+      hdr >> key;
+      if (key == "odtn-trace") {
+        saw_magic = true;
+      } else if (key == "nodes") {
+        if (!(hdr >> num_nodes)) fail(line_no, "bad '# nodes' header");
+        saw_nodes = true;
+      } else if (key == "directed") {
+        int flag = 0;
+        if (!(hdr >> flag) || (flag != 0 && flag != 1))
+          fail(line_no, "bad '# directed' header");
+        directed = flag == 1;
+      }
+      continue;  // other comments ignored
+    }
+    if (!saw_magic) fail(line_no, "missing '# odtn-trace v1' magic");
+    if (!saw_nodes) fail(line_no, "contact before '# nodes' header");
+    std::istringstream row(line);
+    unsigned long u = 0, v = 0;
+    double begin = 0.0, end = 0.0;
+    if (!(row >> u >> v >> begin >> end))
+      fail(line_no, "expected 'u v begin end'");
+    std::string trailing;
+    if (row >> trailing) fail(line_no, "trailing data: '" + trailing + "'");
+    const Contact c{static_cast<NodeId>(u), static_cast<NodeId>(v), begin,
+                    end};
+    if (u >= num_nodes || v >= num_nodes) fail(line_no, "node out of range");
+    if (!is_valid_contact(c)) fail(line_no, "malformed contact");
+    contacts.push_back(c);
+  }
+  if (!saw_magic) throw std::runtime_error("trace parse error: empty input");
+  return TemporalGraph(num_nodes, std::move(contacts), directed);
+}
+
+TemporalGraph read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const TemporalGraph& graph) {
+  out << "# odtn-trace v1\n";
+  out << "# nodes " << graph.num_nodes() << "\n";
+  out << "# directed " << (graph.directed() ? 1 : 0) << "\n";
+  out.precision(17);
+  for (const Contact& c : graph.contacts())
+    out << c.u << ' ' << c.v << ' ' << c.begin << ' ' << c.end << '\n';
+}
+
+void write_trace_file(const std::string& path, const TemporalGraph& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  write_trace(out, graph);
+  if (!out) throw std::runtime_error("error while writing: " + path);
+}
+
+}  // namespace odtn

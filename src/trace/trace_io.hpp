@@ -1,0 +1,34 @@
+// Plain-text contact trace format.
+//
+//   # odtn-trace v1          (magic, required first line)
+//   # nodes <N>              (required)
+//   # directed <0|1>         (optional, default 0)
+//   <u> <v> <begin> <end>    (one contact per line)
+//
+// Comments (#) and blank lines are allowed anywhere. Timestamps are
+// seconds as decimal doubles. This mirrors the shape of the published
+// Haggle / Reality-Mining contact lists so real traces can be converted
+// with a one-line awk script.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// Parses a trace; throws std::runtime_error with a line number on any
+/// malformed input.
+TemporalGraph read_trace(std::istream& in);
+
+/// Reads the file at `path`; throws std::runtime_error if unreadable.
+TemporalGraph read_trace_file(const std::string& path);
+
+/// Writes `graph` in the format above.
+void write_trace(std::ostream& out, const TemporalGraph& graph);
+
+/// Writes to the file at `path`; throws std::runtime_error on failure.
+void write_trace_file(const std::string& path, const TemporalGraph& graph);
+
+}  // namespace odtn

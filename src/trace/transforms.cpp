@@ -1,0 +1,51 @@
+#include "trace/transforms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odtn {
+
+TemporalGraph remove_contacts_random(const TemporalGraph& graph,
+                                     double removal_prob, Rng& rng) {
+  if (removal_prob < 0.0 || removal_prob > 1.0)
+    throw std::invalid_argument("removal_prob must be in [0, 1]");
+  std::vector<Contact> kept;
+  kept.reserve(graph.num_contacts());
+  for (const Contact& c : graph.contacts())
+    if (!rng.bernoulli(removal_prob)) kept.push_back(c);
+  return TemporalGraph(graph.num_nodes(), std::move(kept), graph.directed());
+}
+
+TemporalGraph remove_contacts_shorter_than(const TemporalGraph& graph,
+                                           double min_duration) {
+  std::vector<Contact> kept;
+  kept.reserve(graph.num_contacts());
+  for (const Contact& c : graph.contacts())
+    if (c.duration() >= min_duration) kept.push_back(c);
+  return TemporalGraph(graph.num_nodes(), std::move(kept), graph.directed());
+}
+
+TemporalGraph keep_internal_contacts(const TemporalGraph& graph,
+                                     std::size_t num_internal) {
+  if (num_internal > graph.num_nodes())
+    throw std::invalid_argument("keep_internal_contacts: bad num_internal");
+  std::vector<Contact> kept;
+  for (const Contact& c : graph.contacts())
+    if (c.u < num_internal && c.v < num_internal) kept.push_back(c);
+  return TemporalGraph(num_internal, std::move(kept), graph.directed());
+}
+
+TemporalGraph restrict_time_window(const TemporalGraph& graph, double t_lo,
+                                   double t_hi) {
+  if (!(t_lo < t_hi))
+    throw std::invalid_argument("restrict_time_window: empty window");
+  std::vector<Contact> kept;
+  for (Contact c : graph.contacts()) {
+    c.begin = std::max(c.begin, t_lo);
+    c.end = std::min(c.end, t_hi);
+    if (c.begin < c.end) kept.push_back(c);
+  }
+  return TemporalGraph(graph.num_nodes(), std::move(kept), graph.directed());
+}
+
+}  // namespace odtn

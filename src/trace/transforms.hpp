@@ -1,0 +1,35 @@
+// Trace transforms: the contact-removal methodology of paper §6.
+//
+// "Each contact is either kept or removed according to a given rule fixed
+// in advance", then the diameter and delay are re-measured. Also provides
+// time-window restriction (§6 uses the second day of Infocom06).
+#pragma once
+
+#include "core/temporal_graph.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Removes each contact independently with probability `removal_prob`
+/// (§6.1, Figure 10).
+TemporalGraph remove_contacts_random(const TemporalGraph& graph,
+                                     double removal_prob, Rng& rng);
+
+/// Removes every contact lasting strictly less than `min_duration`
+/// seconds (§6.2, Figure 11).
+TemporalGraph remove_contacts_shorter_than(const TemporalGraph& graph,
+                                           double min_duration);
+
+/// Keeps only contacts intersecting [t_lo, t_hi], clipped to the window.
+/// Zero-length clipped leftovers are dropped.
+TemporalGraph restrict_time_window(const TemporalGraph& graph, double t_lo,
+                                   double t_hi);
+
+/// Keeps only contacts whose both endpoints are experimental (internal)
+/// devices, i.e. node ids < num_internal; the node set shrinks to the
+/// internal devices. Matches the paper's default of analyzing internal
+/// contacts only.
+TemporalGraph keep_internal_contacts(const TemporalGraph& graph,
+                                     std::size_t num_internal);
+
+}  // namespace odtn

@@ -1,0 +1,119 @@
+#include "trace/wlan_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/samplers.hpp"
+
+namespace odtn {
+namespace {
+
+/// One AP association session.
+struct Session {
+  NodeId device;
+  double begin;
+  double end;
+};
+
+}  // namespace
+
+WlanTrace generate_wlan_trace(const WlanTraceSpec& spec, std::uint64_t seed) {
+  if (spec.num_devices < 2 || spec.num_access_points < 1)
+    throw std::invalid_argument("generate_wlan_trace: need devices and APs");
+  if (!(spec.duration > 0.0) || !(spec.session_mean > 0.0))
+    throw std::invalid_argument("generate_wlan_trace: bad durations");
+
+  Rng rng(seed);
+
+  // AP popularity (unit mean) and its cumulative distribution for
+  // popularity-weighted selection.
+  std::vector<double> popularity(spec.num_access_points);
+  double total_popularity = 0.0;
+  for (double& p : popularity) {
+    p = sample_lognormal(rng,
+                         -0.5 * spec.ap_popularity_sigma *
+                             spec.ap_popularity_sigma,
+                         spec.ap_popularity_sigma);
+    total_popularity += p;
+  }
+  std::vector<double> cumulative(spec.num_access_points);
+  double acc = 0.0;
+  for (std::size_t a = 0; a < popularity.size(); ++a) {
+    acc += popularity[a];
+    cumulative[a] = acc;
+  }
+  auto sample_popular_ap = [&]() -> std::size_t {
+    const double u = rng.uniform(0.0, total_popularity);
+    return static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+  };
+
+  // Home APs per device (popularity-biased, like dorms near hubs).
+  const std::size_t homes =
+      std::min(std::max<std::size_t>(1, spec.home_aps),
+               spec.num_access_points);
+  std::vector<std::vector<std::size_t>> home(spec.num_devices);
+  for (auto& h : home) {
+    while (h.size() < homes) {
+      const std::size_t ap = sample_popular_ap();
+      if (std::find(h.begin(), h.end(), ap) == h.end()) h.push_back(ap);
+    }
+  }
+
+  // Sessions per device, diurnally shaped.
+  const double mu = std::log(spec.session_mean) -
+                    0.5 * spec.session_sigma * spec.session_sigma;
+  std::vector<std::vector<Session>> by_ap(spec.num_access_points);
+  std::size_t num_sessions = 0;
+  for (NodeId device = 0; device < spec.num_devices; ++device) {
+    const double days = spec.duration / 86400.0;
+    const std::size_t count =
+        sample_poisson(rng, spec.sessions_per_day * days);
+    const auto starts =
+        sample_event_times(rng, spec.profile, spec.duration, count);
+    for (double start : starts) {
+      const std::size_t ap = rng.bernoulli(spec.home_ap_bias)
+                                 ? home[device][rng.below(homes)]
+                                 : sample_popular_ap();
+      const double length = sample_lognormal(rng, mu, spec.session_sigma);
+      by_ap[ap].push_back(
+          {device, start, std::min(start + length, spec.duration)});
+      ++num_sessions;
+    }
+  }
+
+  // Contacts: pairwise co-association overlaps, per AP, by sweep.
+  std::vector<Contact> contacts;
+  for (auto& sessions : by_ap) {
+    std::sort(sessions.begin(), sessions.end(),
+              [](const Session& a, const Session& b) {
+                return a.begin < b.begin;
+              });
+    // Active set of sessions still open when the next one begins.
+    std::vector<const Session*> active;
+    for (const Session& s : sessions) {
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](const Session* open) {
+                                    return open->end <= s.begin;
+                                  }),
+                   active.end());
+      for (const Session* open : active) {
+        if (open->device == s.device) continue;
+        const double begin = s.begin;  // >= open->begin by sort order
+        const double end = std::min(open->end, s.end);
+        if (begin < end)
+          contacts.push_back({open->device, s.device, begin, end});
+      }
+      active.push_back(&s);
+    }
+  }
+
+  contacts = merge_overlapping_contacts(std::move(contacts));
+  return {TemporalGraph(spec.num_devices, std::move(contacts)),
+          num_sessions};
+}
+
+}  // namespace odtn

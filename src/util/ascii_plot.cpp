@@ -1,0 +1,111 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'};
+
+double transform_x(double x, bool log_x) {
+  return log_x ? std::log10(x) : x;
+}
+
+std::string format_tick(double v, bool as_duration) {
+  if (as_duration) return format_duration(v);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_ascii_plot(const std::vector<PlotSeries>& series,
+                              const PlotOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -std::numeric_limits<double>::infinity();
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double x = s.x[i], y = s.y[i];
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      if (options.log_x && x <= 0.0) continue;
+      const double tx = transform_x(x, options.log_x);
+      x_lo = std::min(x_lo, tx);
+      x_hi = std::max(x_hi, tx);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  if (!(x_lo < x_hi)) x_hi = x_lo + 1.0;
+  if (options.y_min < options.y_max) {
+    y_lo = options.y_min;
+    y_hi = options.y_max;
+  } else if (!(y_lo < y_hi)) {
+    y_hi = y_lo + 1.0;
+  }
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double x = s.x[i], y = s.y[i];
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      if (options.log_x && x <= 0.0) continue;
+      const double tx = transform_x(x, options.log_x);
+      int col = static_cast<int>(std::lround((tx - x_lo) / (x_hi - x_lo) * (w - 1)));
+      int row = static_cast<int>(std::lround((y - y_lo) / (y_hi - y_lo) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[h - 1 - row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.y_label.empty()) out += options.y_label + "\n";
+  char buf[64];
+  for (int r = 0; r < h; ++r) {
+    const double y = y_hi - (y_hi - y_lo) * r / (h - 1);
+    std::snprintf(buf, sizeof buf, "%9.3g |", y);
+    out += buf;
+    out += grid[r];
+    out += '\n';
+  }
+  out += "          +" + std::string(w, '-') + "\n";
+
+  const double x_left = options.log_x ? std::pow(10.0, x_lo) : x_lo;
+  const double x_mid =
+      options.log_x ? std::pow(10.0, 0.5 * (x_lo + x_hi)) : 0.5 * (x_lo + x_hi);
+  const double x_right = options.log_x ? std::pow(10.0, x_hi) : x_hi;
+  const std::string lt = format_tick(x_left, options.x_as_duration);
+  const std::string mt = format_tick(x_mid, options.x_as_duration);
+  const std::string rt = format_tick(x_right, options.x_as_duration);
+  std::string axis = "           " + lt;
+  const int mid_col = 11 + w / 2 - static_cast<int>(mt.size()) / 2;
+  while (static_cast<int>(axis.size()) < mid_col) axis += ' ';
+  axis += mt;
+  const int right_col = 11 + w - static_cast<int>(rt.size());
+  while (static_cast<int>(axis.size()) < right_col) axis += ' ';
+  axis += rt;
+  out += axis + "\n";
+  if (!options.x_label.empty()) out += "           [" + options.x_label + "]\n";
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "   ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " = " + series[si].label + "\n";
+  }
+  return out;
+}
+
+}  // namespace odtn

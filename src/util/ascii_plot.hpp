@@ -1,0 +1,37 @@
+// ASCII line plots for bench output.
+//
+// Every figure-reproduction bench prints its series both as numeric rows
+// (and a CSV file) and as a small ASCII chart so the *shape* of the paper's
+// figure is visible directly in the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace odtn {
+
+/// One named series of a plot; x and y must have equal length.
+struct PlotSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options controlling chart rendering.
+struct PlotOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 18;       ///< plot area height in characters
+  bool log_x = false;    ///< logarithmic x axis (x values must be > 0)
+  std::string x_label;   ///< axis caption printed under the chart
+  std::string y_label;   ///< caption printed above the chart
+  bool x_as_duration = false;  ///< format x ticks via format_duration
+  double y_min = 0.0;    ///< fixed y range when y_min < y_max
+  double y_max = 0.0;
+};
+
+/// Renders the series into a multi-line string. Each series uses its own
+/// glyph; a legend is appended. Non-finite points are skipped.
+std::string render_ascii_plot(const std::vector<PlotSeries>& series,
+                              const PlotOptions& options);
+
+}  // namespace odtn

@@ -1,0 +1,40 @@
+// Minimal CSV writer used by benches to dump figure/table series alongside
+// the human-readable console output, so results can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odtn {
+
+/// Streams rows to a CSV file. Fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180. The file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; each field is escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats doubles with %.6g.
+  void write_numeric_row(const std::vector<double>& values);
+
+  /// Number of rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+}  // namespace odtn

@@ -1,0 +1,71 @@
+#include "util/samplers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace odtn {
+
+double sample_exponential(Rng& rng, double rate) {
+  assert(rate > 0.0);
+  // 1 - U is in (0, 1], so the log is finite.
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+std::uint64_t sample_geometric_trials(Rng& rng, double p) {
+  return sample_geometric_failures(rng, p) + 1;
+}
+
+std::uint64_t sample_geometric_failures(Rng& rng, double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = 1.0 - rng.next_double();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+double sample_pareto(Rng& rng, double xmin, double alpha) {
+  assert(xmin > 0.0 && alpha > 0.0);
+  const double u = 1.0 - rng.next_double();  // in (0, 1]
+  return xmin * std::pow(u, -1.0 / alpha);
+}
+
+double sample_bounded_pareto(Rng& rng, double lo, double hi, double alpha) {
+  assert(0.0 < lo && lo < hi && alpha > 0.0);
+  // Inverse-CDF of the truncated Pareto.
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double u = rng.next_double();
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  const double u1 = 1.0 - rng.next_double();  // avoid log(0)
+  const double u2 = rng.next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(6.283185307179586476925286766559 * u2);
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+std::uint64_t sample_poisson(Rng& rng, double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 256.0) {
+    // Inversion by sequential search.
+    const double l = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.next_double();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, adequate for the
+  // large-mean bulk sampling done by the trace generators.
+  const double x = sample_normal(rng, mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+}  // namespace odtn

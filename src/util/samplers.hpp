@@ -1,0 +1,40 @@
+// Distribution samplers used throughout the library.
+//
+// Kept as free functions over `Rng` (rather than stateful distribution
+// objects) so call sites stay explicit about what randomness they consume.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace odtn {
+
+/// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+double sample_exponential(Rng& rng, double rate);
+
+/// Number of Bernoulli(p) trials up to and including the first success
+/// (support {1, 2, ...}). Requires 0 < p <= 1.
+std::uint64_t sample_geometric_trials(Rng& rng, double p);
+
+/// Number of Bernoulli(p) failures before the first success
+/// (support {0, 1, ...}). Requires 0 < p <= 1.
+std::uint64_t sample_geometric_failures(Rng& rng, double p);
+
+/// Pareto with scale xmin > 0 and shape alpha > 0 (support [xmin, inf)).
+double sample_pareto(Rng& rng, double xmin, double alpha);
+
+/// Pareto truncated to [lo, hi], 0 < lo < hi, shape alpha > 0.
+double sample_bounded_pareto(Rng& rng, double lo, double hi, double alpha);
+
+/// Standard normal via Box-Muller (one value per call).
+double sample_normal(Rng& rng, double mean, double stddev);
+
+/// Log-normal: exp(Normal(mu, sigma)).
+double sample_lognormal(Rng& rng, double mu, double sigma);
+
+/// Poisson counting variable with the given mean >= 0.
+/// Uses inversion for small means and normal approximation above 256.
+std::uint64_t sample_poisson(Rng& rng, double mean);
+
+}  // namespace odtn

@@ -1,0 +1,51 @@
+#include "util/time_format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace odtn {
+namespace {
+
+std::string format_value(double value, const char* unit) {
+  char buf[64];
+  if (std::abs(value - std::round(value)) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_duration(double seconds) {
+  if (std::isnan(seconds)) return "nan";
+  if (std::isinf(seconds)) return seconds > 0 ? "inf" : "-inf";
+  if (seconds < 0) {
+    std::string out = format_duration(-seconds);
+    out.insert(out.begin(), '-');
+    return out;
+  }
+  if (seconds < kMinute) return format_value(seconds, "s");
+  if (seconds < kHour) return format_value(seconds / kMinute, "min");
+  if (seconds < kDay) return format_value(seconds / kHour, "h");
+  if (seconds < kWeek) return format_value(seconds / kDay, "d");
+  return format_value(seconds / kWeek, "wk");
+}
+
+std::string format_timestamp(double seconds) {
+  if (!std::isfinite(seconds)) return format_duration(seconds);
+  const bool negative = seconds < 0;
+  if (negative) seconds = -seconds;
+  const auto total = static_cast<long long>(seconds);
+  const long long day = total / static_cast<long long>(kDay);
+  const long long rem = total % static_cast<long long>(kDay);
+  const long long h = rem / 3600, m = (rem / 60) % 60, s = rem % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%lld+%02lld:%02lld:%02lld",
+                negative ? "-" : "", day, h, m, s);
+  return buf;
+}
+
+}  // namespace odtn

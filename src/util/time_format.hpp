@@ -1,0 +1,27 @@
+// Time constants and human-readable duration formatting.
+//
+// All timestamps in the library are doubles in seconds; these helpers keep
+// bench output and examples readable ("2 min", "6 hours", "1 week") in the
+// same units the paper's figures use.
+#pragma once
+
+#include <string>
+
+namespace odtn {
+
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 86400.0;
+inline constexpr double kWeek = 7.0 * kDay;
+
+/// Formats a duration in seconds as a short human-readable string, e.g.
+/// "2 min", "1.5 hours", "3 days", "inf". Negative values are prefixed
+/// with '-'.
+std::string format_duration(double seconds);
+
+/// Formats an absolute trace timestamp as "d+hh:mm:ss" (day index plus
+/// time of day), e.g. "2+14:03:20".
+std::string format_timestamp(double seconds);
+
+}  // namespace odtn

@@ -1,0 +1,204 @@
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/trace_io.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn::cli {
+namespace {
+
+TEST(ArgList, TakeOptionConsumes) {
+  ArgList args({"--seed", "42", "pos"});
+  EXPECT_EQ(args.take_option("seed"), "42");
+  EXPECT_EQ(args.take_option("seed"), std::nullopt);
+  EXPECT_EQ(args.take_positional(), "pos");
+  EXPECT_NO_THROW(args.expect_empty());
+}
+
+TEST(ArgList, MissingValueThrows) {
+  ArgList a({"--seed"});
+  EXPECT_THROW(a.take_option("seed"), CliError);
+  ArgList b({"--seed", "--other", "1"});
+  EXPECT_THROW(b.take_option("seed"), CliError);
+}
+
+TEST(ArgList, FlagsAndPositionalsAreIndependent) {
+  ArgList args({"file.txt", "--verbose"});
+  EXPECT_TRUE(args.take_flag("verbose"));
+  EXPECT_FALSE(args.take_flag("verbose"));
+  EXPECT_EQ(args.take_positional(), "file.txt");
+  EXPECT_EQ(args.take_positional(), std::nullopt);
+}
+
+TEST(ArgList, ExpectEmptyReportsLeftovers) {
+  ArgList args({"--bogus", "x"});
+  EXPECT_THROW(args.expect_empty(), CliError);
+}
+
+TEST(Parse, Numbers) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5", "x"), 3.5);
+  EXPECT_EQ(parse_long("-7", "x"), -7);
+  EXPECT_THROW(parse_double("abc", "x"), CliError);
+  EXPECT_THROW(parse_long("1.5", "x"), CliError);
+  EXPECT_THROW(parse_long("", "x"), CliError);
+}
+
+TEST(Parse, Durations) {
+  EXPECT_DOUBLE_EQ(parse_duration("90", "x"), 90.0);
+  EXPECT_DOUBLE_EQ(parse_duration("90s", "x"), 90.0);
+  EXPECT_DOUBLE_EQ(parse_duration("10min", "x"), 600.0);
+  EXPECT_DOUBLE_EQ(parse_duration("6h", "x"), 6 * kHour);
+  EXPECT_DOUBLE_EQ(parse_duration("2d", "x"), 2 * kDay);
+  EXPECT_DOUBLE_EQ(parse_duration("1wk", "x"), kWeek);
+  EXPECT_THROW(parse_duration("10parsec", "x"), CliError);
+  EXPECT_THROW(parse_duration("x", "x"), CliError);
+}
+
+class CliCommands : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    return ::testing::TempDir() + "/odtn_cli_" + name;
+  }
+  void TearDown() override {
+    for (const auto& f : created_) std::remove(f.c_str());
+  }
+  std::string track(const std::string& p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(CliCommands, HelpSucceeds) {
+  EXPECT_EQ(run_cli({"help"}), 0);
+  EXPECT_NE(usage_text().find("generate"), std::string::npos);
+}
+
+TEST_F(CliCommands, NoArgsIsUsageError) { EXPECT_EQ(run_cli({}), 2); }
+
+TEST_F(CliCommands, UnknownCommandIsUsageError) {
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+}
+
+TEST_F(CliCommands, GenerateStatsCdfRouteFilterPipeline) {
+  const std::string trace = track(path("hk.trace"));
+  ASSERT_EQ(run_cli({"generate", "--preset", "hong-kong", "--seed", "7",
+                     "--out", trace}),
+            0);
+  // The file is a valid trace.
+  const TemporalGraph g = read_trace_file(trace);
+  EXPECT_EQ(g.num_nodes(), 906u);
+  EXPECT_GT(g.num_contacts(), 1000u);
+
+  EXPECT_EQ(run_cli({"stats", trace}), 0);
+
+  const std::string filtered = track(path("hk_filtered.trace"));
+  ASSERT_EQ(run_cli({"filter", trace, "--out", filtered, "--internal", "37",
+                     "--min-duration", "4min"}),
+            0);
+  const TemporalGraph f = read_trace_file(filtered);
+  EXPECT_EQ(f.num_nodes(), 37u);
+  for (const Contact& c : f.contacts()) EXPECT_GE(c.duration(), 4 * kMinute);
+
+  EXPECT_EQ(run_cli({"route", trace, "--src", "0", "--dst", "5", "--time",
+                     "1d"}),
+            0);
+}
+
+TEST_F(CliCommands, GenerateRejectsUnknownPreset) {
+  EXPECT_EQ(run_cli({"generate", "--preset", "nope", "--out", "/tmp/x"}), 2);
+}
+
+TEST_F(CliCommands, GenerateRequiresOut) {
+  EXPECT_EQ(run_cli({"generate", "--preset", "hong-kong"}), 2);
+}
+
+TEST_F(CliCommands, StatsMissingFileFails) {
+  EXPECT_EQ(run_cli({"stats", "/no/such/file"}), 1);
+}
+
+TEST_F(CliCommands, FilterValidatesKeepProb) {
+  const std::string trace = track(path("small.trace"));
+  write_trace_file(trace, TemporalGraph(2, {{0, 1, 0.0, 1.0}}));
+  EXPECT_EQ(run_cli({"filter", trace, "--out", track(path("o.trace")),
+                     "--keep-prob", "1.5"}),
+            2);
+  EXPECT_EQ(run_cli({"filter", trace, "--out", track(path("o2.trace")),
+                     "--window-lo", "0"}),
+            2);  // window-hi missing
+}
+
+TEST_F(CliCommands, CdfOnTinyTrace) {
+  const std::string trace = track(path("tiny.trace"));
+  write_trace_file(
+      trace, TemporalGraph(3, {{0, 1, 0.0, 600.0}, {1, 2, 900.0, 1800.0}}));
+  EXPECT_EQ(run_cli({"cdf", trace, "--max-hops", "3", "--grid-lo", "60",
+                     "--grid-hi", "1h"}),
+            0);
+}
+
+TEST_F(CliCommands, CdfDaytimeWindows) {
+  const std::string trace = track(path("tiny_day.trace"));
+  // Contacts around 10:00 and 11:00 of day 0.
+  write_trace_file(trace,
+                   TemporalGraph(3, {{0, 1, 10 * kHour, 10 * kHour + 600},
+                                     {1, 2, 11 * kHour, 11 * kHour + 600}}));
+  EXPECT_EQ(run_cli({"cdf", trace, "--max-hops", "3", "--grid-lo", "60",
+                     "--grid-hi", "2h", "--daytime", "9-18"}),
+            0);
+  EXPECT_EQ(run_cli({"cdf", trace, "--daytime", "18-9"}), 2);
+  EXPECT_EQ(run_cli({"cdf", trace, "--daytime", "nonsense"}), 2);
+  // Hours that never intersect the trace span.
+  EXPECT_EQ(run_cli({"cdf", trace, "--daytime", "1-2"}), 2);
+}
+
+TEST_F(CliCommands, RouteRejectsBadNodes) {
+  const std::string trace = track(path("tiny2.trace"));
+  write_trace_file(trace, TemporalGraph(2, {{0, 1, 0.0, 1.0}}));
+  EXPECT_EQ(run_cli({"route", trace, "--src", "0", "--dst", "9"}), 2);
+}
+
+TEST_F(CliCommands, ImportConvertsCrawdadAndOne) {
+  const std::string crawdad = track(path("contacts.dat"));
+  {
+    std::ofstream out(crawdad);
+    out << "# crawdad style\n1 2 100 200\n2 3 150 400\n";
+  }
+  const std::string converted = track(path("imported.trace"));
+  ASSERT_EQ(run_cli({"import", crawdad, "--format", "crawdad", "--out",
+                     converted}),
+            0);
+  const auto g = read_trace_file(converted);
+  EXPECT_EQ(g.num_nodes(), 3u);  // ids shifted to 0-based
+  EXPECT_EQ(g.num_contacts(), 2u);
+
+  const std::string one = track(path("events.one"));
+  {
+    std::ofstream out(one);
+    out << "10 CONN 0 1 up\n30 CONN 0 1 down\n";
+  }
+  const std::string converted2 = track(path("imported2.trace"));
+  ASSERT_EQ(
+      run_cli({"import", one, "--format", "one", "--out", converted2}), 0);
+  EXPECT_EQ(read_trace_file(converted2).num_contacts(), 1u);
+
+  EXPECT_EQ(run_cli({"import", crawdad, "--format", "nonsense", "--out",
+                     track(path("x.trace"))}),
+            2);
+}
+
+TEST_F(CliCommands, RejectsTrailingGarbage) {
+  EXPECT_EQ(run_cli({"help", "--wat"}), 0);  // help ignores args
+  const std::string trace = track(path("tiny3.trace"));
+  write_trace_file(trace, TemporalGraph(2, {{0, 1, 0.0, 1.0}}));
+  EXPECT_EQ(run_cli({"stats", trace, "--bogus"}), 2);
+}
+
+}  // namespace
+}  // namespace odtn::cli

@@ -1,0 +1,85 @@
+#include "core/contact.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odtn {
+namespace {
+
+TEST(Contact, Validity) {
+  EXPECT_TRUE(is_valid_contact({0, 1, 0.0, 1.0}));
+  EXPECT_TRUE(is_valid_contact({0, 1, 5.0, 5.0}));  // zero duration ok
+  EXPECT_FALSE(is_valid_contact({0, 0, 0.0, 1.0}));  // self loop
+  EXPECT_FALSE(is_valid_contact({0, 1, 2.0, 1.0}));  // reversed interval
+  EXPECT_FALSE(is_valid_contact({kInvalidNode, 1, 0.0, 1.0}));
+  EXPECT_FALSE(is_valid_contact(
+      {0, 1, std::numeric_limits<double>::infinity(), 1.0}));
+}
+
+TEST(Contact, Duration) {
+  const Contact c{0, 1, 10.0, 25.0};
+  EXPECT_DOUBLE_EQ(c.duration(), 15.0);
+}
+
+TEST(Contact, CanonicalOrder) {
+  const Contact a{0, 1, 0.0, 5.0};
+  const Contact b{0, 1, 1.0, 2.0};
+  const Contact c{0, 1, 1.0, 3.0};
+  const Contact d{2, 3, 1.0, 3.0};
+  EXPECT_TRUE(contact_less(a, b));
+  EXPECT_TRUE(contact_less(b, c));
+  EXPECT_TRUE(contact_less(c, d));
+  EXPECT_FALSE(contact_less(d, c));
+  EXPECT_FALSE(contact_less(a, a));
+}
+
+TEST(MergeOverlapping, DisjointContactsUntouched) {
+  std::vector<Contact> in{{0, 1, 0.0, 1.0}, {0, 1, 2.0, 3.0}};
+  const auto out = merge_overlapping_contacts(in);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MergeOverlapping, OverlapsMerge) {
+  std::vector<Contact> in{{0, 1, 0.0, 2.0}, {0, 1, 1.0, 3.0}};
+  const auto out = merge_overlapping_contacts(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].end, 3.0);
+}
+
+TEST(MergeOverlapping, TouchingContactsMerge) {
+  std::vector<Contact> in{{0, 1, 0.0, 1.0}, {0, 1, 1.0, 2.0}};
+  const auto out = merge_overlapping_contacts(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].end, 2.0);
+}
+
+TEST(MergeOverlapping, ReversedEndpointOrderIsSamePair) {
+  std::vector<Contact> in{{0, 1, 0.0, 2.0}, {1, 0, 1.0, 3.0}};
+  const auto out = merge_overlapping_contacts(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].end, 3.0);
+}
+
+TEST(MergeOverlapping, DifferentPairsNeverMerge) {
+  std::vector<Contact> in{{0, 1, 0.0, 2.0}, {0, 2, 1.0, 3.0}};
+  EXPECT_EQ(merge_overlapping_contacts(in).size(), 2u);
+}
+
+TEST(MergeOverlapping, ContainedIntervalAbsorbed) {
+  std::vector<Contact> in{{0, 1, 0.0, 10.0}, {0, 1, 2.0, 3.0}};
+  const auto out = merge_overlapping_contacts(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].end, 10.0);
+}
+
+TEST(MergeOverlapping, OutputInCanonicalOrder) {
+  std::vector<Contact> in{{2, 3, 5.0, 6.0}, {0, 1, 0.0, 1.0}, {1, 2, 3.0, 4.0}};
+  const auto out = merge_overlapping_contacts(in);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_TRUE(contact_less(out[i - 1], out[i]));
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace odtn {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/odtn_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST_F(CsvWriterTest, WritesRows) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"x", "y"});
+    w.write_numeric_row({1.0, 2.5});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_all(path_), "x,y\n1,2.5\n");
+}
+
+TEST_F(CsvWriterTest, EscapesInsideRows) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"name", "a,b"});
+  }
+  EXPECT_EQ(read_all(path_), "name,\"a,b\"\n");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odtn

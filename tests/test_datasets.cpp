@@ -1,0 +1,86 @@
+// The dataset presets must land close to the Table 1 characteristics
+// they stand in for. Tolerances are loose (the goal is the right regime,
+// not exact counts). The two conference data sets are exercised at full
+// size; this is also a smoke test that generation stays fast.
+#include "trace/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+void expect_close(double actual, double target, double rel_tol,
+                  const std::string& what) {
+  EXPECT_GT(actual, target * (1.0 - rel_tol)) << what;
+  EXPECT_LT(actual, target * (1.0 + rel_tol)) << what;
+}
+
+TEST(Datasets, FourPresetsInTableOrder) {
+  const auto all = all_datasets();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].spec.name, "Infocom05");
+  EXPECT_EQ(all[1].spec.name, "Infocom06");
+  EXPECT_EQ(all[2].spec.name, "Hong-Kong");
+  EXPECT_EQ(all[3].spec.name, "RealityMining");
+}
+
+TEST(Datasets, Infocom05MatchesTable1) {
+  const auto d = dataset_infocom05();
+  const auto t = d.generate();
+  EXPECT_EQ(t.num_internal, 41u);
+  EXPECT_LE(t.graph.end_time(), 3 * kDay + d.spec.granularity);
+  expect_close(static_cast<double>(t.internal_contact_count()), 22459, 0.35,
+               "Infocom05 internal contacts");
+  EXPECT_GT(t.external_contact_count(), 200u);
+}
+
+TEST(Datasets, HongKongIsSparseWithExternalBackbone) {
+  const auto d = dataset_hong_kong();
+  const auto t = d.generate();
+  EXPECT_EQ(t.num_internal, 37u);
+  // Very few internal contacts but a much larger external population.
+  EXPECT_LT(t.internal_contact_count(), 1200u);
+  EXPECT_GT(t.external_contact_count(),
+            t.internal_contact_count());
+  EXPECT_EQ(t.graph.num_nodes(), 37u + 869u);
+}
+
+TEST(Datasets, RealityMiningIsLongAndSparse) {
+  const auto d = dataset_reality_mining();
+  const auto t = d.generate();
+  EXPECT_EQ(t.num_internal, 97u);
+  EXPECT_GT(t.graph.duration(), 80 * kDay);
+  expect_close(static_cast<double>(t.internal_contact_count()), 33000, 0.35,
+               "RealityMining internal contacts");
+  // Contact rate per device per day far below the conference setting.
+  const auto conference = dataset_infocom05().generate();
+  EXPECT_LT(t.internal_contact_rate(kDay, false),
+            0.25 * conference.internal_contact_rate(kDay, false));
+}
+
+TEST(Datasets, Infocom06IsTheLargest) {
+  const auto d = dataset_infocom06();
+  const auto t = d.generate();
+  EXPECT_EQ(t.num_internal, 78u);
+  expect_close(static_cast<double>(t.internal_contact_count()), 82000, 0.35,
+               "Infocom06 internal contacts");
+}
+
+TEST(Datasets, PaperRowsCarryNotesForReconstructedCells) {
+  for (const auto& d : all_datasets()) {
+    EXPECT_FALSE(d.paper.name.empty());
+    EXPECT_FALSE(d.paper.note.empty());  // every row documents its caveats
+    EXPECT_GT(d.paper.devices, 0u);
+  }
+}
+
+TEST(Datasets, GenerationIsDeterministicPerPreset) {
+  const auto a = dataset_hong_kong().generate();
+  const auto b = dataset_hong_kong().generate();
+  EXPECT_EQ(a.graph.contacts(), b.graph.contacts());
+}
+
+}  // namespace
+}  // namespace odtn

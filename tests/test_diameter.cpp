@@ -1,0 +1,226 @@
+// Tests of the delay-CDF computation and the (1-eps)-diameter (§4.1).
+#include "core/diameter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/flooding.hpp"
+#include "stats/log_grid.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+DelayCdfOptions base_options() {
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(0.1, 100.0, 32);
+  opt.max_hops = 6;
+  opt.num_threads = 2;
+  return opt;
+}
+
+TEST(DelayCdf, SingleContactPairExactValues) {
+  // Two nodes, one contact [10, 20], window [0, 40].
+  TemporalGraph g(2, {{0, 1, 10.0, 20.0}});
+  auto opt = base_options();
+  opt.grid = {1.0, 5.0, 10.0, 50.0};
+  opt.t_lo = 0.0;
+  opt.t_hi = 40.0;
+  const auto r = compute_delay_cdf(g, opt);
+  // For each ordered pair (both identical by symmetry): delay(t) =
+  // max(0, 10 - t) for t <= 20, inf for t > 20.
+  //   delay <= 1 : t in [9, 20]  -> 11 of 40.
+  //   delay <= 5 : t in [5, 20]  -> 15 of 40.
+  //   delay <= 10: t in [0, 20]  -> 20 of 40.
+  //   delay <= 50: same (cannot exceed 10). -> 20 of 40.
+  for (const auto& cdf : {r.cdf_by_hops[0], r.cdf_unbounded}) {
+    EXPECT_NEAR(cdf[0], 11.0 / 40.0, 1e-12);
+    EXPECT_NEAR(cdf[1], 15.0 / 40.0, 1e-12);
+    EXPECT_NEAR(cdf[2], 20.0 / 40.0, 1e-12);
+    EXPECT_NEAR(cdf[3], 20.0 / 40.0, 1e-12);
+  }
+  EXPECT_EQ(r.diameter(0.01), 1);
+  EXPECT_EQ(r.fixpoint_hops, 1);
+  EXPECT_DOUBLE_EQ(r.denominator, 2.0 * 40.0);
+}
+
+TEST(DelayCdf, CdfsAreMonotoneInDelayAndHops) {
+  Rng rng(7);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(8));
+    auto v = static_cast<NodeId>(rng.below(7));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 90);
+    contacts.push_back({u, v, b, b + rng.uniform(0, 5)});
+  }
+  TemporalGraph g(8, std::move(contacts));
+  const auto r = compute_delay_cdf(g, base_options());
+  for (std::size_t k = 0; k < r.cdf_by_hops.size(); ++k) {
+    for (std::size_t j = 1; j < r.grid.size(); ++j)
+      ASSERT_GE(r.cdf_by_hops[k][j], r.cdf_by_hops[k][j - 1]);
+    if (k > 0) {
+      for (std::size_t j = 0; j < r.grid.size(); ++j)
+        ASSERT_GE(r.cdf_by_hops[k][j], r.cdf_by_hops[k - 1][j]);
+    }
+    for (std::size_t j = 0; j < r.grid.size(); ++j)
+      ASSERT_LE(r.cdf_by_hops[k][j], r.cdf_unbounded[j] + 1e-12);
+  }
+}
+
+TEST(DelayCdf, MatchesMonteCarloFlooding) {
+  Rng rng(21);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 80; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(6));
+    auto v = static_cast<NodeId>(rng.below(5));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 50);
+    contacts.push_back({u, v, b, b + rng.uniform(0, 8)});
+  }
+  TemporalGraph g(6, std::move(contacts));
+  auto opt = base_options();
+  opt.t_lo = g.start_time();
+  opt.t_hi = g.end_time();
+  const auto r = compute_delay_cdf(g, opt);
+
+  // Monte Carlo with 3-hop flooding at uniform (src, dst, t).
+  const int samples = 30000;
+  std::vector<int> hits(r.grid.size(), 0);
+  for (int s = 0; s < samples; ++s) {
+    const auto src = static_cast<NodeId>(rng.below(6));
+    auto dst = static_cast<NodeId>(rng.below(5));
+    if (dst >= src) ++dst;
+    const double t0 = rng.uniform(opt.t_lo, opt.t_hi);
+    const auto fr = flood(g, src, t0, 3);
+    const double delay = fr.arrival_with_hops(dst, 3) - t0;
+    for (std::size_t j = 0; j < r.grid.size(); ++j)
+      if (delay <= r.grid[j]) ++hits[j];
+  }
+  for (std::size_t j = 0; j < r.grid.size(); ++j)
+    EXPECT_NEAR(r.cdf_by_hops[2][j], hits[j] / static_cast<double>(samples),
+                0.015)
+        << "x=" << r.grid[j];
+}
+
+TEST(DelayCdf, EndpointRestrictionIgnoresExternalPairs) {
+  // Nodes 0,1 internal; node 2 external relay. 0-1 never meet directly;
+  // both meet 2.
+  TemporalGraph g(3, {{0, 2, 0.0, 5.0}, {2, 1, 10.0, 15.0}});
+  auto opt = base_options();
+  opt.endpoints = {0, 1};
+  opt.t_lo = 0.0;
+  opt.t_hi = 20.0;
+  const auto r = compute_delay_cdf(g, opt);
+  EXPECT_DOUBLE_EQ(r.denominator, 2.0 * 20.0);
+  // One hop: unreachable; two hops: reachable via the external relay.
+  EXPECT_DOUBLE_EQ(r.cdf_by_hops[0].back(), 0.0);
+  EXPECT_GT(r.cdf_by_hops[1].back(), 0.0);
+  EXPECT_EQ(r.diameter(0.01), 2);
+}
+
+TEST(DelayCdf, DiameterDefinition) {
+  // Force a case where 1 hop achieves clearly less than flooding: direct
+  // contact exists but relay route covers far more start times.
+  TemporalGraph g(3, {{0, 1, 50.0, 51.0},
+                      {0, 2, 0.0, 40.0},
+                      {2, 1, 0.0, 40.0}});
+  auto opt = base_options();
+  opt.endpoints = {0, 1};
+  opt.t_lo = 0.0;
+  opt.t_hi = 51.0;
+  const auto r = compute_delay_cdf(g, opt);
+  EXPECT_EQ(r.diameter(0.01), 2);
+  // With a huge epsilon every hop count qualifies.
+  EXPECT_EQ(r.diameter(1.0), 1);
+}
+
+TEST(DelayCdf, DiameterPerDelayIsBoundedByFixpoint) {
+  Rng rng(5);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(7));
+    auto v = static_cast<NodeId>(rng.below(6));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 60);
+    contacts.push_back({u, v, b, b + 1.0});
+  }
+  TemporalGraph g(7, std::move(contacts));
+  const auto r = compute_delay_cdf(g, base_options());
+  const auto per_delay = r.diameter_per_delay(0.01);
+  ASSERT_EQ(per_delay.size(), r.grid.size());
+  for (int k : per_delay) {
+    EXPECT_GE(k, 0);
+    EXPECT_LE(k, r.fixpoint_hops);
+  }
+  // The global diameter dominates every per-delay diameter.
+  const int d = r.diameter(0.01);
+  for (int k : per_delay) EXPECT_LE(k, d);
+}
+
+TEST(DelayCdf, MultiWindowEqualsUnionOfSingleWindows) {
+  TemporalGraph g(2, {{0, 1, 10.0, 20.0}, {0, 1, 50.0, 60.0}});
+  auto base = base_options();
+  base.grid = {1.0, 100.0};
+  // Two windows covering [0, 15] and [40, 55].
+  auto multi = base;
+  multi.windows = {{0.0, 15.0}, {40.0, 55.0}};
+  const auto r = compute_delay_cdf(g, multi);
+  EXPECT_DOUBLE_EQ(r.denominator, 2.0 * 30.0);
+  // Manual: window 1: delay(t)=max(0,10-t) for t in (0,15]; <=1 on
+  // [9,15] -> 6; always <=100 -> 15. Window 2: arrival 50 for t<=50,
+  // instantaneous in (50,55]; <=1 on [49,55] -> 6; <=100 -> 15.
+  EXPECT_NEAR(r.cdf_unbounded[0], (6.0 + 6.0) / 30.0, 1e-12);
+  EXPECT_NEAR(r.cdf_unbounded[1], (15.0 + 15.0) / 30.0, 1e-12);
+}
+
+TEST(DelayCdf, WindowsMustBeDisjointIncreasing) {
+  TemporalGraph g(2, {{0, 1, 0.0, 1.0}});
+  auto opt = base_options();
+  opt.windows = {{10.0, 20.0}, {15.0, 25.0}};  // overlapping
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.windows = {{10.0, 5.0}};  // reversed
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+}
+
+TEST(DelayCdf, InvalidOptionsThrow) {
+  TemporalGraph g(2, {{0, 1, 0.0, 1.0}});
+  DelayCdfOptions opt;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);  // no grid
+  opt.grid = {1.0};
+  opt.max_hops = 0;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.max_hops = 2;
+  opt.endpoints = {0, 9};
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.endpoints.clear();
+  opt.t_lo = 5.0;
+  opt.t_hi = 1.0;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+}
+
+TEST(DelayCdf, SingleThreadAndMultiThreadAgree) {
+  Rng rng(31);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(9));
+    auto v = static_cast<NodeId>(rng.below(8));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 70);
+    contacts.push_back({u, v, b, b + rng.uniform(0, 4)});
+  }
+  TemporalGraph g(9, std::move(contacts));
+  auto opt1 = base_options();
+  opt1.num_threads = 1;
+  auto opt4 = base_options();
+  opt4.num_threads = 4;
+  const auto r1 = compute_delay_cdf(g, opt1);
+  const auto r4 = compute_delay_cdf(g, opt4);
+  ASSERT_EQ(r1.cdf_by_hops.size(), r4.cdf_by_hops.size());
+  for (std::size_t k = 0; k < r1.cdf_by_hops.size(); ++k)
+    for (std::size_t j = 0; j < r1.grid.size(); ++j)
+      ASSERT_NEAR(r1.cdf_by_hops[k][j], r4.cdf_by_hops[k][j], 1e-12);
+  EXPECT_EQ(r1.fixpoint_hops, r4.fixpoint_hops);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,96 @@
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Empirical, EmptyDistribution) {
+  EmpiricalDistribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.ccdf(0.0), 1.0);
+}
+
+TEST(Empirical, BasicCdf) {
+  EmpiricalDistribution d;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(100.0), 1.0);
+}
+
+TEST(Empirical, InfiniteMassSaturatesBelowOne) {
+  EmpiricalDistribution d;
+  d.add(1.0);
+  d.add(kInf);
+  d.add(kInf);
+  d.add(kInf);
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_EQ(d.infinite_count(), 3u);
+  EXPECT_DOUBLE_EQ(d.cdf(1e9), 0.25);
+}
+
+TEST(Empirical, QuantileOrderStatistics) {
+  EmpiricalDistribution d;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 50.0);
+}
+
+TEST(Empirical, QuantileInInfiniteMass) {
+  EmpiricalDistribution d;
+  d.add(1.0);
+  d.add(kInf);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 1.0);
+  EXPECT_EQ(d.quantile(1.0), kInf);
+}
+
+TEST(Empirical, AddWithCount) {
+  EmpiricalDistribution d;
+  d.add(5.0, 10);
+  EXPECT_EQ(d.count(), 10u);
+  EXPECT_DOUBLE_EQ(d.finite_mean(), 5.0);
+}
+
+TEST(Empirical, FiniteExtremaAndMean) {
+  EmpiricalDistribution d;
+  d.add(3.0);
+  d.add(-1.0);
+  d.add(kInf);
+  EXPECT_DOUBLE_EQ(d.finite_min(), -1.0);
+  EXPECT_DOUBLE_EQ(d.finite_max(), 3.0);
+  EXPECT_DOUBLE_EQ(d.finite_mean(), 1.0);
+}
+
+TEST(Empirical, AddAfterQueryStillCorrect) {
+  EmpiricalDistribution d;
+  d.add(2.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 1.0);
+  d.add(1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.5), 0.5);
+}
+
+TEST(Empirical, GridEvaluation) {
+  EmpiricalDistribution d;
+  for (double x : {1.0, 2.0, 3.0}) d.add(x);
+  const auto cdf = d.cdf_on_grid({0.5, 1.5, 3.5});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_NEAR(cdf[1], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+  const auto ccdf = d.ccdf_on_grid({0.5, 1.5, 3.5});
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(cdf[i] + ccdf[i], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace odtn

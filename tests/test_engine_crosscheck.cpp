@@ -1,0 +1,194 @@
+// Property-based cross-checks of the Pareto-pair engine against two
+// independent implementations: direct flooding at sampled start times,
+// and the flooding-per-boundary baseline (the paper's comparator [8]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/optimal_paths.hpp"
+#include "random/contact_process.hpp"
+#include "random/random_temporal_network.hpp"
+#include "sim/flooding.hpp"
+#include "trace/wlan_generator.hpp"
+#include "sim/profile_baseline.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+/// Random trace with overlapping contacts, zero-duration contacts, and
+/// boundary coincidences (integer-ish times), to stress edge cases.
+TemporalGraph random_trace(Rng& rng, std::size_t nodes,
+                           std::size_t num_contacts, double horizon) {
+  std::vector<Contact> contacts;
+  contacts.reserve(num_contacts);
+  for (std::size_t i = 0; i < num_contacts; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    // Quantize to integers so begin/end coincidences are common.
+    const double begin = std::floor(rng.uniform(0.0, horizon));
+    const double extra =
+        rng.bernoulli(0.2) ? 0.0 : std::floor(rng.uniform(1.0, horizon / 4));
+    contacts.push_back({u, v, begin, begin + extra});
+  }
+  return TemporalGraph(nodes, std::move(contacts));
+}
+
+struct CrosscheckParam {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t contacts;
+};
+
+class EngineCrosscheck : public ::testing::TestWithParam<CrosscheckParam> {};
+
+TEST_P(EngineCrosscheck, MatchesFloodingAtSampledTimes) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const TemporalGraph g =
+      random_trace(rng, param.nodes, param.contacts, 100.0);
+
+  for (NodeId src = 0; src < std::min<std::size_t>(g.num_nodes(), 4); ++src) {
+    SingleSourceEngine engine(g, src);
+    for (int hops = 1; hops <= 6; ++hops) {
+      engine.step();
+      // Compare del(t0) for random and boundary start times.
+      for (int q = 0; q < 40; ++q) {
+        double t0;
+        if (q % 3 == 0 && g.num_contacts() > 0) {
+          const Contact& c = g.contacts()[rng.below(g.num_contacts())];
+          t0 = (q % 2 == 0) ? c.begin : c.end;
+        } else {
+          t0 = rng.uniform(-5.0, 110.0);
+        }
+        const FloodingResult fr = flood(g, src, t0, hops);
+        for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+          ASSERT_EQ(engine.frontier(dst).deliver_at(t0),
+                    fr.arrival_with_hops(dst, hops))
+              << "src=" << src << " dst=" << dst << " t0=" << t0
+              << " hops=" << hops;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EngineCrosscheck, MatchesFloodingPerBoundaryBaseline) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0x5A5A5A5A);
+  const TemporalGraph g =
+      random_trace(rng, param.nodes, param.contacts, 60.0);
+
+  const NodeId src = 0;
+  SingleSourceEngine engine(g, src);
+  engine.run_to_fixpoint();
+  const SampledProfiles baseline = profiles_by_flooding(g, src);
+  for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+    for (std::size_t i = 0; i < baseline.times.size(); ++i) {
+      ASSERT_EQ(engine.frontier(dst).deliver_at(baseline.times[i]),
+                baseline.arrival[dst][i])
+          << "dst=" << dst << " t0=" << baseline.times[i];
+    }
+  }
+}
+
+TEST_P(EngineCrosscheck, UnboundedEqualsLargeHopFlooding) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0x1234);
+  const TemporalGraph g =
+      random_trace(rng, param.nodes, param.contacts, 80.0);
+  SingleSourceEngine engine(g, 0);
+  const int fixpoint = engine.run_to_fixpoint();
+  EXPECT_LE(fixpoint, 64);
+  for (int q = 0; q < 25; ++q) {
+    const double t0 = rng.uniform(0.0, 90.0);
+    const FloodingResult fr = flood(g, 0, t0);
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst)
+      ASSERT_EQ(engine.frontier(dst).deliver_at(t0), fr.best_arrival(dst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTraces, EngineCrosscheck,
+    ::testing::Values(CrosscheckParam{1, 5, 15}, CrosscheckParam{2, 8, 40},
+                      CrosscheckParam{3, 10, 80}, CrosscheckParam{4, 6, 25},
+                      CrosscheckParam{5, 12, 120}, CrosscheckParam{6, 4, 60},
+                      CrosscheckParam{7, 15, 150},
+                      CrosscheckParam{8, 10, 10}));
+
+// The engine must agree with flooding on every renewal-law substrate
+// (deterministic gaps produce many exactly-coincident timestamps, the
+// heavy-tailed law produces extreme gap ratios).
+class EngineCrosscheckRenewal
+    : public ::testing::TestWithParam<InterContactLaw> {};
+
+TEST_P(EngineCrosscheckRenewal, MatchesFloodingOnRenewalGraphs) {
+  Rng rng(0xC0FFEE);
+  ContactProcessOptions options;
+  options.renewal.law = GetParam();
+  const TemporalGraph g =
+      make_contact_process_graph(10, 1.2, 60.0, options, rng);
+  SingleSourceEngine engine(g, 0);
+  engine.run_to_fixpoint();
+  for (int q = 0; q < 25; ++q) {
+    const double t0 = rng.uniform(0.0, 70.0);
+    const FloodingResult fr = flood(g, 0, t0);
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst)
+      ASSERT_EQ(engine.frontier(dst).deliver_at(t0), fr.best_arrival(dst))
+          << inter_contact_law_name(GetParam()) << " t0=" << t0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, EngineCrosscheckRenewal,
+    ::testing::Values(InterContactLaw::kExponential,
+                      InterContactLaw::kDeterministic,
+                      InterContactLaw::kUniform,
+                      InterContactLaw::kHyperExponential,
+                      InterContactLaw::kBoundedPareto),
+    [](const auto& param_info) {
+      std::string name = inter_contact_law_name(param_info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+// And on WLAN association traces (long overlapping intervals).
+TEST(EngineCrosscheck, WlanAssociationTrace) {
+  WlanTraceSpec spec;
+  spec.num_devices = 15;
+  spec.num_access_points = 5;
+  spec.duration = 2 * 86400.0;
+  spec.sessions_per_day = 8.0;
+  const auto trace = generate_wlan_trace(spec, 55);
+  const auto& g = trace.graph;
+  Rng rng(56);
+  SingleSourceEngine engine(g, 2);
+  engine.run_to_fixpoint();
+  for (int q = 0; q < 20; ++q) {
+    const double t0 = rng.uniform(g.start_time(), g.end_time());
+    const FloodingResult fr = flood(g, 2, t0);
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst)
+      ASSERT_EQ(engine.frontier(dst).deliver_at(t0), fr.best_arrival(dst));
+  }
+}
+
+// The engine must also agree with flooding on the *continuous-time*
+// random model (zero-duration contacts).
+TEST(EngineCrosscheck, ContinuousTimeModel) {
+  Rng rng(99);
+  const TemporalGraph g = make_continuous_random_temporal_graph(12, 1.5,
+                                                                40.0, rng);
+  SingleSourceEngine engine(g, 0);
+  engine.run_to_fixpoint();
+  for (int q = 0; q < 30; ++q) {
+    const double t0 = rng.uniform(0.0, 45.0);
+    const FloodingResult fr = flood(g, 0, t0);
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst)
+      ASSERT_EQ(engine.frontier(dst).deliver_at(t0), fr.best_arrival(dst));
+  }
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,104 @@
+#include "sim/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/path_pair.hpp"
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Flooding, SourceStartsWithMessage) {
+  TemporalGraph g(2, {{0, 1, 5.0, 6.0}});
+  const auto r = flood(g, 0, 3.0);
+  EXPECT_DOUBLE_EQ(r.arrival[0][0], 3.0);
+  EXPECT_EQ(r.arrival[0][1], kInf);
+}
+
+TEST(Flooding, DirectContactDelivery) {
+  TemporalGraph g(2, {{0, 1, 5.0, 8.0}});
+  // Created before the contact: delivered at its begin.
+  EXPECT_DOUBLE_EQ(flood(g, 0, 3.0).best_arrival(1), 5.0);
+  // Created during the contact: delivered immediately.
+  EXPECT_DOUBLE_EQ(flood(g, 0, 6.0).best_arrival(1), 6.0);
+  // Created after the contact: never delivered.
+  EXPECT_EQ(flood(g, 0, 9.0).best_arrival(1), kInf);
+}
+
+TEST(Flooding, MultiHopStoreAndForward) {
+  TemporalGraph g(3, {{0, 1, 0.0, 2.0}, {1, 2, 4.0, 6.0}});
+  const auto r = flood(g, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.best_arrival(2), 4.0);
+  EXPECT_EQ(r.optimal_hops(2), 2);
+}
+
+TEST(Flooding, ChainsThroughOverlappingContactsRegardlessOfSortOrder) {
+  // The 2-3 contact sorts BEFORE the 0-1 contact but must still be used
+  // after it (all overlap): requires the per-level full relaxation.
+  TemporalGraph g(4, {{2, 3, 0.0, 10.0}, {1, 2, 1.0, 10.0}, {0, 1, 2.0, 10.0}});
+  const auto r = flood(g, 0, 5.0);
+  EXPECT_DOUBLE_EQ(r.best_arrival(3), 5.0);
+  EXPECT_EQ(r.optimal_hops(3), 3);
+}
+
+TEST(Flooding, HopLimitedArrivals) {
+  TemporalGraph g(3, {{0, 2, 10.0, 11.0}, {0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}});
+  const auto r = flood(g, 0, 0.0);
+  EXPECT_DOUBLE_EQ(r.arrival_with_hops(2, 1), 10.0);  // direct only
+  EXPECT_DOUBLE_EQ(r.arrival_with_hops(2, 2), 2.0);   // via relay
+  EXPECT_DOUBLE_EQ(r.best_arrival(2), 2.0);
+  EXPECT_EQ(r.optimal_hops(2), 2);
+}
+
+TEST(Flooding, MaxHopsParameterCapsLevels) {
+  TemporalGraph g(4, {{0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}, {2, 3, 4.0, 5.0}});
+  const auto r = flood(g, 0, 0.0, /*max_hops=*/2);
+  EXPECT_EQ(r.arrival_with_hops(3, 2), kInf);
+  const auto full = flood(g, 0, 0.0);
+  EXPECT_DOUBLE_EQ(full.best_arrival(3), 4.0);
+}
+
+TEST(Flooding, DirectedGraphRespectsDirection) {
+  TemporalGraph g(2, {{1, 0, 0.0, 1.0}}, /*directed=*/true);
+  EXPECT_EQ(flood(g, 0, 0.0).best_arrival(1), kInf);
+  EXPECT_DOUBLE_EQ(flood(g, 1, 0.0).best_arrival(0), 0.0);
+}
+
+TEST(Flooding, ReconstructValidatesEquation2) {
+  TemporalGraph g(5, {{0, 1, 0.0, 2.0},
+                      {1, 2, 1.0, 5.0},
+                      {2, 3, 4.0, 9.0},
+                      {3, 4, 8.0, 12.0},
+                      {0, 4, 20.0, 21.0}});
+  const auto r = flood(g, 0, 0.0);
+  const auto seq_idx = r.reconstruct(g, 4, 64);
+  ASSERT_FALSE(seq_idx.empty());
+  std::vector<Contact> seq;
+  for (std::size_t i : seq_idx) seq.push_back(g.contacts()[i]);
+  EXPECT_TRUE(is_time_respecting(seq));
+  // The sequence starts at the source and ends at the destination.
+  EXPECT_TRUE(seq.front().u == 0 || seq.front().v == 0);
+  EXPECT_TRUE(seq.back().u == 4 || seq.back().v == 4);
+  // The reconstructed route realizes the flooding arrival: its earliest
+  // arrival equals best_arrival.
+  const PathPair p = summarize_sequence(seq);
+  EXPECT_DOUBLE_EQ(std::max(r.start_time, p.ea), r.best_arrival(4));
+}
+
+TEST(Flooding, ReconstructEmptyForUnreachableAndSource) {
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}});
+  const auto r = flood(g, 0, 0.0);
+  EXPECT_TRUE(r.reconstruct(g, 2, 64).empty());  // unreachable
+  EXPECT_TRUE(r.reconstruct(g, 0, 64).empty());  // source itself
+}
+
+TEST(Flooding, OptimalHopsUnreachableIsMinusOne) {
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}});
+  EXPECT_EQ(flood(g, 0, 0.0).optimal_hops(2), -1);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,140 @@
+#include "sim/forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/flooding.hpp"
+#include "trace/generators.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TemporalGraph chain_graph() {
+  // 0-1 at [0,1], 1-2 at [2,3], 2-3 at [4,5], plus a late direct 0-3.
+  return TemporalGraph(4, {{0, 1, 0.0, 1.0},
+                           {1, 2, 2.0, 3.0},
+                           {2, 3, 4.0, 5.0},
+                           {0, 3, 100.0, 101.0}});
+}
+
+TEST(Forwarding, DirectWaitsForDirectContact) {
+  const auto out = simulate_forwarding(chain_graph(), 0, 3, 0.0,
+                                       ForwardingPolicy::kDirect);
+  EXPECT_DOUBLE_EQ(out.delivery_time, 100.0);
+  EXPECT_EQ(out.delivery_hops, 1);
+  EXPECT_EQ(out.copies, 2);  // source + destination
+}
+
+TEST(Forwarding, EpidemicUsesTheRelayChain) {
+  const auto out = simulate_forwarding(chain_graph(), 0, 3, 0.0,
+                                       ForwardingPolicy::kEpidemic);
+  EXPECT_DOUBLE_EQ(out.delivery_time, 4.0);
+  EXPECT_EQ(out.delivery_hops, 3);
+  EXPECT_EQ(out.copies, 4);
+}
+
+TEST(Forwarding, EpidemicMatchesFloodingOracle) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 15;
+  spec.duration = kDay;
+  spec.pair_contacts_mean = 4.0;
+  const auto g = generate_trace(spec, 11).graph;
+  for (double t0 : {0.0, 6 * kHour, 12 * kHour}) {
+    const auto epidemic =
+        simulate_forwarding(g, 0, 7, t0, ForwardingPolicy::kEpidemic);
+    const auto oracle = flood(g, 0, t0);
+    EXPECT_EQ(epidemic.delivery_time, oracle.best_arrival(7)) << "t0=" << t0;
+  }
+}
+
+TEST(Forwarding, HopTtlTruncatesEpidemic) {
+  ForwardingOptions opt;
+  opt.hop_ttl = 2;
+  const auto out = simulate_forwarding(chain_graph(), 0, 3, 0.0,
+                                       ForwardingPolicy::kEpidemic, opt);
+  // The 3-hop chain is unusable; only the late direct contact works.
+  EXPECT_DOUBLE_EQ(out.delivery_time, 100.0);
+}
+
+TEST(Forwarding, TwoHopRelayUsesOneIntermediate) {
+  // 0 meets 1 early; 1 meets 2 later: two-hop relay delivers via 1.
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}, {1, 2, 5.0, 6.0}});
+  const auto out =
+      simulate_forwarding(g, 0, 2, 0.0, ForwardingPolicy::kTwoHopRelay);
+  EXPECT_DOUBLE_EQ(out.delivery_time, 5.0);
+  EXPECT_EQ(out.delivery_hops, 2);
+}
+
+TEST(Forwarding, TwoHopRelayCannotUseThreeHops) {
+  TemporalGraph g(4, {{0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}, {2, 3, 4.0, 5.0}});
+  const auto out =
+      simulate_forwarding(g, 0, 3, 0.0, ForwardingPolicy::kTwoHopRelay);
+  EXPECT_EQ(out.delivery_time, kInf);
+}
+
+TEST(Forwarding, SprayAndWaitRespectsCopyBudget) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 25;
+  spec.duration = kDay;
+  spec.pair_contacts_mean = 6.0;
+  const auto g = generate_trace(spec, 13).graph;
+  ForwardingOptions opt;
+  opt.copy_budget = 4;
+  const auto out = simulate_forwarding(g, 0, 20, 0.0,
+                                       ForwardingPolicy::kSprayAndWait, opt);
+  // At most budget carriers plus possibly the destination.
+  EXPECT_LE(out.copies, 5);
+}
+
+TEST(Forwarding, SprayBeatsDirectOnDelay) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 25;
+  spec.duration = 2 * kDay;
+  spec.pair_contacts_mean = 3.0;
+  const auto g = generate_trace(spec, 17).graph;
+  ForwardingOptions opt;
+  opt.copy_budget = 8;
+  double spray_wins = 0, trials = 0;
+  for (NodeId dst = 1; dst < 10; ++dst) {
+    const auto direct =
+        simulate_forwarding(g, 0, dst, 0.0, ForwardingPolicy::kDirect);
+    const auto spray = simulate_forwarding(
+        g, 0, dst, 0.0, ForwardingPolicy::kSprayAndWait, opt);
+    EXPECT_LE(spray.delivery_time, direct.delivery_time) << "dst=" << dst;
+    ++trials;
+    if (spray.delivery_time < direct.delivery_time) ++spray_wins;
+  }
+  EXPECT_GT(spray_wins / trials, 0.2);  // strictly better somewhere
+}
+
+TEST(Forwarding, UnreachableDestination) {
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}});
+  const auto out =
+      simulate_forwarding(g, 0, 2, 0.0, ForwardingPolicy::kEpidemic);
+  EXPECT_EQ(out.delivery_time, kInf);
+  EXPECT_EQ(out.delivery_hops, -1);
+}
+
+TEST(Forwarding, PolicyNames) {
+  EXPECT_STREQ(forwarding_policy_name(ForwardingPolicy::kDirect), "direct");
+  EXPECT_STREQ(forwarding_policy_name(ForwardingPolicy::kEpidemic),
+               "epidemic");
+  EXPECT_STREQ(forwarding_policy_name(ForwardingPolicy::kTwoHopRelay),
+               "two-hop");
+  EXPECT_STREQ(forwarding_policy_name(ForwardingPolicy::kSprayAndWait),
+               "spray-and-wait");
+}
+
+TEST(Forwarding, BadNodesThrow) {
+  TemporalGraph g(2, {});
+  EXPECT_THROW(
+      simulate_forwarding(g, 0, 9, 0.0, ForwardingPolicy::kDirect),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,140 @@
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <map>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+SyntheticTraceSpec small_spec() {
+  SyntheticTraceSpec spec;
+  spec.name = "test";
+  spec.num_internal = 20;
+  spec.duration = 2 * kDay;
+  spec.granularity = 120.0;
+  spec.pair_contacts_mean = 6.0;
+  spec.num_communities = 4;
+  spec.intra_boost = 4.0;
+  spec.profile = ActivityProfile::conference();
+  return spec;
+}
+
+TEST(Generator, Deterministic) {
+  const auto a = generate_trace(small_spec(), 42);
+  const auto b = generate_trace(small_spec(), 42);
+  ASSERT_EQ(a.graph.num_contacts(), b.graph.num_contacts());
+  EXPECT_EQ(a.graph.contacts(), b.graph.contacts());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_trace(small_spec(), 1);
+  const auto b = generate_trace(small_spec(), 2);
+  EXPECT_NE(a.graph.contacts(), b.graph.contacts());
+}
+
+TEST(Generator, ContactVolumeNearTarget) {
+  const auto spec = small_spec();
+  const auto t = generate_trace(spec, 7);
+  // Expected: pair_mean * (cross + boost*intra) pairs. 20 nodes in 4
+  // communities of 5: intra = 4*10 = 40, cross = 190 - 40 = 150.
+  const double expected = 6.0 * (150.0 + 4.0 * 40.0);
+  const auto count = static_cast<double>(t.graph.num_contacts());
+  EXPECT_GT(count, 0.55 * expected);  // merging shrinks the count a bit
+  EXPECT_LT(count, 1.15 * expected);
+}
+
+TEST(Generator, ContactsQuantizedToGranularity) {
+  const auto t = generate_trace(small_spec(), 9);
+  for (const Contact& c : t.graph.contacts()) {
+    const double b = c.begin / 120.0;
+    const double d = c.duration() / 120.0;
+    ASSERT_NEAR(b, std::round(b), 1e-9);
+    ASSERT_NEAR(d, std::round(d), 1e-9);
+    ASSERT_GE(c.duration(), 120.0);
+  }
+}
+
+TEST(Generator, ContactsWithinDurationWindow) {
+  const auto spec = small_spec();
+  const auto t = generate_trace(spec, 11);
+  for (const Contact& c : t.graph.contacts()) {
+    ASSERT_GE(c.begin, 0.0);
+    ASSERT_LE(c.begin, spec.duration);
+  }
+}
+
+TEST(Generator, NoDuplicateOverlapsPerPair) {
+  const auto t = generate_trace(small_spec(), 13);
+  std::map<std::pair<NodeId, NodeId>, double> last_end;
+  for (const Contact& c : t.graph.contacts()) {
+    const auto key = std::minmax(c.u, c.v);
+    const auto it = last_end.find(key);
+    if (it != last_end.end()) {
+      ASSERT_GT(c.begin, it->second) << "overlapping same-pair contacts";
+    }
+    last_end[key] = std::max(last_end.count(key) ? last_end[key] : 0.0, c.end);
+  }
+}
+
+TEST(Generator, CommunityPairsMeetMoreOften) {
+  auto spec = small_spec();
+  spec.pair_contacts_mean = 10.0;
+  spec.node_activity_sigma = 0.0;  // isolate the community effect
+  const auto t = generate_trace(spec, 17);
+  // Community of node i is i % 4.
+  double intra = 0, cross = 0;
+  std::size_t intra_pairs = 40, cross_pairs = 150;
+  for (const Contact& c : t.graph.contacts()) {
+    if (c.u % 4 == c.v % 4) {
+      intra += 1;
+    } else {
+      cross += 1;
+    }
+  }
+  const double intra_rate = intra / intra_pairs;
+  const double cross_rate = cross / cross_pairs;
+  EXPECT_GT(intra_rate, 2.0 * cross_rate);
+}
+
+TEST(Generator, ExternalDevicesOnlyTalkToInternal) {
+  auto spec = small_spec();
+  spec.num_external = 30;
+  spec.external_pair_contacts_mean = 0.5;
+  const auto t = generate_trace(spec, 19);
+  EXPECT_EQ(t.graph.num_nodes(), 50u);
+  EXPECT_GT(t.external_contact_count(), 0u);
+  for (const Contact& c : t.graph.contacts()) {
+    const bool u_ext = c.u >= 20, v_ext = c.v >= 20;
+    ASSERT_FALSE(u_ext && v_ext) << "external-external contact logged";
+  }
+}
+
+TEST(Generator, InternalHelpers) {
+  auto spec = small_spec();
+  spec.num_external = 5;
+  spec.external_pair_contacts_mean = 0.2;
+  const auto t = generate_trace(spec, 23);
+  EXPECT_EQ(t.internal_nodes().size(), 20u);
+  EXPECT_EQ(t.internal_contact_count() + t.external_contact_count(),
+            t.graph.num_contacts());
+  EXPECT_GT(t.internal_contact_rate(kDay, false), 0.0);
+  EXPECT_GE(t.internal_contact_rate(kDay, true),
+            t.internal_contact_rate(kDay, false));
+}
+
+TEST(Generator, InvalidSpecsThrow) {
+  auto spec = small_spec();
+  spec.num_internal = 1;
+  EXPECT_THROW(generate_trace(spec, 1), std::invalid_argument);
+  spec = small_spec();
+  spec.duration = 0;
+  EXPECT_THROW(generate_trace(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,116 @@
+#include "trace/imports.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace odtn {
+namespace {
+
+TEST(CrawdadImport, BasicZeroBased) {
+  std::istringstream in(
+      "# haggle contact list\n"
+      "0 1 100 200\n"
+      "1 2 150 300 extra columns ignored\n");
+  const auto g = import_crawdad_contacts(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  ASSERT_EQ(g.num_contacts(), 2u);
+  EXPECT_DOUBLE_EQ(g.contacts()[0].begin, 100.0);
+}
+
+TEST(CrawdadImport, OneBasedIdsAreShifted) {
+  std::istringstream in("1 2 0 10\n2 3 5 15\n");
+  const auto g = import_crawdad_contacts(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.contacts()[0].u, 0u);
+  EXPECT_EQ(g.contacts()[0].v, 1u);
+}
+
+TEST(CrawdadImport, MixedZeroBasedNotShifted) {
+  std::istringstream in("0 5 0 10\n");
+  const auto g = import_crawdad_contacts(in);
+  EXPECT_EQ(g.num_nodes(), 6u);
+}
+
+TEST(CrawdadImport, SkipsCommentsAndBlankLines) {
+  std::istringstream in("; comment\n\n  # indented comment\n0 1 0 1\n");
+  EXPECT_EQ(import_crawdad_contacts(in).num_contacts(), 1u);
+}
+
+TEST(CrawdadImport, EmptyInputGivesEmptyGraph) {
+  std::istringstream in("# nothing\n");
+  const auto g = import_crawdad_contacts(in);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_contacts(), 0u);
+}
+
+TEST(CrawdadImport, MalformedLinesCarryLineNumbers) {
+  std::istringstream bad("0 1 0 1\n0 1 oops 2\n");
+  try {
+    import_crawdad_contacts(bad);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  std::istringstream self("3 3 0 1\n");
+  EXPECT_THROW(import_crawdad_contacts(self), std::runtime_error);
+  std::istringstream reversed("0 1 9 2\n");
+  EXPECT_THROW(import_crawdad_contacts(reversed), std::runtime_error);
+  std::istringstream negative("-1 1 0 2\n");
+  EXPECT_THROW(import_crawdad_contacts(negative), std::runtime_error);
+}
+
+TEST(OneImport, PairsUpDownEvents) {
+  std::istringstream in(
+      "10.0 CONN 0 1 up\n"
+      "20.0 CONN 2 1 up\n"
+      "25.0 CONN 0 1 down\n"
+      "40.0 CONN 2 1 down\n");
+  const auto g = import_one_events(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  ASSERT_EQ(g.num_contacts(), 2u);
+  EXPECT_DOUBLE_EQ(g.contacts()[0].begin, 10.0);
+  EXPECT_DOUBLE_EQ(g.contacts()[0].end, 25.0);
+  // Pair order normalized to (min, max).
+  EXPECT_EQ(g.contacts()[1].u, 1u);
+  EXPECT_EQ(g.contacts()[1].v, 2u);
+}
+
+TEST(OneImport, OpenConnectionsClosedAtLastEvent) {
+  std::istringstream in(
+      "5.0 CONN 0 1 up\n"
+      "50.0 CONN 2 3 up\n"
+      "60.0 CONN 2 3 down\n");
+  const auto g = import_one_events(in);
+  ASSERT_EQ(g.num_contacts(), 2u);
+  // The 0-1 connection never went down: closed at t = 60.
+  EXPECT_DOUBLE_EQ(g.contacts()[0].end, 60.0);
+}
+
+TEST(OneImport, IgnoresNonConnEvents) {
+  std::istringstream in(
+      "1.0 CONN 0 1 up\n"
+      "2.0 MSG 0 1 created\n"
+      "3.0 CONN 0 1 down\n");
+  EXPECT_EQ(import_one_events(in).num_contacts(), 1u);
+}
+
+TEST(OneImport, ProtocolViolationsThrow) {
+  std::istringstream double_up("1 CONN 0 1 up\n2 CONN 0 1 up\n");
+  EXPECT_THROW(import_one_events(double_up), std::runtime_error);
+  std::istringstream orphan_down("1 CONN 0 1 down\n");
+  EXPECT_THROW(import_one_events(orphan_down), std::runtime_error);
+  std::istringstream out_of_order("5 CONN 0 1 up\n2 CONN 0 1 down\n");
+  EXPECT_THROW(import_one_events(out_of_order), std::runtime_error);
+  std::istringstream bad_state("1 CONN 0 1 sideways\n");
+  EXPECT_THROW(import_one_events(bad_state), std::runtime_error);
+}
+
+TEST(Imports, MissingFilesThrow) {
+  EXPECT_THROW(import_crawdad_contacts_file("/no/such/file"),
+               std::runtime_error);
+  EXPECT_THROW(import_one_events_file("/no/such/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odtn

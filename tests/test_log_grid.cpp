@@ -1,0 +1,50 @@
+#include "stats/log_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace odtn {
+namespace {
+
+TEST(LogGrid, EndpointsExact) {
+  const auto g = make_log_grid(120.0, 604800.0, 64);
+  ASSERT_EQ(g.size(), 64u);
+  EXPECT_DOUBLE_EQ(g.front(), 120.0);
+  EXPECT_DOUBLE_EQ(g.back(), 604800.0);
+}
+
+TEST(LogGrid, StrictlyIncreasing) {
+  const auto g = make_log_grid(0.5, 1000.0, 100);
+  for (std::size_t i = 1; i < g.size(); ++i) ASSERT_GT(g[i], g[i - 1]);
+}
+
+TEST(LogGrid, LogSpacingIsEven) {
+  const auto g = make_log_grid(1.0, 1024.0, 11);
+  for (std::size_t i = 1; i < g.size(); ++i)
+    EXPECT_NEAR(g[i] / g[i - 1], 2.0, 1e-9);
+}
+
+TEST(LogGrid, TwoPoints) {
+  const auto g = make_log_grid(1.0, 10.0, 2);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 10.0);
+}
+
+TEST(LinearGrid, EvenSpacing) {
+  const auto g = make_linear_grid(0.0, 10.0, 11);
+  ASSERT_EQ(g.size(), 11u);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    EXPECT_NEAR(g[i], static_cast<double>(i), 1e-12);
+}
+
+TEST(LinearGrid, NegativeRange) {
+  const auto g = make_linear_grid(-5.0, 5.0, 3);
+  EXPECT_DOUBLE_EQ(g[0], -5.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.0);
+  EXPECT_DOUBLE_EQ(g[2], 5.0);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,149 @@
+#include "stats/measure_cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/log_grid.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+// One segment (a, b] with arrival time `arr`: the exact measure of
+// {t in (a,b] : max(0, arr - t) <= x} is b - max(a, arr - x), clamped.
+double exact_segment_measure(double a, double b, double arr, double x) {
+  return std::max(0.0, b - std::max(a, arr - x));
+}
+
+TEST(MeasureCdf, SingleSegmentMatchesClosedForm) {
+  const std::vector<double> grid = make_log_grid(1.0, 1000.0, 40);
+  MeasureCdfAccumulator acc(grid);
+  acc.add_segment(10.0, 50.0, 80.0);  // delays from 30 to 70
+  acc.add_observation_measure(40.0);
+  const auto cdf = acc.cdf();
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    EXPECT_NEAR(cdf[j], exact_segment_measure(10, 50, 80, grid[j]) / 40.0,
+                1e-12)
+        << "x=" << grid[j];
+  }
+}
+
+TEST(MeasureCdf, DelayZeroSegmentFullyCovered) {
+  const std::vector<double> grid{0.5, 1.0, 10.0};
+  MeasureCdfAccumulator acc(grid);
+  acc.add_segment(0.0, 100.0, 0.0);  // arrival before every start: delay 0
+  acc.add_observation_measure(100.0);
+  for (double v : acc.cdf()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MeasureCdf, EmptySegmentIgnored) {
+  MeasureCdfAccumulator acc({1.0, 2.0});
+  acc.add_segment(5.0, 5.0, 10.0);
+  acc.add_observation_measure(1.0);
+  for (double v : acc.cdf()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MeasureCdf, ZeroDenominatorGivesZeros) {
+  MeasureCdfAccumulator acc({1.0});
+  acc.add_segment(0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(acc.cdf()[0], 0.0);
+}
+
+TEST(MeasureCdf, CdfIsMonotone) {
+  const std::vector<double> grid = make_log_grid(0.1, 1e6, 100);
+  MeasureCdfAccumulator acc(grid);
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0, 1000);
+    const double b = a + rng.uniform(0, 100);
+    const double arr = a + rng.uniform(0, 2000);
+    acc.add_segment(a, b, arr);
+    acc.add_observation_measure(b - a);
+  }
+  const auto cdf = acc.cdf();
+  for (std::size_t j = 1; j < cdf.size(); ++j) ASSERT_GE(cdf[j], cdf[j - 1]);
+  for (double v : cdf) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+}
+
+class MeasureCdfRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeasureCdfRandom, MatchesMonteCarloSampling) {
+  Rng rng(GetParam());
+  const std::vector<double> grid = make_log_grid(1.0, 500.0, 16);
+  MeasureCdfAccumulator acc(grid);
+
+  struct Seg {
+    double a, b, arr;
+  };
+  std::vector<Seg> segs;
+  double total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double a = rng.uniform(0, 300);
+    const double b = a + rng.uniform(1, 60);
+    const double arr = rng.uniform(a - 50, a + 400);
+    segs.push_back({a, b, arr});
+    acc.add_segment(a, b, arr);
+    acc.add_observation_measure(b - a);
+    total += b - a;
+  }
+  const auto cdf = acc.cdf();
+
+  // Monte-Carlo estimate: sample start times uniformly inside segments.
+  const int samples = 200000;
+  std::vector<int> hits(grid.size(), 0);
+  for (int s = 0; s < samples; ++s) {
+    // pick a segment weighted by length
+    double pick = rng.uniform(0, total);
+    const Seg* seg = &segs.back();
+    for (const auto& sg : segs) {
+      if (pick < sg.b - sg.a) {
+        seg = &sg;
+        break;
+      }
+      pick -= sg.b - sg.a;
+    }
+    const double t = rng.uniform(seg->a, seg->b);
+    const double delay = std::max(0.0, seg->arr - t);
+    for (std::size_t j = 0; j < grid.size(); ++j)
+      if (delay <= grid[j]) ++hits[j];
+  }
+  for (std::size_t j = 0; j < grid.size(); ++j)
+    EXPECT_NEAR(cdf[j], hits[j] / static_cast<double>(samples), 0.01)
+        << "x=" << grid[j];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasureCdfRandom,
+                         ::testing::Values(3u, 1234u, 777777u));
+
+TEST(MeasureCdf, MergeAddsNumeratorsAndDenominators) {
+  const std::vector<double> grid{1.0, 10.0};
+  MeasureCdfAccumulator a(grid), b(grid);
+  a.add_segment(0, 10, 5);
+  a.add_observation_measure(10);
+  b.add_segment(0, 10, 100);  // all delays > 10
+  b.add_observation_measure(10);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.denominator(), 20.0);
+  const auto cdf = a.cdf();
+  // From segment a: delay <= 1 for t in [4,10] -> 6; delay <= 10 all 10.
+  EXPECT_NEAR(cdf[0], 6.0 / 20.0, 1e-12);
+  EXPECT_NEAR(cdf[1], 10.0 / 20.0, 1e-12);
+}
+
+TEST(MeasureCdf, MergeRejectsDifferentGrids) {
+  MeasureCdfAccumulator a({1.0}), b({2.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MeasureCdf, RejectsBadGrids) {
+  EXPECT_THROW(MeasureCdfAccumulator({}), std::invalid_argument);
+  EXPECT_THROW(MeasureCdfAccumulator({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(MeasureCdfAccumulator({2.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

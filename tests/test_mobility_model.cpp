@@ -1,0 +1,132 @@
+#include "trace/mobility_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+TEST(ActivityProfile, FlatIsAlwaysOne) {
+  const auto p = ActivityProfile::flat();
+  for (double t : {0.0, 3600.0, 100000.0, 900000.0})
+    EXPECT_DOUBLE_EQ(p.value_at(t), 1.0);
+  EXPECT_DOUBLE_EQ(p.max_value(), 1.0);
+}
+
+TEST(ActivityProfile, DailyPeriodicity) {
+  const auto p = ActivityProfile::conference();
+  const double noon = 12 * kHour;
+  EXPECT_DOUBLE_EQ(p.value_at(noon), p.value_at(noon + kDay));
+  EXPECT_DOUBLE_EQ(p.value_at(noon), p.value_at(noon + 3 * kDay));
+}
+
+TEST(ActivityProfile, ConferenceDayVsNight) {
+  const auto p = ActivityProfile::conference();
+  EXPECT_GT(p.value_at(12 * kHour), 10.0 * p.value_at(3 * kHour));
+}
+
+TEST(ActivityProfile, CampusWeekendReduction) {
+  const auto p = ActivityProfile::campus();
+  const double wednesday_noon = 2 * kDay + 12 * kHour;
+  const double saturday_noon = 5 * kDay + 12 * kHour;
+  EXPECT_GT(p.value_at(wednesday_noon), 2.0 * p.value_at(saturday_noon));
+}
+
+TEST(ActivityProfile, MaxValueBoundsProfile) {
+  for (const auto& p : {ActivityProfile::conference(),
+                        ActivityProfile::campus(), ActivityProfile::city()}) {
+    for (double t = 0; t < 7 * kDay; t += kHour / 2)
+      ASSERT_LE(p.value_at(t), p.max_value() + 1e-12);
+  }
+}
+
+TEST(SampleEventTimes, SortedWithinRangeAndCount) {
+  Rng rng(3);
+  const auto times =
+      sample_event_times(rng, ActivityProfile::conference(), 3 * kDay, 500);
+  ASSERT_EQ(times.size(), 500u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_GE(times[i], 0.0);
+    ASSERT_LE(times[i], 3 * kDay);
+    if (i > 0) {
+      ASSERT_GE(times[i], times[i - 1]);
+    }
+  }
+}
+
+TEST(SampleEventTimes, ConcentratesInActiveHours) {
+  Rng rng(4);
+  const auto times =
+      sample_event_times(rng, ActivityProfile::conference(), 5 * kDay, 3000);
+  std::size_t day = 0, night = 0;
+  for (double t : times) {
+    const double hour = std::fmod(t, kDay) / kHour;
+    if (hour >= 9 && hour < 18) {
+      ++day;
+    } else if (hour < 6) {
+      ++night;
+    }
+  }
+  EXPECT_GT(day, 10 * night);
+}
+
+TEST(DurationModel, ShortFractionRespected) {
+  Rng rng(5);
+  DurationModel m{0.8, 1.2, 3600.0};
+  int shorts = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (m.sample(rng, 120.0) == 120.0) ++shorts;
+  // Bounded-Pareto can also land exactly at the minimum, so >= 0.8.
+  EXPECT_NEAR(shorts / static_cast<double>(n), 0.8, 0.02);
+}
+
+TEST(DurationModel, LongTailBounded) {
+  Rng rng(6);
+  DurationModel m{0.0, 1.1, 7200.0};
+  for (int i = 0; i < 5000; ++i) {
+    const double d = m.sample(rng, 120.0);
+    ASSERT_GE(d, 120.0);
+    ASSERT_LE(d, 7200.0);
+  }
+}
+
+TEST(DurationModel, HeavyTailProducesHourLongContacts) {
+  Rng rng(7);
+  DurationModel m{0.75, 1.1, 6 * kHour};
+  bool saw_long = false;
+  for (int i = 0; i < 20000; ++i)
+    if (m.sample(rng, 120.0) > kHour) saw_long = true;
+  EXPECT_TRUE(saw_long);
+}
+
+TEST(QuantizeContact, SnapsToGranularity) {
+  // A raw 120-second contact is seen on one scan: one-slot contact.
+  const Contact c{0, 1, 130.0, 250.0};
+  const Contact q = quantize_contact(c, 120.0);
+  EXPECT_DOUBLE_EQ(q.begin, 120.0);
+  EXPECT_DOUBLE_EQ(q.end, 240.0);
+  // A raw 190-second contact covers two scans.
+  const Contact q2 = quantize_contact({0, 1, 130.0, 320.0}, 120.0);
+  EXPECT_DOUBLE_EQ(q2.end - q2.begin, 240.0);
+}
+
+TEST(QuantizeContact, MinimumOneScanInterval) {
+  const Contact c{0, 1, 10.0, 11.0};
+  const Contact q = quantize_contact(c, 120.0);
+  EXPECT_DOUBLE_EQ(q.begin, 0.0);
+  EXPECT_DOUBLE_EQ(q.end, 120.0);
+}
+
+TEST(QuantizeContact, ExactMultiplesStayPut) {
+  const Contact c{0, 1, 240.0, 480.0};
+  const Contact q = quantize_contact(c, 120.0);
+  EXPECT_DOUBLE_EQ(q.begin, 240.0);
+  EXPECT_DOUBLE_EQ(q.end, 480.0);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,110 @@
+#include "core/path_enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimal_paths.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+TEST(PathEnumeration, UnreachableGivesNoRoutes) {
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}});
+  EXPECT_TRUE(enumerate_optimal_routes(g, 0, 2).empty());
+}
+
+TEST(PathEnumeration, SingleDirectRoute) {
+  TemporalGraph g(2, {{0, 1, 3.0, 9.0}});
+  const auto routes = enumerate_optimal_routes(g, 0, 1);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_DOUBLE_EQ(routes[0].pair.ld, 9.0);
+  EXPECT_DOUBLE_EQ(routes[0].pair.ea, 3.0);
+  ASSERT_EQ(routes[0].hops(), 1);
+  EXPECT_EQ(routes[0].contact_indices[0], 0u);
+}
+
+TEST(PathEnumeration, StoreAndForwardRoute) {
+  TemporalGraph g(3, {{0, 1, 0.0, 2.0}, {1, 2, 5.0, 7.0}});
+  const auto routes = enumerate_optimal_routes(g, 0, 2);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_DOUBLE_EQ(routes[0].pair.ld, 2.0);
+  EXPECT_DOUBLE_EQ(routes[0].pair.ea, 5.0);
+  EXPECT_EQ(routes[0].hops(), 2);
+}
+
+TEST(PathEnumeration, OneRoutePerParetoPair) {
+  TemporalGraph g(3, {{0, 2, 10.0, 11.0},   // late direct
+                      {0, 1, 0.0, 1.0},
+                      {1, 2, 2.0, 3.0}});   // early relay route
+  const auto routes = enumerate_optimal_routes(g, 0, 2);
+  ASSERT_EQ(routes.size(), 2u);
+  // Ordered by departure: relay route first, direct second.
+  EXPECT_EQ(routes[0].hops(), 2);
+  EXPECT_EQ(routes[1].hops(), 1);
+  EXPECT_LT(routes[0].pair.ld, routes[1].pair.ld);
+}
+
+class PathEnumerationRandom : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PathEnumerationRandom, RoutesRealizeTheirPairs) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 12;
+  spec.duration = kDay;
+  spec.pair_contacts_mean = 1.0;
+  spec.num_communities = 3;
+  spec.gatherings = {40.0, 0.4, 0.1, 10 * kMinute, 0.8, 0.1};
+  const auto g = generate_trace(spec, GetParam()).graph;
+
+  SingleSourceEngine engine(g, 0);
+  engine.run_to_fixpoint();
+  for (NodeId dst = 1; dst < g.num_nodes(); ++dst) {
+    const auto routes = enumerate_optimal_routes(g, 0, dst);
+    ASSERT_EQ(routes.size(), engine.frontier(dst).size()) << "dst=" << dst;
+    for (const auto& route : routes) {
+      ASSERT_FALSE(route.contact_indices.empty());
+      // The explicit sequence is time-respecting, starts at the source,
+      // ends at the destination, and relays consistently.
+      std::vector<Contact> seq;
+      for (std::size_t idx : route.contact_indices)
+        seq.push_back(g.contacts()[idx]);
+      ASSERT_TRUE(is_time_respecting(seq));
+      ASSERT_TRUE(seq.front().u == 0 || seq.front().v == 0);
+      ASSERT_TRUE(seq.back().u == dst || seq.back().v == dst);
+      NodeId at = 0;
+      for (const Contact& c : seq) {
+        ASSERT_TRUE(c.u == at || c.v == at) << "broken relay chain";
+        at = (c.u == at) ? c.v : c.u;
+      }
+      ASSERT_EQ(at, dst);
+      // The route achieves its pair's arrival when created at
+      // min(LD, EA): the flooding-optimal delivery for that time.
+      const double t0 = std::min(route.pair.ld, route.pair.ea);
+      const PathPair realized = summarize_sequence(seq);
+      ASSERT_LE(std::max(t0, realized.ea), route.pair.ea + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathEnumerationRandom,
+                         ::testing::Values(2u, 33u, 444u));
+
+TEST(PathEnumeration, RouteHopsAreMinimalForTheirArrival) {
+  // Route hop counts never exceed the DP fixpoint level.
+  SyntheticTraceSpec spec;
+  spec.num_internal = 10;
+  spec.duration = kDay;
+  spec.pair_contacts_mean = 2.0;
+  const auto g = generate_trace(spec, 5).graph;
+  SingleSourceEngine engine(g, 0);
+  const int fixpoint = engine.run_to_fixpoint();
+  for (NodeId dst = 1; dst < g.num_nodes(); ++dst) {
+    for (const auto& route : enumerate_optimal_routes(g, 0, dst))
+      EXPECT_LE(route.hops(), fixpoint);
+  }
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,141 @@
+// Unit tests for the (LD, EA) algebra of paper §4.2, including the
+// concatenation examples of Figure 4.
+#include "core/path_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PathPair, PairOfContact) {
+  const Contact c{0, 1, 3.0, 8.0};
+  const PathPair p = pair_of_contact(c);
+  EXPECT_DOUBLE_EQ(p.ld, 8.0);  // can depart as late as the contact end
+  EXPECT_DOUBLE_EQ(p.ea, 3.0);  // can arrive as early as the contact begin
+}
+
+TEST(PathPair, DominanceDefinition) {
+  const PathPair better{10.0, 2.0};
+  const PathPair worse{5.0, 4.0};
+  EXPECT_TRUE(dominates(better, worse));
+  EXPECT_FALSE(dominates(worse, better));
+  EXPECT_TRUE(dominates(better, better));  // reflexive
+}
+
+TEST(PathPair, IncomparablePairs) {
+  const PathPair late_start{10.0, 8.0};
+  const PathPair early_arrival{2.0, 1.0};
+  EXPECT_FALSE(dominates(late_start, early_arrival));
+  EXPECT_FALSE(dominates(early_arrival, late_start));
+}
+
+TEST(PathPair, ConcatenationCondition) {
+  // Fact (iv): e then e' concatenates iff EA(e) <= LD(e').
+  const PathPair left{5.0, 3.0};
+  EXPECT_TRUE(can_concatenate(left, {3.0, 1.0}));   // EA == LD boundary
+  EXPECT_TRUE(can_concatenate(left, {10.0, 9.0}));  // later sequence
+  EXPECT_FALSE(can_concatenate(left, {2.0, 0.0}));  // ends before EA
+}
+
+TEST(PathPair, ConcatenationComposesMinMax) {
+  const PathPair left{5.0, 3.0};
+  const PathPair right{10.0, 7.0};
+  ASSERT_TRUE(can_concatenate(left, right));
+  const PathPair joined = concatenate(left, right);
+  EXPECT_DOUBLE_EQ(joined.ld, 5.0);  // min of LDs
+  EXPECT_DOUBLE_EQ(joined.ea, 7.0);  // max of EAs
+}
+
+// Figure 4(a): two contacts whose composition has EA > LD -- a store-and-
+// forward sequence without contemporaneous connectivity.
+TEST(PathPair, Figure4aStoreAndForward) {
+  const Contact c01{0, 1, 0.0, 2.0};  // (v0, v1)
+  const Contact c12{1, 2, 4.0, 6.0};  // (v1, v2), after c01 ended
+  const PathPair p01 = pair_of_contact(c01);
+  const PathPair p12 = pair_of_contact(c12);
+  ASSERT_TRUE(can_concatenate(p01, p12));  // EA=0 <= LD=6
+  const PathPair joined = concatenate(p01, p12);
+  EXPECT_DOUBLE_EQ(joined.ld, 2.0);
+  EXPECT_DOUBLE_EQ(joined.ea, 4.0);
+  EXPECT_GT(joined.ea, joined.ld);  // no contemporaneous path
+  // The message must leave v0 by t=2 and arrives at t=4.
+  EXPECT_DOUBLE_EQ(deliver_at(joined, 1.0), 4.0);
+  EXPECT_EQ(deliver_at(joined, 3.0), kInf);  // too late to depart
+}
+
+// Figure 4(b): overlapping contacts -- contemporaneous connectivity,
+// EA <= LD after composition.
+TEST(PathPair, Figure4bContemporaneous) {
+  const Contact c01{0, 1, 0.0, 10.0};
+  const Contact c12{1, 2, 4.0, 6.0};
+  const PathPair joined =
+      concatenate(pair_of_contact(c01), pair_of_contact(c12));
+  EXPECT_DOUBLE_EQ(joined.ld, 6.0);
+  EXPECT_DOUBLE_EQ(joined.ea, 4.0);
+  EXPECT_LE(joined.ea, joined.ld);
+  // Inside [EA, LD] delivery is immediate.
+  EXPECT_DOUBLE_EQ(deliver_at(joined, 5.0), 5.0);
+  // Before EA, delivery waits until EA.
+  EXPECT_DOUBLE_EQ(deliver_at(joined, 1.0), 4.0);
+}
+
+TEST(PathPair, ConcatenationNotAlwaysPossible) {
+  // The counterexample family of §4.2: both sequences valid but their
+  // concatenation violates Eq. (2).
+  const PathPair left{5.0, 8.0};   // EA 8 (arrives at 8 earliest)
+  const PathPair right{6.0, 2.0};  // ends by 6
+  EXPECT_FALSE(can_concatenate(left, right));
+}
+
+TEST(TimeRespecting, Equation2) {
+  // Valid: ends never precede an earlier begin.
+  const std::vector<Contact> valid{{0, 1, 0.0, 2.0}, {1, 2, 1.0, 5.0}};
+  EXPECT_TRUE(is_time_respecting(valid));
+  // Invalid: second contact is entirely before the first begins.
+  const std::vector<Contact> invalid{{0, 1, 4.0, 6.0}, {1, 2, 0.0, 2.0}};
+  EXPECT_FALSE(is_time_respecting(invalid));
+}
+
+TEST(TimeRespecting, NonAdjacentViolation) {
+  // Eq. (2) uses the max over ALL earlier begins, not just the previous.
+  const std::vector<Contact> seq{
+      {0, 1, 10.0, 20.0}, {1, 2, 0.0, 30.0}, {2, 3, 0.0, 5.0}};
+  // Contact 3 ends at 5 < begin of contact 1 (10): invalid.
+  EXPECT_FALSE(is_time_respecting(seq));
+}
+
+TEST(TimeRespecting, SingleContactAlwaysValid) {
+  const std::vector<Contact> seq{{0, 1, 3.0, 3.0}};
+  EXPECT_TRUE(is_time_respecting(seq));
+}
+
+TEST(SummarizeSequence, MatchesFoldedConcatenation) {
+  const std::vector<Contact> seq{
+      {0, 1, 0.0, 9.0}, {1, 2, 2.0, 7.0}, {2, 3, 4.0, 20.0}};
+  ASSERT_TRUE(is_time_respecting(seq));
+  const PathPair direct = summarize_sequence(seq);
+  PathPair folded = pair_of_contact(seq[0]);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    ASSERT_TRUE(can_concatenate(folded, pair_of_contact(seq[i])));
+    folded = concatenate(folded, pair_of_contact(seq[i]));
+  }
+  EXPECT_EQ(direct, folded);
+  EXPECT_DOUBLE_EQ(direct.ld, 7.0);
+  EXPECT_DOUBLE_EQ(direct.ea, 4.0);
+}
+
+TEST(DeliverAt, SinglePairSemantics) {
+  const PathPair p{10.0, 4.0};
+  EXPECT_DOUBLE_EQ(deliver_at(p, 0.0), 4.0);   // wait for EA
+  EXPECT_DOUBLE_EQ(deliver_at(p, 7.0), 7.0);   // instantaneous within window
+  EXPECT_DOUBLE_EQ(deliver_at(p, 10.0), 10.0); // boundary departs
+  EXPECT_EQ(deliver_at(p, 10.5), kInf);        // missed the last departure
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,95 @@
+// Monte-Carlo validation of the phase transition (§3.2) and of the
+// Figure 3 hop-number predictions. Kept at moderate sizes so the test
+// stays fast; the benches run the full-size experiments.
+#include "random/phase_transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/theory.hpp"
+
+namespace odtn {
+namespace {
+
+TEST(PhaseTransition, SuperVsSubCriticalShortContacts) {
+  Rng rng(1001);
+  const std::size_t n = 400;
+  const double lambda = 0.5;
+  const double gamma = gamma_star_short(lambda);       // 1/3
+  const double tau_c = delay_constant_short(lambda);   // ~2.47
+  const double p_sub = estimate_path_probability(n, lambda, 0.4 * tau_c,
+                                                 gamma, ContactCase::kShort,
+                                                 200, rng);
+  const double p_super = estimate_path_probability(n, lambda, 3.0 * tau_c,
+                                                   gamma, ContactCase::kShort,
+                                                   200, rng);
+  EXPECT_LT(p_sub, 0.15);
+  EXPECT_GT(p_super, 0.85);
+}
+
+TEST(PhaseTransition, SuperVsSubCriticalLongContacts) {
+  Rng rng(1002);
+  const std::size_t n = 400;
+  const double lambda = 0.5;
+  const double gamma = gamma_star_long(lambda);       // 1
+  const double tau_c = delay_constant_long(lambda);   // ~1.44
+  const double p_sub = estimate_path_probability(n, lambda, 0.4 * tau_c,
+                                                 gamma, ContactCase::kLong,
+                                                 200, rng);
+  const double p_super = estimate_path_probability(n, lambda, 3.0 * tau_c,
+                                                   gamma, ContactCase::kLong,
+                                                   200, rng);
+  EXPECT_LT(p_sub, 0.15);
+  EXPECT_GT(p_super, 0.85);
+}
+
+TEST(PhaseTransition, DenseLongContactsConnectAlmostInstantly) {
+  // lambda > 1: paths exist within tau*ln(N) slots even for tiny tau
+  // (the giant-component regime of §3.2.3).
+  Rng rng(1003);
+  const double p = estimate_path_probability(500, 2.0, 0.35, 8.0,
+                                             ContactCase::kLong, 150, rng);
+  EXPECT_GT(p, 0.8);
+}
+
+TEST(MeasureDelayOptimal, ReachesAndRecords) {
+  Rng rng(1004);
+  const auto stats = measure_delay_optimal(200, 1.0, ContactCase::kShort, 50,
+                                           10000, rng);
+  EXPECT_EQ(stats.unreached, 0u);
+  EXPECT_EQ(stats.delay_over_log_n.count(), 50u);
+  EXPECT_GT(stats.delay_over_log_n.mean(), 0.0);
+  EXPECT_GT(stats.hops_over_log_n.mean(), 0.0);
+  // Hops on the delay-optimal path never exceed its delay in slots
+  // (short contacts: one hop per slot).
+  EXPECT_LE(stats.hops_over_log_n.mean(),
+            stats.delay_over_log_n.mean() + 1e-9);
+}
+
+TEST(MeasureDelayOptimal, HopNumberTracksFigure3Prediction) {
+  // At lambda = 0.5, short contacts: k/ln N ~ 0.82 for large N. At
+  // N = 1000 finite-size effects remain, so use a generous band.
+  Rng rng(1005);
+  const double lambda = 0.5;
+  const auto stats = measure_delay_optimal(1000, lambda, ContactCase::kShort,
+                                           60, 20000, rng);
+  ASSERT_EQ(stats.unreached, 0u);
+  const double predicted = hop_constant_short(lambda);  // ~0.822
+  EXPECT_NEAR(stats.hops_over_log_n.mean(), predicted, 0.45);
+  // And the delay tracks tau* = 2.47 within a similar band.
+  EXPECT_NEAR(stats.delay_over_log_n.mean(), delay_constant_short(lambda),
+              1.0);
+}
+
+TEST(MeasureDelayOptimal, UnreachedCountedWhenCapTooSmall) {
+  Rng rng(1006);
+  // Essentially no contacts: with a tiny slot cap nothing arrives.
+  const auto stats = measure_delay_optimal(100, 0.01, ContactCase::kShort, 10,
+                                           3, rng);
+  EXPECT_EQ(stats.unreached, 10u);
+  EXPECT_EQ(stats.delay_over_log_n.count(), 0u);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,125 @@
+#include "random/random_temporal_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+TEST(PairCodec, RoundTripAllPairs) {
+  for (std::size_t n : {2u, 3u, 7u, 50u, 101u}) {
+    for (std::size_t i = 0; i < num_pairs(n); ++i) {
+      const auto [u, v] = decode_pair(i, n);
+      ASSERT_LT(u, v);
+      ASSERT_LT(v, n);
+      ASSERT_EQ(encode_pair(u, v, n), i) << "n=" << n << " i=" << i;
+      ASSERT_EQ(encode_pair(v, u, n), i);  // order-insensitive
+    }
+  }
+}
+
+TEST(PairCodec, EnumerationIsBijective) {
+  const std::size_t n = 20;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (std::size_t i = 0; i < num_pairs(n); ++i) seen.insert(decode_pair(i, n));
+  EXPECT_EQ(seen.size(), num_pairs(n));
+}
+
+class SlotEdgesSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlotEdgesSeeded, EdgeCountMatchesExpectation) {
+  Rng rng(GetParam());
+  const std::size_t n = 60;
+  const double p = 0.02;
+  SummaryStats counts;
+  for (int s = 0; s < 3000; ++s)
+    counts.add(static_cast<double>(sample_slot_edges(n, p, rng).size()));
+  const double expected = p * static_cast<double>(num_pairs(n));
+  EXPECT_NEAR(counts.mean(), expected, 5.0 * counts.stderr_mean());
+}
+
+TEST_P(SlotEdgesSeeded, EdgesAreValidAndDistinct) {
+  Rng rng(GetParam() + 1);
+  const auto edges = sample_slot_edges(30, 0.3, rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [u, v] : edges) {
+    ASSERT_LT(u, v);
+    ASSERT_LT(v, 30u);
+    ASSERT_TRUE(seen.insert({u, v}).second) << "duplicate edge";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotEdgesSeeded,
+                         ::testing::Values(11u, 222u, 3333u));
+
+TEST(SlotEdges, ExtremeProbabilities) {
+  Rng rng(1);
+  EXPECT_TRUE(sample_slot_edges(10, 0.0, rng).empty());
+  EXPECT_EQ(sample_slot_edges(10, 1.0, rng).size(), num_pairs(10));
+  EXPECT_TRUE(sample_slot_edges(1, 0.5, rng).empty());
+}
+
+TEST(DiscreteModel, ContactsLiveInsideSlots) {
+  Rng rng(5);
+  const auto g = make_discrete_random_temporal_graph(20, 2.0, 15, rng);
+  for (const Contact& c : g.contacts()) {
+    const double slot = std::floor(c.begin);
+    EXPECT_DOUBLE_EQ(c.begin, slot);
+    EXPECT_DOUBLE_EQ(c.end, slot + 0.5);  // slots never touch
+    EXPECT_LT(slot, 15.0);
+  }
+}
+
+TEST(DiscreteModel, ContactVolumeMatchesLambda) {
+  Rng rng(6);
+  const std::size_t n = 100, slots = 200;
+  const double lambda = 1.5;
+  const auto g = make_discrete_random_temporal_graph(n, lambda, slots, rng);
+  // E[contacts] = slots * p * num_pairs = slots * lambda * (n-1) / 2.
+  const double expected = slots * lambda * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_contacts()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(ContinuousModel, ZeroDurationPoissonContacts) {
+  Rng rng(7);
+  const std::size_t n = 40;
+  const double lambda = 1.0, duration = 200.0;
+  const auto g = make_continuous_random_temporal_graph(n, lambda, duration,
+                                                       rng);
+  for (const Contact& c : g.contacts()) {
+    EXPECT_DOUBLE_EQ(c.duration(), 0.0);
+    EXPECT_GE(c.begin, 0.0);
+    EXPECT_LE(c.begin, duration);
+  }
+  // E[contacts] = duration * (lambda/n) * num_pairs.
+  const double expected = duration * lambda / n * num_pairs(n);
+  EXPECT_NEAR(static_cast<double>(g.num_contacts()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(ContinuousModel, PerNodeContactRateIsLambda) {
+  Rng rng(8);
+  const double lambda = 2.0;
+  const auto g = make_continuous_random_temporal_graph(50, lambda, 500.0, rng);
+  // contact_rate counts both endpoints per contact per unit time:
+  // n * (n-1)/2 pairs * lambda/n each * 2 endpoints / n = lambda*(n-1)/n.
+  EXPECT_NEAR(g.contact_rate(1.0), lambda * 49.0 / 50.0, 0.1);
+}
+
+TEST(Generators, RejectDegenerateArguments) {
+  Rng rng(9);
+  EXPECT_THROW(make_discrete_random_temporal_graph(1, 1.0, 5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_continuous_random_temporal_graph(2, 1.0, -1.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,93 @@
+#include "core/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TemporalGraph chain() {
+  // 0-1 at [0,1], 1-2 at [5,6]: 0 can reach 2 while t <= 1; 2 can reach
+  // 0 never (time order); 1 can reach 2 while t <= 6.
+  return TemporalGraph(3, {{0, 1, 0.0, 1.0}, {1, 2, 5.0, 6.0}});
+}
+
+TEST(LastDepartureMatrix, ChainValues) {
+  const auto m = last_departure_matrix(chain());
+  EXPECT_DOUBLE_EQ(m[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(m[0][2], 1.0);   // must leave 0 before the 0-1 contact ends
+  EXPECT_DOUBLE_EQ(m[1][2], 6.0);
+  EXPECT_DOUBLE_EQ(m[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(m[2][1], 6.0);
+  EXPECT_EQ(m[2][0], -kInf);        // reverse chain is not time-respecting
+  EXPECT_EQ(m[0][0], kInf);         // self: always "reachable"
+}
+
+TEST(ReachabilityRatio, DecaysOverTime) {
+  const auto r = reachability_ratio(chain(), {-1.0, 0.5, 2.0, 7.0});
+  ASSERT_EQ(r.size(), 4u);
+  // t=-1: pairs (0,1),(1,0),(0,2),(1,2),(2,1) = 5 of 6.
+  EXPECT_NEAR(r[0], 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(r[1], 5.0 / 6.0, 1e-12);
+  // t=2: only (1,2),(2,1) remain.
+  EXPECT_NEAR(r[2], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(r[3], 0.0, 1e-12);
+  // Monotone non-increasing.
+  for (std::size_t i = 1; i < r.size(); ++i) EXPECT_LE(r[i], r[i - 1]);
+}
+
+TEST(OutComponents, SizesMatchMatrix) {
+  const auto sizes = out_component_sizes(chain(), 0.5);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 2u);  // reaches 1 and 2
+  EXPECT_EQ(sizes[1], 2u);  // reaches 0 (until 1) and 2
+  EXPECT_EQ(sizes[2], 1u);  // reaches only 1
+  const auto late = out_component_sizes(chain(), 10.0);
+  EXPECT_EQ(late[0] + late[1] + late[2], 0u);
+}
+
+TEST(DailyWindows, BasicSlicing) {
+  const auto w = daily_time_windows(0.0, 3 * kDay, 9.0, 18.0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].first, 9 * kHour);
+  EXPECT_DOUBLE_EQ(w[0].second, 18 * kHour);
+  EXPECT_DOUBLE_EQ(w[2].first, 2 * kDay + 9 * kHour);
+  for (std::size_t i = 1; i < w.size(); ++i)
+    EXPECT_GT(w[i].first, w[i - 1].second);
+}
+
+TEST(DailyWindows, ClipsToRange) {
+  // Trace starts at noon on day 0 and ends at 10:00 on day 1.
+  const auto w =
+      daily_time_windows(12 * kHour, kDay + 10 * kHour, 9.0, 18.0);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].first, 12 * kHour);   // clipped start
+  EXPECT_DOUBLE_EQ(w[0].second, 18 * kHour);
+  EXPECT_DOUBLE_EQ(w[1].first, kDay + 9 * kHour);
+  EXPECT_DOUBLE_EQ(w[1].second, kDay + 10 * kHour);  // clipped end
+}
+
+TEST(DailyWindows, EmptyWhenOutsideHours) {
+  // Trace entirely at night.
+  const auto w = daily_time_windows(0.0, 4 * kHour, 9.0, 18.0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(DailyWindows, InvalidArgumentsThrow) {
+  EXPECT_THROW(daily_time_windows(5.0, 1.0, 9.0, 18.0),
+               std::invalid_argument);
+  EXPECT_THROW(daily_time_windows(0.0, 1.0, 18.0, 9.0),
+               std::invalid_argument);
+  EXPECT_THROW(daily_time_windows(0.0, 1.0, -1.0, 9.0),
+               std::invalid_argument);
+  EXPECT_THROW(daily_time_windows(0.0, 1.0, 9.0, 25.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

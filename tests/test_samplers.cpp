@@ -1,0 +1,125 @@
+#include "util/samplers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+class SamplersSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplersSeeded, ExponentialMeanMatchesRate) {
+  Rng rng(GetParam());
+  for (double rate : {0.1, 1.0, 5.0}) {
+    SummaryStats stats;
+    for (int i = 0; i < 20000; ++i) stats.add(sample_exponential(rng, rate));
+    EXPECT_NEAR(stats.mean(), 1.0 / rate, 4.0 * stats.stderr_mean())
+        << "rate=" << rate;
+    EXPECT_GE(stats.min(), 0.0);
+  }
+}
+
+TEST_P(SamplersSeeded, GeometricTrialsMean) {
+  Rng rng(GetParam());
+  for (double p : {0.05, 0.3, 0.9}) {
+    SummaryStats stats;
+    for (int i = 0; i < 20000; ++i)
+      stats.add(static_cast<double>(sample_geometric_trials(rng, p)));
+    EXPECT_NEAR(stats.mean(), 1.0 / p, 5.0 * stats.stderr_mean())
+        << "p=" << p;
+    EXPECT_GE(stats.min(), 1.0);
+  }
+}
+
+TEST_P(SamplersSeeded, GeometricFailuresSupportAndMean) {
+  Rng rng(GetParam());
+  SummaryStats stats;
+  for (int i = 0; i < 20000; ++i)
+    stats.add(static_cast<double>(sample_geometric_failures(rng, 0.25)));
+  EXPECT_GE(stats.min(), 0.0);
+  EXPECT_NEAR(stats.mean(), 3.0, 5.0 * stats.stderr_mean());  // (1-p)/p
+}
+
+TEST_P(SamplersSeeded, GeometricCertainSuccess) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_geometric_failures(rng, 1.0), 0u);
+    EXPECT_EQ(sample_geometric_trials(rng, 1.0), 1u);
+  }
+}
+
+TEST_P(SamplersSeeded, ParetoSupport) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 10000; ++i)
+    ASSERT_GE(sample_pareto(rng, 2.0, 1.5), 2.0);
+}
+
+TEST_P(SamplersSeeded, ParetoTailIndex) {
+  // P[X > 2*xmin] = 2^-alpha for a Pareto.
+  Rng rng(GetParam());
+  const double alpha = 1.5;
+  int tail = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    if (sample_pareto(rng, 1.0, alpha) > 2.0) ++tail;
+  EXPECT_NEAR(tail / static_cast<double>(n), std::pow(2.0, -alpha), 0.015);
+}
+
+TEST_P(SamplersSeeded, BoundedParetoStaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 10000; ++i) {
+    const double x = sample_bounded_pareto(rng, 120.0, 14400.0, 1.1);
+    ASSERT_GE(x, 120.0);
+    ASSERT_LE(x, 14400.0);
+  }
+}
+
+TEST_P(SamplersSeeded, NormalMoments) {
+  Rng rng(GetParam());
+  SummaryStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(sample_normal(rng, 3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 5.0 * stats.stderr_mean());
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST_P(SamplersSeeded, LognormalMedian) {
+  Rng rng(GetParam());
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (sample_lognormal(rng, 1.0, 0.7) < std::exp(1.0)) ++below;
+  EXPECT_NEAR(below / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST_P(SamplersSeeded, PoissonSmallMean) {
+  Rng rng(GetParam());
+  SummaryStats stats;
+  for (int i = 0; i < 30000; ++i)
+    stats.add(static_cast<double>(sample_poisson(rng, 3.7)));
+  EXPECT_NEAR(stats.mean(), 3.7, 5.0 * stats.stderr_mean());
+  EXPECT_NEAR(stats.variance(), 3.7, 0.3);
+}
+
+TEST_P(SamplersSeeded, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(GetParam());
+  SummaryStats stats;
+  for (int i = 0; i < 20000; ++i)
+    stats.add(static_cast<double>(sample_poisson(rng, 1000.0)));
+  EXPECT_NEAR(stats.mean(), 1000.0, 5.0 * stats.stderr_mean());
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1000.0), 2.0);
+}
+
+TEST(Samplers, PoissonZeroMean) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplersSeeded,
+                         ::testing::Values(1u, 424242u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace odtn

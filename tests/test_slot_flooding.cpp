@@ -1,0 +1,82 @@
+#include "random/slot_flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+using Edges = std::vector<std::pair<NodeId, NodeId>>;
+
+TEST(SlotFlooding, SourceSeeded) {
+  SlotFloodProcess p(5, 1.0, ContactCase::kShort, 2, Rng(1));
+  EXPECT_EQ(p.min_hops()[2], 0);
+  EXPECT_FALSE(p.reached(0));
+  EXPECT_TRUE(p.reached(2));
+}
+
+TEST(SlotFlooding, ShortCaseOneHopPerSlot) {
+  SlotFloodProcess p(4, 1.0, ContactCase::kShort, 0, Rng(1));
+  // A full chain 0-1-2-3 in one slot: short contacts cross only one hop.
+  p.step_with_edges({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(p.min_hops()[1], 1);
+  EXPECT_FALSE(p.reached(2));
+  EXPECT_FALSE(p.reached(3));
+  // Repeat the same edges next slot: one more hop.
+  p.step_with_edges({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(p.min_hops()[2], 2);
+  EXPECT_FALSE(p.reached(3));
+}
+
+TEST(SlotFlooding, LongCaseChainsWithinSlot) {
+  SlotFloodProcess p(4, 1.0, ContactCase::kLong, 0, Rng(1));
+  p.step_with_edges({{2, 3}, {1, 2}, {0, 1}});  // order must not matter
+  EXPECT_EQ(p.min_hops()[1], 1);
+  EXPECT_EQ(p.min_hops()[2], 2);
+  EXPECT_EQ(p.min_hops()[3], 3);
+  EXPECT_EQ(p.slots(), 1u);
+}
+
+TEST(SlotFlooding, MinHopsNeverIncreases) {
+  SlotFloodProcess p(4, 1.0, ContactCase::kShort, 0, Rng(1));
+  p.step_with_edges({{0, 1}, {1, 2}});
+  p.step_with_edges({{1, 2}});
+  EXPECT_EQ(p.min_hops()[2], 2);
+  // A later direct contact improves the hop count.
+  p.step_with_edges({{0, 2}});
+  EXPECT_EQ(p.min_hops()[2], 1);
+}
+
+TEST(SlotFlooding, EdgesAreBidirectional) {
+  SlotFloodProcess p(3, 1.0, ContactCase::kShort, 2, Rng(1));
+  p.step_with_edges({{0, 2}});  // pair listed with source second
+  EXPECT_EQ(p.min_hops()[0], 1);
+}
+
+TEST(SlotFlooding, RandomStepProducesPlausibleEdgeCounts) {
+  const std::size_t n = 80;
+  const double lambda = 2.0;
+  SlotFloodProcess p(n, lambda, ContactCase::kShort, 0, Rng(33));
+  double total = 0;
+  const int slots = 500;
+  for (int s = 0; s < slots; ++s) total += static_cast<double>(p.step());
+  const double expected = lambda * (n - 1) / 2.0;  // per slot
+  EXPECT_NEAR(total / slots, expected, 0.15 * expected);
+}
+
+TEST(SlotFlooding, EventuallyReachesEveryone) {
+  SlotFloodProcess p(30, 1.0, ContactCase::kShort, 0, Rng(9));
+  for (int s = 0; s < 400 ; ++s) p.step();
+  for (NodeId v = 0; v < 30; ++v) EXPECT_TRUE(p.reached(v)) << "v=" << v;
+}
+
+TEST(SlotFlooding, InvalidArguments) {
+  EXPECT_THROW(SlotFloodProcess(1, 1.0, ContactCase::kShort, 0, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SlotFloodProcess(5, 1.0, ContactCase::kShort, 7, Rng(1)),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odtn

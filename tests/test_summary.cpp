@@ -1,0 +1,51 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odtn {
+namespace {
+
+TEST(Summary, Empty) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(s.min() > s.max());  // +inf > -inf sentinels
+}
+
+TEST(Summary, SingleValue) {
+  SummaryStats s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, KnownMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, StderrShrinksWithN) {
+  SummaryStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(Summary, NumericallyStableForLargeOffsets) {
+  SummaryStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e12 + (i % 3));
+  EXPECT_NEAR(s.mean(), 1e12 + 1.0, 1e-2);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace odtn

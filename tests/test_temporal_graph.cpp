@@ -1,0 +1,103 @@
+#include "core/temporal_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TemporalGraph small_graph() {
+  return TemporalGraph(4, {{0, 1, 10.0, 20.0},
+                           {1, 2, 15.0, 25.0},
+                           {2, 3, 30.0, 40.0},
+                           {0, 1, 50.0, 60.0}});
+}
+
+TEST(TemporalGraph, SortsContacts) {
+  TemporalGraph g(3, {{1, 2, 5.0, 6.0}, {0, 1, 1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(g.contacts()[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(g.contacts()[1].begin, 5.0);
+}
+
+TEST(TemporalGraph, RejectsMalformedContacts) {
+  EXPECT_THROW(TemporalGraph(2, {{0, 0, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(TemporalGraph(2, {{0, 1, 3.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(TemporalGraph(2, {{0, 5, 0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(TemporalGraph, EmptyGraph) {
+  TemporalGraph g(5, {});
+  EXPECT_EQ(g.num_contacts(), 0u);
+  EXPECT_DOUBLE_EQ(g.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(g.contact_rate(kDay), 0.0);
+  EXPECT_EQ(g.num_connected_pairs(), 0u);
+}
+
+TEST(TemporalGraph, TimeSpan) {
+  const auto g = small_graph();
+  EXPECT_DOUBLE_EQ(g.start_time(), 10.0);
+  EXPECT_DOUBLE_EQ(g.end_time(), 60.0);
+  EXPECT_DOUBLE_EQ(g.duration(), 50.0);
+}
+
+TEST(TemporalGraph, EndTimeHandlesNonMonotoneEnds) {
+  // A long contact that starts first but ends last.
+  TemporalGraph g(3, {{0, 1, 0.0, 100.0}, {1, 2, 10.0, 20.0}});
+  EXPECT_DOUBLE_EQ(g.end_time(), 100.0);
+}
+
+TEST(TemporalGraph, ContactRateCountsBothEndpoints) {
+  // 4 contacts over 50 s among 4 nodes: 8 logs / 4 nodes / 50 s.
+  const auto g = small_graph();
+  EXPECT_NEAR(g.contact_rate(1.0), 8.0 / 4.0 / 50.0, 1e-12);
+  // Directed graphs log once.
+  TemporalGraph d(4, small_graph().contacts(), true);
+  EXPECT_NEAR(d.contact_rate(1.0), 4.0 / 4.0 / 50.0, 1e-12);
+}
+
+TEST(TemporalGraph, ContactsOfNode) {
+  const auto g = small_graph();
+  EXPECT_EQ(g.contacts_of(0).size(), 2u);
+  EXPECT_EQ(g.contacts_of(1).size(), 3u);
+  EXPECT_EQ(g.contacts_of(3).size(), 1u);
+  EXPECT_THROW(g.contacts_of(99), std::out_of_range);
+}
+
+TEST(TemporalGraph, ContactsOfIsTimeOrdered) {
+  const auto g = small_graph();
+  const auto idx = g.contacts_of(1);
+  for (std::size_t i = 1; i < idx.size(); ++i)
+    EXPECT_LE(g.contacts()[idx[i - 1]].begin, g.contacts()[idx[i]].begin);
+}
+
+TEST(TemporalGraph, NextContactTime) {
+  const auto g = small_graph();
+  // Before any contact: first contact of node 0 begins at 10.
+  EXPECT_DOUBLE_EQ(g.next_contact_time(0, 0.0), 10.0);
+  // During a contact: "now".
+  EXPECT_DOUBLE_EQ(g.next_contact_time(0, 15.0), 15.0);
+  // Between contacts.
+  EXPECT_DOUBLE_EQ(g.next_contact_time(0, 25.0), 50.0);
+  // After everything: never again.
+  EXPECT_EQ(g.next_contact_time(0, 70.0), kInf);
+}
+
+TEST(TemporalGraph, ConnectedPairs) {
+  const auto g = small_graph();
+  EXPECT_EQ(g.num_connected_pairs(), 3u);  // (0,1), (1,2), (2,3)
+}
+
+TEST(TemporalGraph, ContactDurations) {
+  const auto g = small_graph();
+  const auto d = g.contact_durations();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 10.0);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,205 @@
+// Validation of the closed-form analysis (§3.2-3.3, Figures 1-3).
+#include "random/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace odtn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(EntropyH, KnownValues) {
+  EXPECT_DOUBLE_EQ(entropy_h(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_h(1.0), 0.0);
+  EXPECT_NEAR(entropy_h(0.5), std::log(2.0), 1e-12);
+  EXPECT_THROW(entropy_h(-0.1), std::invalid_argument);
+  EXPECT_THROW(entropy_h(1.1), std::invalid_argument);
+}
+
+TEST(EntropyH, SymmetricAndConcave) {
+  for (double x : {0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(entropy_h(x), entropy_h(1.0 - x), 1e-12);
+    EXPECT_GT(entropy_h(x), 0.0);
+    EXPECT_LT(entropy_h(x), std::log(2.0) + 1e-12);
+  }
+}
+
+TEST(EntropyG, KnownValues) {
+  EXPECT_DOUBLE_EQ(entropy_g(0.0), 0.0);
+  EXPECT_NEAR(entropy_g(1.0), 2.0 * std::log(2.0), 1e-12);
+  EXPECT_THROW(entropy_g(-0.1), std::invalid_argument);
+}
+
+TEST(EntropyG, IncreasingOnPositives) {
+  double prev = entropy_g(0.0);
+  for (double x = 0.25; x < 5.0; x += 0.25) {
+    const double cur = entropy_g(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(RateShort, MaximumAtGammaStar) {
+  for (double lambda : {0.5, 1.0, 1.5}) {
+    const double gs = gamma_star_short(lambda);
+    const double peak = rate_short(gs, lambda);
+    EXPECT_NEAR(peak, max_rate_short(lambda), 1e-12) << "lambda=" << lambda;
+    // Values around the peak are lower.
+    EXPECT_LT(rate_short(gs - 0.05, lambda), peak);
+    EXPECT_LT(rate_short(gs + 0.05, lambda), peak);
+  }
+}
+
+TEST(RateShort, MaxIsLogOnePlusLambda) {
+  EXPECT_NEAR(max_rate_short(0.5), std::log(1.5), 1e-12);
+  EXPECT_NEAR(max_rate_short(1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(gamma_star_short(0.5), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RateLong, MaximumAtGammaStarWhenSparse) {
+  for (double lambda : {0.3, 0.5, 0.8}) {
+    const double gs = gamma_star_long(lambda);
+    const double peak = rate_long(gs, lambda);
+    EXPECT_NEAR(peak, max_rate_long(lambda), 1e-10) << "lambda=" << lambda;
+    EXPECT_LT(rate_long(gs * 0.9, lambda), peak);
+    EXPECT_LT(rate_long(gs * 1.1, lambda), peak);
+  }
+}
+
+TEST(RateLong, UnboundedWhenDense) {
+  // lambda > 1: the curve increases without bound (Figure 2).
+  EXPECT_EQ(max_rate_long(1.5), kInf);
+  EXPECT_GT(rate_long(10.0, 1.5), rate_long(5.0, 1.5));
+  EXPECT_THROW(gamma_star_long(1.0), std::invalid_argument);
+}
+
+TEST(DelayConstants, PaperExamples) {
+  // Short contacts, lambda = 0.5: delay ~ 2.47 ln N (§3.2.2).
+  EXPECT_NEAR(delay_constant_short(0.5), 2.466, 0.001);
+  // Long contacts, lambda = 0.5: delay ~ 1.44 ln N, gamma* = 1 so the
+  // hop count equals the delay (§3.2.3).
+  EXPECT_NEAR(delay_constant_long(0.5), 1.0 / std::log(2.0), 1e-9);
+  EXPECT_NEAR(gamma_star_long(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(hop_constant_long(0.5), delay_constant_long(0.5), 1e-12);
+  // Dense long-contact regime: delay constant collapses to 0.
+  EXPECT_DOUBLE_EQ(delay_constant_long(2.0), 0.0);
+}
+
+TEST(HopConstants, SmallLambdaLimitIsOne) {
+  // Figure 3: as lambda -> 0 both curves tend to 1 (k ~ ln N).
+  for (double lambda : {1e-3, 1e-4}) {
+    EXPECT_NEAR(hop_constant_short(lambda), 1.0, 0.01);
+    EXPECT_NEAR(hop_constant_long(lambda), 1.0, 0.01);
+  }
+}
+
+TEST(HopConstants, LongCaseSingularAtOne) {
+  EXPECT_EQ(hop_constant_long(1.0), kInf);
+  // Just above 1 the constant is large; far above it decays as 1/ln.
+  EXPECT_GT(hop_constant_long(1.05), hop_constant_long(2.0));
+  EXPECT_NEAR(hop_constant_long(std::exp(1.0)), 1.0, 1e-12);
+}
+
+TEST(HopConstants, ShortCaseIsFiniteEverywhere) {
+  for (double lambda : {0.1, 0.5, 1.0, 2.0, 5.0})
+    EXPECT_TRUE(std::isfinite(hop_constant_short(lambda)));
+}
+
+TEST(ExpectedPaths, SingleHopIsBinomialTail) {
+  // k = 1: E = P[Binomial(t, p) >= 1] = 1 - (1-p)^t.
+  const std::size_t n = 100;
+  const double lambda = 0.5, p = lambda / n;
+  const long t = 10;
+  const double expected = 1.0 - std::pow(1.0 - p, static_cast<double>(t));
+  EXPECT_NEAR(std::exp(log_expected_paths_short(n, lambda, t, 1)), expected,
+              1e-12);
+}
+
+TEST(ExpectedPaths, LongAllowsSameSlotChains) {
+  // With t = 1 slot, short contacts allow only 1 hop, but long contacts
+  // allow k-hop chains within the slot.
+  const std::size_t n = 50;
+  EXPECT_EQ(log_expected_paths_short(n, 1.0, 1, 2),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_GT(log_expected_paths_long(n, 1.0, 1, 2),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(ExpectedPaths, MoreTimeNeverHurts) {
+  const std::size_t n = 200;
+  for (long k : {1L, 3L, 5L}) {
+    double prev = -kInf;
+    for (long t = k; t <= 40; t += 5) {
+      const double cur = log_expected_paths_short(n, 1.0, t, k);
+      EXPECT_GE(cur, prev - 1e-12);
+      prev = cur;
+    }
+  }
+}
+
+TEST(ExpectedPaths, InfeasibleHopCounts) {
+  // k > t is impossible with short contacts; k > N-1 lacks relays.
+  EXPECT_EQ(log_expected_paths_short(100, 1.0, 3, 5), -kInf);
+  EXPECT_EQ(log_expected_paths_short(4, 1.0, 50, 10), -kInf);
+}
+
+TEST(ExpectedPaths, ArgumentValidation) {
+  EXPECT_THROW(log_expected_paths_short(1, 1.0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(log_expected_paths_short(10, 1.0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(log_expected_paths_long(10, 1.0, 5, 0), std::invalid_argument);
+}
+
+// Lemma 1: ln E[Pi_N] / ln N approaches the Theta exponent as N grows.
+TEST(Lemma1, ExponentConvergence) {
+  const double lambda = 0.5;
+  const double tau = 4.0;  // supercritical: tau > 1/ln(1.5) ~ 2.47
+  const double gamma = gamma_star_short(lambda);
+  double prev_error = kInf;
+  for (std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    const double log_n = std::log(static_cast<double>(n));
+    const auto t = static_cast<long>(std::llround(tau * log_n));
+    const auto k = std::max<long>(
+        1, std::llround(gamma * static_cast<double>(t)));
+    const double measured =
+        log_expected_paths_short(n, lambda, t, k) / log_n;
+    const double predicted =
+        lemma1_exponent_short(static_cast<double>(t) / log_n,
+                              static_cast<double>(k) / static_cast<double>(t),
+                              lambda);
+    const double error = std::abs(measured - predicted);
+    EXPECT_LT(error, prev_error + 0.05)
+        << "n=" << n;  // converging (allow slack for integer rounding)
+    prev_error = error;
+  }
+  // At the largest size the match is within logarithmic corrections.
+  EXPECT_LT(prev_error, 0.2);
+}
+
+// The phase transition itself: supercritical parameters give exploding
+// expected counts, subcritical give vanishing ones.
+TEST(Lemma1, SuperAndSubCriticalSeparation) {
+  const double lambda = 0.5;
+  const double gamma = gamma_star_short(lambda);
+  const double tau_critical = delay_constant_short(lambda);  // ~2.47
+  const std::size_t small_n = 1000, large_n = 100000;
+  auto log_e = [&](std::size_t n, double tau) {
+    const double log_n = std::log(static_cast<double>(n));
+    const auto t = static_cast<long>(std::llround(tau * log_n));
+    const auto k = std::max<long>(1, std::llround(gamma * t));
+    return log_expected_paths_short(n, lambda, t, k);
+  };
+  // Supercritical (tau = 2 * critical): E grows with N.
+  EXPECT_GT(log_e(large_n, 2.0 * tau_critical),
+            log_e(small_n, 2.0 * tau_critical));
+  EXPECT_GT(log_e(large_n, 2.0 * tau_critical), 1.0);  // E >> 1
+  // Subcritical (tau = 0.5 * critical): E shrinks with N.
+  EXPECT_LT(log_e(large_n, 0.5 * tau_critical),
+            log_e(small_n, 0.5 * tau_critical));
+  EXPECT_LT(log_e(large_n, 0.5 * tau_critical), -1.0);  // E << 1
+}
+
+}  // namespace
+}  // namespace odtn

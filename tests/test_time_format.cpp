@@ -1,0 +1,60 @@
+#include "util/time_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace odtn {
+namespace {
+
+TEST(FormatDuration, Seconds) {
+  EXPECT_EQ(format_duration(0.0), "0 s");
+  EXPECT_EQ(format_duration(30.0), "30 s");
+  EXPECT_EQ(format_duration(59.0), "59 s");
+}
+
+TEST(FormatDuration, Minutes) {
+  EXPECT_EQ(format_duration(2 * kMinute), "2 min");
+  EXPECT_EQ(format_duration(90.0), "1.5 min");
+  EXPECT_EQ(format_duration(10 * kMinute), "10 min");
+}
+
+TEST(FormatDuration, HoursDaysWeeks) {
+  EXPECT_EQ(format_duration(kHour), "1 h");
+  EXPECT_EQ(format_duration(3 * kHour), "3 h");
+  EXPECT_EQ(format_duration(kDay), "1 d");
+  EXPECT_EQ(format_duration(2 * kDay), "2 d");
+  EXPECT_EQ(format_duration(kWeek), "1 wk");
+}
+
+TEST(FormatDuration, Negative) {
+  EXPECT_EQ(format_duration(-2 * kMinute), "-2 min");
+}
+
+TEST(FormatDuration, NonFinite) {
+  EXPECT_EQ(format_duration(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_duration(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_duration(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(FormatTimestamp, DayAndTimeOfDay) {
+  EXPECT_EQ(format_timestamp(0.0), "0+00:00:00");
+  EXPECT_EQ(format_timestamp(kDay + 3 * kHour + 4 * kMinute + 5),
+            "1+03:04:05");
+  EXPECT_EQ(format_timestamp(2 * kDay + 14 * kHour + 3 * kMinute + 20),
+            "2+14:03:20");
+}
+
+TEST(FormatTimestamp, InfinityFallsBack) {
+  EXPECT_EQ(format_timestamp(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Constants, Consistency) {
+  EXPECT_DOUBLE_EQ(kMinute, 60.0);
+  EXPECT_DOUBLE_EQ(kHour, 60.0 * kMinute);
+  EXPECT_DOUBLE_EQ(kDay, 24.0 * kHour);
+  EXPECT_DOUBLE_EQ(kWeek, 7.0 * kDay);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,110 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/generators.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 12;
+  spec.duration = kDay;
+  spec.pair_contacts_mean = 5.0;
+  const auto original = generate_trace(spec, 3).graph;
+
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const auto restored = read_trace(buffer);
+
+  EXPECT_EQ(restored.num_nodes(), original.num_nodes());
+  EXPECT_EQ(restored.directed(), original.directed());
+  EXPECT_EQ(restored.contacts(), original.contacts());
+}
+
+TEST(TraceIo, DirectedFlagRoundTrips) {
+  TemporalGraph g(3, {{0, 1, 1.0, 2.0}}, /*directed=*/true);
+  std::stringstream buffer;
+  write_trace(buffer, g);
+  EXPECT_TRUE(read_trace(buffer).directed());
+}
+
+TEST(TraceIo, ParsesHandWrittenInput) {
+  std::istringstream in(
+      "# odtn-trace v1\n"
+      "# nodes 3\n"
+      "\n"
+      "# a comment\n"
+      "0 1 10.5 20.25\n"
+      "1 2 30 40\n");
+  const auto g = read_trace(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  ASSERT_EQ(g.num_contacts(), 2u);
+  EXPECT_DOUBLE_EQ(g.contacts()[0].begin, 10.5);
+}
+
+TEST(TraceIo, WindowsLineEndingsAccepted) {
+  std::istringstream in(
+      "# odtn-trace v1\r\n# nodes 2\r\n0 1 0 1\r\n");
+  EXPECT_EQ(read_trace(in).num_contacts(), 1u);
+}
+
+TEST(TraceIo, ErrorsCarryLineNumbers) {
+  std::istringstream missing_magic("0 1 0 1\n");
+  EXPECT_THROW(read_trace(missing_magic), std::runtime_error);
+
+  std::istringstream missing_nodes("# odtn-trace v1\n0 1 0 1\n");
+  EXPECT_THROW(read_trace(missing_nodes), std::runtime_error);
+
+  std::istringstream bad_row("# odtn-trace v1\n# nodes 2\n0 1 zero 1\n");
+  try {
+    read_trace(bad_row);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsOutOfRangeNodes) {
+  std::istringstream in("# odtn-trace v1\n# nodes 2\n0 5 0 1\n");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsReversedInterval) {
+  std::istringstream in("# odtn-trace v1\n# nodes 2\n0 1 5 1\n");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTrailingGarbage) {
+  std::istringstream in("# odtn-trace v1\n# nodes 2\n0 1 0 1 extra\n");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/odtn_trace_test.txt";
+  TemporalGraph g(2, {{0, 1, 1.25, 2.75}});
+  write_trace_file(path, g);
+  const auto restored = read_trace_file(path);
+  EXPECT_EQ(restored.contacts(), g.contacts());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/no/such/file.txt"), std::runtime_error);
+  TemporalGraph g(2, {});
+  EXPECT_THROW(write_trace_file("/no/such/dir/out.txt", g),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odtn

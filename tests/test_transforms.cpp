@@ -1,0 +1,111 @@
+#include "trace/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+TemporalGraph sample_graph() {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 15;
+  spec.duration = 2 * kDay;
+  spec.pair_contacts_mean = 8.0;
+  spec.num_communities = 3;
+  return generate_trace(spec, 5).graph;
+}
+
+TEST(RandomRemoval, RemovesExpectedFraction) {
+  const auto g = sample_graph();
+  Rng rng(1);
+  const auto r = remove_contacts_random(g, 0.9, rng);
+  const double kept_fraction =
+      static_cast<double>(r.num_contacts()) /
+      static_cast<double>(g.num_contacts());
+  EXPECT_NEAR(kept_fraction, 0.1, 0.03);
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+}
+
+TEST(RandomRemoval, ZeroAndOneAreIdentityAndEmpty) {
+  const auto g = sample_graph();
+  Rng rng(2);
+  EXPECT_EQ(remove_contacts_random(g, 0.0, rng).num_contacts(),
+            g.num_contacts());
+  EXPECT_EQ(remove_contacts_random(g, 1.0, rng).num_contacts(), 0u);
+}
+
+TEST(RandomRemoval, SurvivorsAreOriginalContacts) {
+  const auto g = sample_graph();
+  Rng rng(3);
+  const auto r = remove_contacts_random(g, 0.5, rng);
+  for (const Contact& c : r.contacts()) {
+    const auto& all = g.contacts();
+    EXPECT_NE(std::find(all.begin(), all.end(), c), all.end());
+  }
+}
+
+TEST(RandomRemoval, RejectsBadProbability) {
+  const auto g = sample_graph();
+  Rng rng(4);
+  EXPECT_THROW(remove_contacts_random(g, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(remove_contacts_random(g, 1.1, rng), std::invalid_argument);
+}
+
+TEST(DurationThreshold, KeepsOnlyLongContacts) {
+  const auto g = sample_graph();
+  const double threshold = 10 * kMinute;
+  const auto r = remove_contacts_shorter_than(g, threshold);
+  for (const Contact& c : r.contacts()) ASSERT_GE(c.duration(), threshold);
+  std::size_t expected = 0;
+  for (const Contact& c : g.contacts())
+    if (c.duration() >= threshold) ++expected;
+  EXPECT_EQ(r.num_contacts(), expected);
+  EXPECT_LT(r.num_contacts(), g.num_contacts());  // short contacts existed
+}
+
+TEST(DurationThreshold, ZeroThresholdIsIdentity) {
+  const auto g = sample_graph();
+  EXPECT_EQ(remove_contacts_shorter_than(g, 0.0).num_contacts(),
+            g.num_contacts());
+}
+
+TEST(TimeWindow, ClipsAndDrops) {
+  TemporalGraph g(3, {{0, 1, 0.0, 10.0}, {1, 2, 20.0, 30.0},
+                      {0, 2, 5.0, 25.0}});
+  const auto r = restrict_time_window(g, 8.0, 22.0);
+  ASSERT_EQ(r.num_contacts(), 3u);
+  for (const Contact& c : r.contacts()) {
+    ASSERT_GE(c.begin, 8.0);
+    ASSERT_LE(c.end, 22.0);
+  }
+  const auto r2 = restrict_time_window(g, 11.0, 19.0);
+  // Only the long 0-2 contact intersects (11, 19).
+  ASSERT_EQ(r2.num_contacts(), 1u);
+  EXPECT_EQ(r2.contacts()[0].u, 0u);
+  EXPECT_EQ(r2.contacts()[0].v, 2u);
+}
+
+TEST(TimeWindow, EmptyWindowThrows) {
+  const auto g = sample_graph();
+  EXPECT_THROW(restrict_time_window(g, 5.0, 5.0), std::invalid_argument);
+}
+
+TEST(KeepInternal, DropsExternalContactsAndNodes) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 10;
+  spec.num_external = 20;
+  spec.duration = kDay;
+  spec.pair_contacts_mean = 4.0;
+  spec.external_pair_contacts_mean = 0.5;
+  const auto t = generate_trace(spec, 7);
+  ASSERT_GT(t.external_contact_count(), 0u);
+  const auto internal = keep_internal_contacts(t.graph, 10);
+  EXPECT_EQ(internal.num_nodes(), 10u);
+  EXPECT_EQ(internal.num_contacts(), t.internal_contact_count());
+  EXPECT_THROW(keep_internal_contacts(t.graph, 99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,92 @@
+#include "trace/wlan_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+WlanTraceSpec small_spec() {
+  WlanTraceSpec spec;
+  spec.num_devices = 30;
+  spec.num_access_points = 10;
+  spec.duration = 3 * kDay;
+  spec.sessions_per_day = 6.0;
+  return spec;
+}
+
+TEST(WlanGenerator, Deterministic) {
+  const auto a = generate_wlan_trace(small_spec(), 1);
+  const auto b = generate_wlan_trace(small_spec(), 1);
+  EXPECT_EQ(a.graph.contacts(), b.graph.contacts());
+  EXPECT_EQ(a.num_sessions, b.num_sessions);
+  const auto c = generate_wlan_trace(small_spec(), 2);
+  EXPECT_NE(a.graph.contacts(), c.graph.contacts());
+}
+
+TEST(WlanGenerator, SessionVolumeNearExpectation) {
+  const auto t = generate_wlan_trace(small_spec(), 3);
+  const double expected = 30 * 6.0 * 3.0;  // devices * per-day * days
+  EXPECT_NEAR(static_cast<double>(t.num_sessions), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(WlanGenerator, ContactsAreValidOverlaps) {
+  const auto t = generate_wlan_trace(small_spec(), 4);
+  EXPECT_GT(t.graph.num_contacts(), 0u);
+  for (const Contact& c : t.graph.contacts()) {
+    EXPECT_LT(c.begin, c.end);  // overlaps have positive length
+    EXPECT_GE(c.begin, 0.0);
+    EXPECT_LE(c.end, 3 * kDay);
+    EXPECT_NE(c.u, c.v);
+  }
+}
+
+TEST(WlanGenerator, ContactsFollowCampusRhythm) {
+  auto spec = small_spec();
+  spec.duration = 7 * kDay;
+  const auto t = generate_wlan_trace(spec, 5);
+  std::size_t work = 0, night = 0;
+  for (const Contact& c : t.graph.contacts()) {
+    const double hour = std::fmod(c.begin, kDay) / kHour;
+    if (hour >= 9 && hour < 17) ++work;
+    if (hour >= 1 && hour < 6) ++night;
+  }
+  EXPECT_GT(work, 5 * std::max<std::size_t>(night, 1));
+}
+
+TEST(WlanGenerator, HomeApBiasCreatesRepeatPairs) {
+  // With strong home bias, some pairs meet many times (same dorm);
+  // with zero bias, contacts scatter across AP population.
+  auto habitual = small_spec();
+  habitual.home_ap_bias = 0.95;
+  habitual.home_aps = 1;
+  auto roaming = small_spec();
+  roaming.home_ap_bias = 0.0;
+  const auto a = generate_wlan_trace(habitual, 6);
+  const auto b = generate_wlan_trace(roaming, 6);
+  // Repeat-contact concentration: contacts per connected pair.
+  const double conc_a = static_cast<double>(a.graph.num_contacts()) /
+                        static_cast<double>(a.graph.num_connected_pairs());
+  const double conc_b = static_cast<double>(b.graph.num_contacts()) /
+                        static_cast<double>(b.graph.num_connected_pairs());
+  EXPECT_GT(conc_a, conc_b);
+}
+
+TEST(WlanGenerator, InvalidSpecsThrow) {
+  auto spec = small_spec();
+  spec.num_devices = 1;
+  EXPECT_THROW(generate_wlan_trace(spec, 1), std::invalid_argument);
+  spec = small_spec();
+  spec.num_access_points = 0;
+  EXPECT_THROW(generate_wlan_trace(spec, 1), std::invalid_argument);
+  spec = small_spec();
+  spec.duration = 0.0;
+  EXPECT_THROW(generate_wlan_trace(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

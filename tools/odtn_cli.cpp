@@ -1,0 +1,13 @@
+// The `odtn` command-line tool. All logic lives in src/cli/ so it is
+// unit-testable; this is only the process entry point.
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return odtn::cli::run_cli(std::move(args));
+}
