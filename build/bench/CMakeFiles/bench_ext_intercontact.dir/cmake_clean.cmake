@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_intercontact.dir/bench_ext_intercontact.cpp.o"
+  "CMakeFiles/bench_ext_intercontact.dir/bench_ext_intercontact.cpp.o.d"
+  "bench_ext_intercontact"
+  "bench_ext_intercontact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_intercontact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

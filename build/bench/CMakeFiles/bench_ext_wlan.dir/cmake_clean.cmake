@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wlan.dir/bench_ext_wlan.cpp.o"
+  "CMakeFiles/bench_ext_wlan.dir/bench_ext_wlan.cpp.o.d"
+  "bench_ext_wlan"
+  "bench_ext_wlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_phase_short.dir/bench_fig01_phase_short.cpp.o"
+  "CMakeFiles/bench_fig01_phase_short.dir/bench_fig01_phase_short.cpp.o.d"
+  "bench_fig01_phase_short"
+  "bench_fig01_phase_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_phase_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

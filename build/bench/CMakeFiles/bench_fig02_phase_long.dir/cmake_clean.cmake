@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_phase_long.dir/bench_fig02_phase_long.cpp.o"
+  "CMakeFiles/bench_fig02_phase_long.dir/bench_fig02_phase_long.cpp.o.d"
+  "bench_fig02_phase_long"
+  "bench_fig02_phase_long.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_phase_long.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_next_contact.dir/bench_fig06_next_contact.cpp.o"
+  "CMakeFiles/bench_fig06_next_contact.dir/bench_fig06_next_contact.cpp.o.d"
+  "bench_fig06_next_contact"
+  "bench_fig06_next_contact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_next_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

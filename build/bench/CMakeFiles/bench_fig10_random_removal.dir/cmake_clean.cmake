@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_random_removal.dir/bench_fig10_random_removal.cpp.o"
+  "CMakeFiles/bench_fig10_random_removal.dir/bench_fig10_random_removal.cpp.o.d"
+  "bench_fig10_random_removal"
+  "bench_fig10_random_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_random_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

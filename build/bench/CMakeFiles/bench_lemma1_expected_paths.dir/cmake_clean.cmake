@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma1_expected_paths.dir/bench_lemma1_expected_paths.cpp.o"
+  "CMakeFiles/bench_lemma1_expected_paths.dir/bench_lemma1_expected_paths.cpp.o.d"
+  "bench_lemma1_expected_paths"
+  "bench_lemma1_expected_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma1_expected_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_daytime.dir/bench_sec53_daytime.cpp.o"
+  "CMakeFiles/bench_sec53_daytime.dir/bench_sec53_daytime.cpp.o.d"
+  "bench_sec53_daytime"
+  "bench_sec53_daytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_daytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_conference_forwarding.dir/conference_forwarding.cpp.o"
+  "CMakeFiles/example_conference_forwarding.dir/conference_forwarding.cpp.o.d"
+  "example_conference_forwarding"
+  "example_conference_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_conference_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

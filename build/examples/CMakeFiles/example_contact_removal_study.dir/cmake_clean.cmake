@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_contact_removal_study.dir/contact_removal_study.cpp.o"
+  "CMakeFiles/example_contact_removal_study.dir/contact_removal_study.cpp.o.d"
+  "example_contact_removal_study"
+  "example_contact_removal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_contact_removal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

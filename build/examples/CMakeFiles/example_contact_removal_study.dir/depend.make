@@ -1,0 +1,2 @@
+# Empty dependencies file for example_contact_removal_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_local_forwarding.dir/local_forwarding.cpp.o"
+  "CMakeFiles/example_local_forwarding.dir/local_forwarding.cpp.o.d"
+  "example_local_forwarding"
+  "example_local_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_local_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

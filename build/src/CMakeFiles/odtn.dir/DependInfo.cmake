@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/odtn.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/cli/args.cpp.o.d"
+  "/root/repo/src/cli/commands.cpp" "src/CMakeFiles/odtn.dir/cli/commands.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/cli/commands.cpp.o.d"
+  "/root/repo/src/core/contact.cpp" "src/CMakeFiles/odtn.dir/core/contact.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/contact.cpp.o.d"
+  "/root/repo/src/core/delivery_function.cpp" "src/CMakeFiles/odtn.dir/core/delivery_function.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/delivery_function.cpp.o.d"
+  "/root/repo/src/core/diameter.cpp" "src/CMakeFiles/odtn.dir/core/diameter.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/diameter.cpp.o.d"
+  "/root/repo/src/core/journeys.cpp" "src/CMakeFiles/odtn.dir/core/journeys.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/journeys.cpp.o.d"
+  "/root/repo/src/core/optimal_paths.cpp" "src/CMakeFiles/odtn.dir/core/optimal_paths.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/optimal_paths.cpp.o.d"
+  "/root/repo/src/core/path_enumeration.cpp" "src/CMakeFiles/odtn.dir/core/path_enumeration.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/path_enumeration.cpp.o.d"
+  "/root/repo/src/core/path_pair.cpp" "src/CMakeFiles/odtn.dir/core/path_pair.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/path_pair.cpp.o.d"
+  "/root/repo/src/core/reachability.cpp" "src/CMakeFiles/odtn.dir/core/reachability.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/reachability.cpp.o.d"
+  "/root/repo/src/core/temporal_graph.cpp" "src/CMakeFiles/odtn.dir/core/temporal_graph.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/core/temporal_graph.cpp.o.d"
+  "/root/repo/src/random/contact_process.cpp" "src/CMakeFiles/odtn.dir/random/contact_process.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/random/contact_process.cpp.o.d"
+  "/root/repo/src/random/phase_transition.cpp" "src/CMakeFiles/odtn.dir/random/phase_transition.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/random/phase_transition.cpp.o.d"
+  "/root/repo/src/random/random_temporal_network.cpp" "src/CMakeFiles/odtn.dir/random/random_temporal_network.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/random/random_temporal_network.cpp.o.d"
+  "/root/repo/src/random/slot_flooding.cpp" "src/CMakeFiles/odtn.dir/random/slot_flooding.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/random/slot_flooding.cpp.o.d"
+  "/root/repo/src/random/theory.cpp" "src/CMakeFiles/odtn.dir/random/theory.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/random/theory.cpp.o.d"
+  "/root/repo/src/sim/flooding.cpp" "src/CMakeFiles/odtn.dir/sim/flooding.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/sim/flooding.cpp.o.d"
+  "/root/repo/src/sim/forwarding.cpp" "src/CMakeFiles/odtn.dir/sim/forwarding.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/sim/forwarding.cpp.o.d"
+  "/root/repo/src/sim/local_forwarding.cpp" "src/CMakeFiles/odtn.dir/sim/local_forwarding.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/sim/local_forwarding.cpp.o.d"
+  "/root/repo/src/sim/profile_baseline.cpp" "src/CMakeFiles/odtn.dir/sim/profile_baseline.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/sim/profile_baseline.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/CMakeFiles/odtn.dir/stats/empirical.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/stats/empirical.cpp.o.d"
+  "/root/repo/src/stats/log_grid.cpp" "src/CMakeFiles/odtn.dir/stats/log_grid.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/stats/log_grid.cpp.o.d"
+  "/root/repo/src/stats/measure_cdf.cpp" "src/CMakeFiles/odtn.dir/stats/measure_cdf.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/stats/measure_cdf.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/odtn.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/trace/datasets.cpp" "src/CMakeFiles/odtn.dir/trace/datasets.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/datasets.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/CMakeFiles/odtn.dir/trace/generators.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/generators.cpp.o.d"
+  "/root/repo/src/trace/imports.cpp" "src/CMakeFiles/odtn.dir/trace/imports.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/imports.cpp.o.d"
+  "/root/repo/src/trace/intercontact.cpp" "src/CMakeFiles/odtn.dir/trace/intercontact.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/intercontact.cpp.o.d"
+  "/root/repo/src/trace/mobility_model.cpp" "src/CMakeFiles/odtn.dir/trace/mobility_model.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/mobility_model.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/odtn.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "src/CMakeFiles/odtn.dir/trace/transforms.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/transforms.cpp.o.d"
+  "/root/repo/src/trace/wlan_generator.cpp" "src/CMakeFiles/odtn.dir/trace/wlan_generator.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/wlan_generator.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/odtn.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/odtn.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/odtn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/samplers.cpp" "src/CMakeFiles/odtn.dir/util/samplers.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/samplers.cpp.o.d"
+  "/root/repo/src/util/time_format.cpp" "src/CMakeFiles/odtn.dir/util/time_format.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/time_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

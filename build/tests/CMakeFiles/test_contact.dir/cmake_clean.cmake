@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contact.dir/test_contact.cpp.o"
+  "CMakeFiles/test_contact.dir/test_contact.cpp.o.d"
+  "test_contact"
+  "test_contact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

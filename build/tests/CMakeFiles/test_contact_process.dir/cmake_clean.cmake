@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contact_process.dir/test_contact_process.cpp.o"
+  "CMakeFiles/test_contact_process.dir/test_contact_process.cpp.o.d"
+  "test_contact_process"
+  "test_contact_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contact_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

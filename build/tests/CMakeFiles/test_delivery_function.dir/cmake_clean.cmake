@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delivery_function.dir/test_delivery_function.cpp.o"
+  "CMakeFiles/test_delivery_function.dir/test_delivery_function.cpp.o.d"
+  "test_delivery_function"
+  "test_delivery_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delivery_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

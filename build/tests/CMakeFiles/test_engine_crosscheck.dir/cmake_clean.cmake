@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_crosscheck.dir/test_engine_crosscheck.cpp.o"
+  "CMakeFiles/test_engine_crosscheck.dir/test_engine_crosscheck.cpp.o.d"
+  "test_engine_crosscheck"
+  "test_engine_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

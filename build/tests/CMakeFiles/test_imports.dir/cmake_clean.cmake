@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imports.dir/test_imports.cpp.o"
+  "CMakeFiles/test_imports.dir/test_imports.cpp.o.d"
+  "test_imports"
+  "test_imports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intercontact.dir/test_intercontact.cpp.o"
+  "CMakeFiles/test_intercontact.dir/test_intercontact.cpp.o.d"
+  "test_intercontact"
+  "test_intercontact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intercontact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

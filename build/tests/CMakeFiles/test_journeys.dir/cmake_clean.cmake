@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journeys.dir/test_journeys.cpp.o"
+  "CMakeFiles/test_journeys.dir/test_journeys.cpp.o.d"
+  "test_journeys"
+  "test_journeys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journeys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

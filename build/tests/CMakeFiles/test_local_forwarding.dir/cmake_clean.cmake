@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_forwarding.dir/test_local_forwarding.cpp.o"
+  "CMakeFiles/test_local_forwarding.dir/test_local_forwarding.cpp.o.d"
+  "test_local_forwarding"
+  "test_local_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_grid.dir/test_log_grid.cpp.o"
+  "CMakeFiles/test_log_grid.dir/test_log_grid.cpp.o.d"
+  "test_log_grid"
+  "test_log_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure_cdf.dir/test_measure_cdf.cpp.o"
+  "CMakeFiles/test_measure_cdf.dir/test_measure_cdf.cpp.o.d"
+  "test_measure_cdf"
+  "test_measure_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobility_model.dir/test_mobility_model.cpp.o"
+  "CMakeFiles/test_mobility_model.dir/test_mobility_model.cpp.o.d"
+  "test_mobility_model"
+  "test_mobility_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobility_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

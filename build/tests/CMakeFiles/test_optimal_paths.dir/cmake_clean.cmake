@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_paths.dir/test_optimal_paths.cpp.o"
+  "CMakeFiles/test_optimal_paths.dir/test_optimal_paths.cpp.o.d"
+  "test_optimal_paths"
+  "test_optimal_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

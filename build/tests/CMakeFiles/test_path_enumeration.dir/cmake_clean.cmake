@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_enumeration.dir/test_path_enumeration.cpp.o"
+  "CMakeFiles/test_path_enumeration.dir/test_path_enumeration.cpp.o.d"
+  "test_path_enumeration"
+  "test_path_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

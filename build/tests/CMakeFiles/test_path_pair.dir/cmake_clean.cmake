@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_pair.dir/test_path_pair.cpp.o"
+  "CMakeFiles/test_path_pair.dir/test_path_pair.cpp.o.d"
+  "test_path_pair"
+  "test_path_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

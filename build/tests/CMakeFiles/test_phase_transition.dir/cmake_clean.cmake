@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_transition.dir/test_phase_transition.cpp.o"
+  "CMakeFiles/test_phase_transition.dir/test_phase_transition.cpp.o.d"
+  "test_phase_transition"
+  "test_phase_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

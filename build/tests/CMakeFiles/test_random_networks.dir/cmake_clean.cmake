@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_networks.dir/test_random_networks.cpp.o"
+  "CMakeFiles/test_random_networks.dir/test_random_networks.cpp.o.d"
+  "test_random_networks"
+  "test_random_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

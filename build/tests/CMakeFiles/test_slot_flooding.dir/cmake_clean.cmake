@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slot_flooding.dir/test_slot_flooding.cpp.o"
+  "CMakeFiles/test_slot_flooding.dir/test_slot_flooding.cpp.o.d"
+  "test_slot_flooding"
+  "test_slot_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slot_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temporal_graph.dir/test_temporal_graph.cpp.o"
+  "CMakeFiles/test_temporal_graph.dir/test_temporal_graph.cpp.o.d"
+  "test_temporal_graph"
+  "test_temporal_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temporal_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_format.dir/test_time_format.cpp.o"
+  "CMakeFiles/test_time_format.dir/test_time_format.cpp.o.d"
+  "test_time_format"
+  "test_time_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_fuzz.dir/odtn_fuzz.cpp.o"
+  "CMakeFiles/odtn_fuzz.dir/odtn_fuzz.cpp.o.d"
+  "odtn_fuzz"
+  "odtn_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
