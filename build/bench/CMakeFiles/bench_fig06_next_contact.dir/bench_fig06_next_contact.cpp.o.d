@@ -216,8 +216,8 @@ bench/CMakeFiles/bench_fig06_next_contact.dir/bench_fig06_next_contact.cpp.o: \
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/contact.hpp \
- /root/repo/src/stats/measure_cdf.hpp \
- /root/repo/src/core/temporal_graph.hpp \
+ /root/repo/src/stats/measure_cdf.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/temporal_graph.hpp \
  /root/repo/src/util/ascii_plot.hpp /root/repo/src/util/csv.hpp \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \

@@ -127,9 +127,19 @@ examples/CMakeFiles/example_contact_removal_study.dir/contact_removal_study.cpp.
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/contact.hpp \
- /root/repo/src/stats/measure_cdf.hpp \
- /root/repo/src/core/temporal_graph.hpp /root/repo/src/stats/log_grid.hpp \
- /root/repo/src/trace/generators.hpp \
+ /root/repo/src/stats/measure_cdf.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/temporal_graph.hpp \
+ /root/repo/src/stats/log_grid.hpp /root/repo/src/trace/generators.hpp \
  /root/repo/src/trace/mobility_model.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/trace/trace_io.hpp /root/repo/src/trace/transforms.hpp \
  /root/repo/src/util/time_format.hpp

@@ -128,17 +128,16 @@ examples/CMakeFiles/example_local_forwarding.dir/local_forwarding.cpp.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/core/optimal_paths.hpp \
- /root/repo/src/core/delivery_function.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/core/contact.hpp \
- /usr/include/c++/12/cstdint \
+ /root/repo/src/core/optimal_paths.hpp /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/stats/measure_cdf.hpp \
- /root/repo/src/core/temporal_graph.hpp /usr/include/c++/12/string \
- /usr/include/c++/12/bits/stringfwd.h \
+ /root/repo/src/core/delivery_function.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/core/contact.hpp \
+ /root/repo/src/stats/measure_cdf.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/temporal_graph.hpp \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \

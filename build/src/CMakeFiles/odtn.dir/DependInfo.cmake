@@ -44,6 +44,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/csv.cpp" "src/CMakeFiles/odtn.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/csv.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/CMakeFiles/odtn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/rng.cpp.o.d"
   "/root/repo/src/util/samplers.cpp" "src/CMakeFiles/odtn.dir/util/samplers.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/samplers.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/odtn.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/thread_pool.cpp.o.d"
   "/root/repo/src/util/time_format.cpp" "src/CMakeFiles/odtn.dir/util/time_format.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/time_format.cpp.o.d"
   )
 

@@ -133,8 +133,18 @@ src/CMakeFiles/odtn.dir/cli/commands.cpp.o: \
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/contact.hpp \
- /root/repo/src/stats/measure_cdf.hpp \
- /root/repo/src/core/temporal_graph.hpp \
+ /root/repo/src/stats/measure_cdf.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/temporal_graph.hpp \
  /root/repo/src/core/path_enumeration.hpp \
  /root/repo/src/core/reachability.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/stats/empirical.hpp \

@@ -139,4 +139,5 @@ src/CMakeFiles/odtn.dir/core/journeys.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/optimal_paths.hpp \
  /root/repo/src/core/delivery_function.hpp \
- /root/repo/src/core/path_pair.hpp /root/repo/src/stats/measure_cdf.hpp
+ /root/repo/src/core/path_pair.hpp /root/repo/src/stats/measure_cdf.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h

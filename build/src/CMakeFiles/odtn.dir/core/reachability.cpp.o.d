@@ -166,4 +166,5 @@ src/CMakeFiles/odtn.dir/core/reachability.cpp.o: \
  /root/repo/src/core/optimal_paths.hpp \
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /root/repo/src/stats/measure_cdf.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/util/time_format.hpp

@@ -319,6 +319,9 @@ tests/CMakeFiles/test_engine_crosscheck.dir/test_engine_crosscheck.cpp.o: \
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
  /root/repo/src/core/contact.hpp /root/repo/src/stats/measure_cdf.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/temporal_graph.hpp \
  /root/repo/src/random/contact_process.hpp \
  /root/repo/src/trace/mobility_model.hpp /root/repo/src/util/rng.hpp \

@@ -299,6 +299,9 @@ tests/CMakeFiles/test_journeys.dir/test_journeys.cpp.o: \
  /root/repo/src/core/optimal_paths.hpp \
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /root/repo/src/stats/measure_cdf.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/flooding.hpp /root/repo/src/trace/generators.hpp \
  /root/repo/src/trace/mobility_model.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/util/time_format.hpp

@@ -298,6 +298,9 @@ tests/CMakeFiles/test_local_forwarding.dir/test_local_forwarding.cpp.o: \
  /root/repo/src/core/optimal_paths.hpp \
  /root/repo/src/core/delivery_function.hpp \
  /root/repo/src/core/path_pair.hpp /root/repo/src/stats/measure_cdf.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/trace/generators.hpp \
  /root/repo/src/trace/mobility_model.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/util/time_format.hpp

@@ -297,6 +297,10 @@ tests/CMakeFiles/test_path_enumeration.dir/test_path_enumeration.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/optimal_paths.hpp \
  /root/repo/src/core/delivery_function.hpp \
- /root/repo/src/stats/measure_cdf.hpp /root/repo/src/trace/generators.hpp \
+ /root/repo/src/stats/measure_cdf.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/trace/generators.hpp \
  /root/repo/src/trace/mobility_model.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/util/time_format.hpp

@@ -194,6 +194,7 @@ tools/CMakeFiles/odtn_fuzz.dir/odtn_fuzz.cpp.o: \
  /root/repo/src/core/delivery_function.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/core/path_pair.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/contact.hpp \
- /root/repo/src/stats/measure_cdf.hpp \
- /root/repo/src/core/temporal_graph.hpp /root/repo/src/sim/flooding.hpp \
- /root/repo/src/trace/trace_io.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/stats/measure_cdf.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/temporal_graph.hpp \
+ /root/repo/src/sim/flooding.hpp /root/repo/src/trace/trace_io.hpp \
+ /root/repo/src/util/rng.hpp

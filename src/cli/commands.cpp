@@ -138,6 +138,18 @@ int cmd_cdf(ArgList args) {
               100.0 * (1.0 - epsilon), result.diameter(epsilon));
   std::printf("max hops on any delay-optimal path:          %d\n",
               result.fixpoint_hops);
+  if (!result.converged)
+    std::fprintf(stderr,
+                 "odtn: warning: hop-level DP did not converge within %d "
+                 "levels; diameter and max-hops figures are lower bounds\n",
+                 opt.max_levels);
+  std::printf(
+      "engine: %llu contact extensions, %llu pairs kept, %llu dominated, "
+      "%llu frontier copies avoided\n",
+      static_cast<unsigned long long>(result.stats.contacts_examined),
+      static_cast<unsigned long long>(result.stats.pairs_inserted),
+      static_cast<unsigned long long>(result.stats.pairs_dominated),
+      static_cast<unsigned long long>(result.stats.frontier_copies_avoided));
   return 0;
 }
 

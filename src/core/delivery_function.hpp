@@ -47,6 +47,9 @@ class DeliveryFunction {
   std::size_t size() const noexcept { return pairs_.size(); }
   bool empty() const noexcept { return pairs_.empty(); }
 
+  /// Removes every pair (capacity is kept, for reusable scratch buffers).
+  void clear() noexcept { pairs_.clear(); }
+
   const std::vector<PathPair>& pairs() const noexcept { return pairs_; }
 
   /// Integrates this function's delay distribution for start times

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "stats/measure_cdf.hpp"
+#include "util/thread_pool.hpp"
 
 namespace odtn {
 namespace {
@@ -39,11 +40,13 @@ double total_measure(const Windows& windows) {
   return total;
 }
 
-/// Per-thread partial result: one accumulator per hop budget + unbounded.
+/// Per-worker partial result: one accumulator per hop budget + unbounded.
 struct Partial {
   std::vector<MeasureCdfAccumulator> by_hops;
   MeasureCdfAccumulator unbounded;
   int fixpoint_hops = 0;
+  bool converged = true;
+  EngineStats stats;
 
   Partial(const std::vector<double>& grid, int max_hops)
       : unbounded(grid) {
@@ -54,8 +57,9 @@ struct Partial {
 
 void process_source(const TemporalGraph& graph, NodeId src,
                     const std::vector<NodeId>& endpoints, const Windows& w,
-                    int max_hops, int max_levels, Partial& out) {
-  SingleSourceEngine engine(graph, src);
+                    int max_hops, int max_levels, EngineMode mode,
+                    Partial& out) {
+  SingleSourceEngine engine(graph, src, mode);
   const double window_measure = total_measure(w);
   auto accumulate = [&](MeasureCdfAccumulator& acc, NodeId dst) {
     for (const auto& [lo, hi] : w)
@@ -70,7 +74,9 @@ void process_source(const TemporalGraph& graph, NodeId src,
     }
   }
   const int fixpoint = engine.run_to_fixpoint(max_levels);
+  if (fixpoint > max_levels) out.converged = false;
   out.fixpoint_hops = std::max(out.fixpoint_hops, fixpoint);
+  out.stats.merge(engine.stats());
   for (NodeId dst : endpoints) {
     if (dst == src) continue;
     accumulate(out.unbounded, dst);
@@ -144,37 +150,32 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
       throw std::invalid_argument("compute_delay_cdf: endpoint out of range");
   }
 
-  unsigned threads = options.num_threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(endpoints.size()));
-  if (threads == 0) threads = 1;
+  // Reusable pool with dynamic source hand-out: expensive sources (dense
+  // neighborhoods, long traces) no longer serialize behind a strided
+  // static partition. num_threads == 0 reuses the shared pool.
+  std::optional<ThreadPool> local_pool;
+  if (options.num_threads != 0) local_pool.emplace(options.num_threads);
+  ThreadPool& pool = local_pool ? *local_pool : shared_thread_pool();
 
   std::vector<Partial> partials;
-  partials.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t)
+  partials.reserve(pool.num_workers());
+  for (unsigned t = 0; t < pool.num_workers(); ++t)
     partials.emplace_back(options.grid, options.max_hops);
 
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        for (std::size_t i = t; i < endpoints.size(); i += threads) {
-          process_source(graph, endpoints[i], endpoints, w, options.max_hops,
-                         options.max_levels, partials[t]);
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
-  }
+  pool.parallel_for(endpoints.size(), [&](std::size_t i, unsigned worker) {
+    process_source(graph, endpoints[i], endpoints, w, options.max_hops,
+                   options.max_levels, options.engine, partials[worker]);
+  });
 
   Partial total = std::move(partials.front());
-  for (unsigned t = 1; t < threads; ++t) {
+  for (std::size_t t = 1; t < partials.size(); ++t) {
     for (int k = 0; k < options.max_hops; ++k)
       total.by_hops[k].merge(partials[t].by_hops[k]);
     total.unbounded.merge(partials[t].unbounded);
     total.fixpoint_hops = std::max(total.fixpoint_hops,
                                    partials[t].fixpoint_hops);
+    total.converged = total.converged && partials[t].converged;
+    total.stats.merge(partials[t].stats);
   }
 
   DelayCdfResult result;
@@ -184,6 +185,8 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
     result.cdf_by_hops.push_back(total.by_hops[k].cdf());
   result.cdf_unbounded = total.unbounded.cdf();
   result.fixpoint_hops = total.fixpoint_hops;
+  result.converged = total.converged;
+  result.stats = total.stats;
   result.denominator = total.unbounded.denominator();
   return result;
 }

@@ -45,8 +45,14 @@ struct DelayCdfOptions {
   /// (paper §5.3.1).
   std::vector<std::pair<double, double>> windows;
 
-  /// Worker threads (sources are independent). 0 = hardware concurrency.
+  /// Worker threads (sources are independent). 0 = hardware concurrency
+  /// (the process-wide shared pool). Sources are handed out dynamically,
+  /// so heterogeneous per-source cost does not imbalance the workers.
   unsigned num_threads = 0;
+
+  /// Propagation scheme for the per-source engines. kLevelSweep is the
+  /// reference (seed) semantics, kept for cross-checks and benches.
+  EngineMode engine = EngineMode::kIndexed;
 };
 
 /// All-pairs/all-start-times delay CDFs per hop budget.
@@ -57,8 +63,16 @@ struct DelayCdfResult {
   /// P[delay <= grid[j]] with unlimited hops (flooding success rate).
   std::vector<double> cdf_unbounded;
   /// Largest per-source fixpoint level: no delay-optimal path anywhere in
-  /// the trace uses more hops than this.
+  /// the trace uses more hops than this. Only meaningful when `converged`
+  /// is true; otherwise it is max_levels + 1, a LOWER bound on the true
+  /// fixpoint level, and diameter() may underestimate.
   int fixpoint_hops = 0;
+  /// True iff every source's DP reached its fixpoint within max_levels.
+  /// Check this before trusting fixpoint_hops or a diameter() value that
+  /// fell through to it.
+  bool converged = true;
+  /// Engine instrumentation summed over all sources.
+  EngineStats stats;
   /// Total observation measure (num ordered pairs * window length).
   double denominator = 0.0;
 

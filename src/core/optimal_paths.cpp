@@ -6,12 +6,14 @@
 
 namespace odtn {
 
-bool extend_frontier(const DeliveryFunction& from, double begin, double end,
-                     DeliveryFunction& into) {
-  const auto& pairs = from.pairs();
-  if (pairs.empty()) return false;
-  bool changed = false;
+namespace {
 
+/// Feeds every useful extension of `pairs` through the contact window
+/// [begin, end] to `offer(PathPair)`. Shared by extend_frontier and the
+/// indexed engine's delta propagation.
+template <typename Offer>
+void for_each_extension(const std::vector<PathPair>& pairs, double begin,
+                        double end, Offer&& offer) {
   // Pairs with ea <= begin all extend to (min(ld, end), begin); the one
   // with the largest ld dominates the rest. Pairs are sorted by
   // increasing ea, so that is the last pair before `first_late`.
@@ -21,7 +23,7 @@ bool extend_frontier(const DeliveryFunction& from, double begin, double end,
       pairs.begin());
   if (first_late > 0) {
     const PathPair& p = pairs[first_late - 1];
-    changed |= into.insert({std::min(p.ld, end), begin});
+    offer({std::min(p.ld, end), begin});
   }
   // Pairs with begin < ea <= end extend to (min(ld, end), ea). Once a
   // pair has ld >= end, later pairs (larger ld AND larger ea) only yield
@@ -29,39 +31,162 @@ bool extend_frontier(const DeliveryFunction& from, double begin, double end,
   for (std::size_t i = first_late; i < pairs.size() && pairs[i].ea <= end;
        ++i) {
     const PathPair& p = pairs[i];
-    changed |= into.insert({std::min(p.ld, end), p.ea});
+    offer({std::min(p.ld, end), p.ea});
     if (p.ld >= end) break;
   }
+}
+
+}  // namespace
+
+bool extend_frontier(const DeliveryFunction& from, double begin, double end,
+                     DeliveryFunction& into, EngineStats* stats) {
+  if (from.pairs().empty()) return false;
+  bool changed = false;
+  for_each_extension(from.pairs(), begin, end, [&](PathPair candidate) {
+    const bool kept = into.insert(candidate);
+    if (stats) {
+      if (kept)
+        ++stats->pairs_inserted;
+      else
+        ++stats->pairs_dominated;
+    }
+    changed |= kept;
+  });
   return changed;
 }
 
 SingleSourceEngine::SingleSourceEngine(const TemporalGraph& graph,
-                                       NodeId source)
-    : graph_(&graph), source_(source), frontiers_(graph.num_nodes()) {
+                                       NodeId source, EngineMode mode)
+    : graph_(&graph), source_(source), mode_(mode),
+      frontiers_(graph.num_nodes()) {
   if (source >= graph.num_nodes())
     throw std::out_of_range("SingleSourceEngine: source out of range");
   // The empty sequence: the message is at the source at all times.
   frontiers_[source_].insert({std::numeric_limits<double>::infinity(),
                               -std::numeric_limits<double>::infinity()});
+  if (mode_ == EngineMode::kIndexed) {
+    cur_delta_.resize(graph.num_nodes());
+    next_delta_.resize(graph.num_nodes());
+    cur_delta_[source_] = frontiers_[source_];
+    active_.push_back(source_);
+    dirty_mark_.assign(graph.num_nodes(), 0);
+  }
 }
 
 bool SingleSourceEngine::step() {
   if (fixpoint_) return false;
-  scratch_ = frontiers_;  // L_k snapshot to extend from
-  bool changed = false;
-  for (const Contact& c : graph_->contacts()) {
-    changed |= extend_frontier(scratch_[c.u], c.begin, c.end, frontiers_[c.v]);
-    if (!graph_->directed())
-      changed |=
-          extend_frontier(scratch_[c.v], c.begin, c.end, frontiers_[c.u]);
-  }
+  return mode_ == EngineMode::kIndexed ? step_indexed() : step_level_sweep();
+}
+
+void SingleSourceEngine::finish_level(bool changed) {
   ++level_;
   if (!changed) {
     fixpoint_ = true;
     --level_;  // the budget did not actually grow anything new
-    return false;
   }
-  return true;
+}
+
+bool SingleSourceEngine::step_indexed() {
+  // Only the pairs newly kept at the previous level (each active node's
+  // delta) can generate candidates that are not already dominated;
+  // everything older was extended -- and absorbed -- at an earlier level.
+  stats_.frontier_copies_avoided +=
+      static_cast<std::uint64_t>(frontiers_.size() - active_.size());
+  next_active_.clear();
+
+  bool changed = false;
+  for (const NodeId u : active_) {
+    const std::vector<PathPair>& dp = cur_delta_[u].pairs();
+    const std::vector<PathPair>& fp = frontiers_[u].pairs();
+    // For each delta pair, the ea of its successor in u's full frontier
+    // (delta pairs are all present in fp; both lists are ea-sorted, so
+    // one merge walk finds every successor). A window whose begin
+    // reaches at or past that successor draws its wait candidate from
+    // the successor chain -- pairs with strictly larger ld whose offers
+    // already happened the level after they entered -- so the delta's
+    // wait candidate is provably dominated and is not offered at all.
+    succ_ea_.resize(dp.size());
+    for (std::size_t j = 0, pos = 0; j < dp.size(); ++j) {
+      while (fp[pos].ea < dp[j].ea) ++pos;
+      succ_ea_[j] = pos + 1 < fp.size()
+                        ? fp[pos + 1].ea
+                        : std::numeric_limits<double>::infinity();
+    }
+    // No delta pair can ride a contact that ends before the delta's
+    // earliest arrival (both extension cases need ea <= end), so the
+    // whole prefix of the by-end index below min_ea is skipped at once.
+    const double min_ea = dp.front().ea;
+    const auto nbrs = graph_->neighbors_by_end(u);
+    auto it = std::lower_bound(
+        nbrs.begin(), nbrs.end(), min_ea,
+        [](const NodeContact& nc, double t) { return nc.end < t; });
+    for (; it != nbrs.end(); ++it) {
+      const NodeId to = it->to;
+      const double wb = it->begin, we = it->end;
+      ++stats_.contacts_examined;
+      // Candidates are checked against the target's frontier -- still
+      // exactly L_k, inserts are buffered in next_delta_ until the end
+      // of the level -- and collected into the target's next delta,
+      // which prunes duplicates and same-level dominance on its own.
+      auto offer = [&](PathPair cand) {
+        if (frontiers_[to].is_dominated(cand) ||
+            !next_delta_[to].insert(cand)) {
+          ++stats_.pairs_dominated;
+          return;
+        }
+        ++stats_.pairs_inserted;
+        changed = true;
+        if (!dirty_mark_[to]) {
+          dirty_mark_[to] = 1;
+          next_active_.push_back(to);
+        }
+      };
+      // Same extension cases as for_each_extension, but with a linear
+      // scan: deltas hold a handful of pairs, where the binary search's
+      // setup cost exceeds the comparisons it saves.
+      std::size_t i = 0;
+      while (i < dp.size() && dp[i].ea <= wb) ++i;
+      if (i > 0 && wb < succ_ea_[i - 1])
+        offer({std::min(dp[i - 1].ld, we), wb});
+      for (; i < dp.size() && dp[i].ea <= we; ++i) {
+        offer({std::min(dp[i].ld, we), dp[i].ea});
+        if (dp[i].ld >= we) break;
+      }
+    }
+  }
+
+  // Publish the level: merge every collected delta into its frontier.
+  // No merge insert can fail -- each pair survived the L_k dominance
+  // check at offer time and same-level pruning inside its delta.
+  for (const NodeId v : next_active_) {
+    DeliveryFunction& f = frontiers_[v];
+    for (const PathPair& p : next_delta_[v].pairs()) f.insert(p);
+  }
+
+  // Recycle the spent deltas as next level's (empty) collection buffers.
+  for (const NodeId u : active_) cur_delta_[u].clear();
+  cur_delta_.swap(next_delta_);
+  active_.swap(next_active_);
+  for (const NodeId u : active_) dirty_mark_[u] = 0;
+  finish_level(changed);
+  return changed;
+}
+
+bool SingleSourceEngine::step_level_sweep() {
+  scratch_ = frontiers_;  // L_k snapshot to extend from
+  bool changed = false;
+  for (const Contact& c : graph_->contacts()) {
+    ++stats_.contacts_examined;
+    changed |= extend_frontier(scratch_[c.u], c.begin, c.end, frontiers_[c.v],
+                               &stats_);
+    if (!graph_->directed()) {
+      ++stats_.contacts_examined;
+      changed |= extend_frontier(scratch_[c.v], c.begin, c.end,
+                                 frontiers_[c.u], &stats_);
+    }
+  }
+  finish_level(changed);
+  return changed;
 }
 
 int SingleSourceEngine::run_to_fixpoint(int max_levels) {

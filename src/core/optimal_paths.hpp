@@ -16,12 +16,27 @@
 // iteration is L_infinity, and the level at which it is reached upper-
 // bounds the number of hops any delay-optimal path ever needs.
 //
+// The default (indexed) propagation scheme additionally exploits that
+// re-extending an OLD pair is redundant: a pair that entered L_{k-1}(s, w)
+// at some level j < k already had all its extensions offered at level j+1,
+// and frontiers only improve, so offering them again yields only dominated
+// candidates. Each level therefore extends, per node, only the *delta* --
+// the pairs newly kept at the previous level -- through that node's own
+// contacts (TemporalGraph::neighbors_by_end). Because every delta pair
+// arrives no earlier than the delta's minimum EA, contacts ending before
+// that instant cannot carry any of them and are skipped wholesale via one
+// binary search on the by-end index. Extension preserves dominance, so
+// keeping each delta pruned (dropping delta pairs dominated by later
+// same-level inserts) is lossless too. The original full-sweep scheme is
+// kept as a reference semantics under EngineMode::kLevelSweep.
+//
 // Per contact and per source, the extension step touches
 // O(log F + #useful pairs) frontier entries thanks to the double-monotone
 // (LD and EA both increasing) frontier order -- this is what makes traces
 // with hundreds of thousands of contacts tractable (§4.4).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -33,12 +48,44 @@ namespace odtn {
 /// Hop budget value meaning "unbounded" (compute the fixpoint).
 inline constexpr int kUnboundedHops = std::numeric_limits<int>::max();
 
+/// Propagation scheme of the hop-level DP. Both modes compute identical
+/// frontiers at every level; kLevelSweep is the original reference
+/// semantics (full frontier snapshot + global contact rescan per level),
+/// kept for cross-checking and as the baseline in perf benches.
+enum class EngineMode {
+  kIndexed,
+  kLevelSweep,
+};
+
+/// Instrumentation counters of one engine run (or an aggregate over
+/// runs). All counts are exact, not sampled.
+struct EngineStats {
+  /// Contact-direction extensions attempted (one per usable (frontier,
+  /// contact, direction) triple examined).
+  std::uint64_t contacts_examined = 0;
+  /// Candidate pairs kept by DeliveryFunction::insert.
+  std::uint64_t pairs_inserted = 0;
+  /// Candidate pairs rejected as dominated by an existing frontier pair.
+  std::uint64_t pairs_dominated = 0;
+  /// Frontier snapshots skipped relative to the level-sweep scheme
+  /// (num_nodes - |active set|, summed over levels). Zero in kLevelSweep.
+  std::uint64_t frontier_copies_avoided = 0;
+
+  void merge(const EngineStats& other) noexcept {
+    contacts_examined += other.contacts_examined;
+    pairs_inserted += other.pairs_inserted;
+    pairs_dominated += other.pairs_dominated;
+    frontier_copies_avoided += other.frontier_copies_avoided;
+  }
+};
+
 /// Extends every usable pair of `from` through one contact edge
 /// [begin, end] and inserts the (pruned set of) results into `into`.
-/// Returns true iff `into` changed. Exposed for tests and for building
-/// custom propagation schemes.
+/// Returns true iff `into` changed. When `stats` is non-null the
+/// kept/dominated candidate counts are accumulated into it. Exposed for
+/// tests and for building custom propagation schemes.
 bool extend_frontier(const DeliveryFunction& from, double begin, double end,
-                     DeliveryFunction& into);
+                     DeliveryFunction& into, EngineStats* stats = nullptr);
 
 /// Hop-level dynamic program from one source.
 ///
@@ -47,7 +94,8 @@ bool extend_frontier(const DeliveryFunction& from, double begin, double end,
 /// then describe all delay-optimal paths with at most hops() contacts.
 class SingleSourceEngine {
  public:
-  SingleSourceEngine(const TemporalGraph& graph, NodeId source);
+  SingleSourceEngine(const TemporalGraph& graph, NodeId source,
+                     EngineMode mode = EngineMode::kIndexed);
 
   /// Advances the hop budget by one. Returns false (and does nothing)
   /// once the fixpoint has been reached.
@@ -75,17 +123,40 @@ class SingleSourceEngine {
 
   NodeId source() const noexcept { return source_; }
 
+  EngineMode mode() const noexcept { return mode_; }
+
+  /// Counters accumulated since construction.
+  const EngineStats& stats() const noexcept { return stats_; }
+
   /// Total number of stored Pareto pairs across destinations (a measure
   /// of the representation size; used by the ablation bench).
   std::size_t total_pairs() const noexcept;
 
  private:
+  bool step_indexed();
+  bool step_level_sweep();
+  void finish_level(bool changed);
+
   const TemporalGraph* graph_;
   NodeId source_;
+  EngineMode mode_;
   int level_ = 0;
   bool fixpoint_ = false;
+  EngineStats stats_;
   std::vector<DeliveryFunction> frontiers_;
+  // kLevelSweep: full snapshot of frontiers_ at the start of each level.
   std::vector<DeliveryFunction> scratch_;
+  // kIndexed: per-node deltas (pairs newly kept at the previous level,
+  // to extend now / at the current level, being collected), the nodes
+  // whose delta is non-empty, and a dedup mark for next_active_.
+  std::vector<DeliveryFunction> cur_delta_;
+  std::vector<DeliveryFunction> next_delta_;
+  std::vector<NodeId> active_;
+  std::vector<NodeId> next_active_;
+  std::vector<std::uint8_t> dirty_mark_;
+  // Scratch: per delta pair, the ea of its successor in the node's full
+  // frontier (used to suppress provably redundant wait candidates).
+  std::vector<double> succ_ea_;
 };
 
 /// Convenience: frontiers from `source` at each requested hop budget.

@@ -22,8 +22,11 @@ TemporalGraph::TemporalGraph(std::size_t num_nodes,
   std::sort(contacts_.begin(), contacts_.end(), contact_less);
 
   if (!contacts_.empty()) {
+    // Seed from the first contact, NOT from 0.0: a trace whose timestamps
+    // are all negative (e.g. epoch-shifted imports) must not report a
+    // spurious end_time of 0.
     start_ = contacts_.front().begin;
-    end_ = 0.0;
+    end_ = contacts_.front().end;
     for (const Contact& c : contacts_) end_ = std::max(end_, c.end);
   }
 
@@ -42,6 +45,32 @@ TemporalGraph::TemporalGraph(std::size_t num_nodes,
     node_contacts_[cursor[contacts_[idx].u]++] = idx;
     node_contacts_[cursor[contacts_[idx].v]++] = idx;
   }
+  // Secondary index: each node's outgoing contact windows, materialized
+  // as flat {begin, end, peer} records and re-sorted by end time, so
+  // propagation engines scan sequential memory and can binary-search
+  // "first window ending at or after t".
+  neighbor_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Contact& c : contacts_) {
+    ++neighbor_offsets_[c.u + 1];
+    if (!directed_) ++neighbor_offsets_[c.v + 1];
+  }
+  for (std::size_t i = 1; i < neighbor_offsets_.size(); ++i)
+    neighbor_offsets_[i] += neighbor_offsets_[i - 1];
+  neighbors_by_end_.resize(neighbor_offsets_.back());
+  cursor.assign(neighbor_offsets_.begin(), neighbor_offsets_.end() - 1);
+  for (const Contact& c : contacts_) {
+    neighbors_by_end_[cursor[c.u]++] = {c.begin, c.end, c.v};
+    if (!directed_) neighbors_by_end_[cursor[c.v]++] = {c.begin, c.end, c.u};
+  }
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    std::sort(neighbors_by_end_.begin() + neighbor_offsets_[n],
+              neighbors_by_end_.begin() + neighbor_offsets_[n + 1],
+              [](const NodeContact& a, const NodeContact& b) {
+                if (a.end != b.end) return a.end < b.end;
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.to < b.to;
+              });
+  }
 }
 
 double TemporalGraph::contact_rate(double unit) const noexcept {
@@ -58,6 +87,14 @@ std::span<const std::uint32_t> TemporalGraph::contacts_of(NodeId node) const {
     throw std::out_of_range("TemporalGraph::contacts_of: bad node");
   return {node_contacts_.data() + node_offsets_[node],
           node_contacts_.data() + node_offsets_[node + 1]};
+}
+
+std::span<const NodeContact> TemporalGraph::neighbors_by_end(
+    NodeId node) const {
+  if (node >= num_nodes_)
+    throw std::out_of_range("TemporalGraph::neighbors_by_end: bad node");
+  return {neighbors_by_end_.data() + neighbor_offsets_[node],
+          neighbors_by_end_.data() + neighbor_offsets_[node + 1]};
 }
 
 std::vector<double> TemporalGraph::contact_durations() const {

@@ -11,6 +11,17 @@
 
 namespace odtn {
 
+/// One contact as seen from a fixed endpoint: the time window plus the
+/// peer it connects to. TemporalGraph stores these per node in a flat
+/// array sorted by increasing end time, so propagation engines scan a
+/// cache-friendly sequence and can binary-search the first window ending
+/// at or after a given instant.
+struct NodeContact {
+  double begin;
+  double end;
+  NodeId to;
+};
+
 /// Immutable temporal network over a fixed node set.
 ///
 /// Contacts are stored sorted by (begin, end, u, v). An undirected graph
@@ -45,6 +56,13 @@ class TemporalGraph {
   /// order.
   std::span<const std::uint32_t> contacts_of(NodeId node) const;
 
+  /// `node`'s outgoing contact windows ordered by increasing END time.
+  /// A directed graph lists only contacts observed by `node` (u -> v);
+  /// an undirected graph lists both endpoints' views. Propagation
+  /// engines binary-search this to skip every contact that ends before
+  /// the earliest arrival they could extend.
+  std::span<const NodeContact> neighbors_by_end(NodeId node) const;
+
   /// Durations of all contacts, in contact order.
   std::vector<double> contact_durations() const;
 
@@ -64,9 +82,12 @@ class TemporalGraph {
   std::vector<Contact> contacts_;
   double start_ = 0.0;
   double end_ = 0.0;
-  // CSR-style per-node index into contacts_.
+  // CSR-style per-node index into contacts_, in canonical (begin) order.
   std::vector<std::uint32_t> node_offsets_;
   std::vector<std::uint32_t> node_contacts_;
+  // CSR-style per-node outgoing contact windows, sorted by end time.
+  std::vector<std::uint32_t> neighbor_offsets_;
+  std::vector<NodeContact> neighbors_by_end_;
 };
 
 }  // namespace odtn

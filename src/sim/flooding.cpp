@@ -47,8 +47,17 @@ std::vector<std::size_t> FloodingResult::reconstruct(
     // stored there is the contact that actually created the value
     // (higher levels merely inherit it).
     while (k > 1 && arrival[k - 1][cur] <= arrival[k][cur]) --k;
-    assert(k > 0 && parent[k][cur] >= 0);
+    // A reached node must have a parent contact at the level that created
+    // its arrival. A -1 here means the parent/arrival tables are mutually
+    // inconsistent; silently casting it to std::size_t would index far
+    // out of bounds in release builds, so fail loudly instead.
+    if (k == 0 || parent[k][cur] < 0)
+      throw std::logic_error(
+          "FloodingResult::reconstruct: inconsistent parent data");
     const auto contact_idx = static_cast<std::size_t>(parent[k][cur]);
+    if (contact_idx >= graph.contacts().size())
+      throw std::logic_error(
+          "FloodingResult::reconstruct: parent contact out of range");
     sequence.push_back(contact_idx);
     const Contact& c = graph.contacts()[contact_idx];
     cur = (c.v == cur) ? c.u : c.v;

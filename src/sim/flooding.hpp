@@ -42,7 +42,9 @@ struct FloodingResult {
   /// Reconstructs one contact sequence (indices into graph.contacts())
   /// realizing arrival_with_hops(node, hops), in forwarding order.
   /// `graph` must be the graph passed to flood(). Returns an empty vector
-  /// when the node is unreachable or is the source itself.
+  /// when the node is unreachable or is the source itself; throws
+  /// std::logic_error when the parent/arrival tables are inconsistent
+  /// (e.g. hand-built or corrupted results).
   std::vector<std::size_t> reconstruct(const TemporalGraph& graph,
                                        NodeId node, int hops) const;
 

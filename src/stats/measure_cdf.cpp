@@ -18,35 +18,6 @@ MeasureCdfAccumulator::MeasureCdfAccumulator(std::vector<double> grid)
   }
 }
 
-void MeasureCdfAccumulator::add_segment(double a, double b, double arrival) {
-  assert(a <= b);
-  if (!(a < b)) return;
-  // Contribution to P[delay <= x] for x = grid[j]:
-  //   measure{ t in (a, b] : arrival - t <= x }
-  //   = b - max(a, arrival - x), clamped to [0, b - a]
-  //   = 0                       when x <  arrival - b   (no coverage)
-  //   = (b - arrival) + x       when arrival - b <= x < arrival - a
-  //   = b - a                   when x >= arrival - a   (full coverage).
-  const auto lo = static_cast<std::size_t>(
-      std::lower_bound(grid_.begin(), grid_.end(), arrival - b) -
-      grid_.begin());
-  const auto hi = static_cast<std::size_t>(
-      std::lower_bound(grid_.begin(), grid_.end(), arrival - a) -
-      grid_.begin());
-  // Partial coverage on [lo, hi): affine in x.
-  if (lo < hi) {
-    const_diff_[lo] += b - arrival;
-    const_diff_[hi] -= b - arrival;
-    slope_diff_[lo] += 1.0;
-    slope_diff_[hi] -= 1.0;
-  }
-  // Full coverage on [hi, end).
-  if (hi < grid_.size()) {
-    const_diff_[hi] += b - a;
-    const_diff_[grid_.size()] -= b - a;
-  }
-}
-
 void MeasureCdfAccumulator::add_observation_measure(double measure) {
   assert(measure >= 0.0);
   denominator_ += measure;

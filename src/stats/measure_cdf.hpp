@@ -15,6 +15,8 @@
 // affine function (b - arrival) + x.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -31,8 +33,36 @@ class MeasureCdfAccumulator {
   /// Accounts for start times t in (a, b] delivered at time
   /// max(t, arrival), i.e. delay(t) = max(0, arrival - t).
   /// Requires a <= b; empty segments are ignored. Does NOT touch the
-  /// denominator (see add_observation_measure).
-  void add_segment(double a, double b, double arrival);
+  /// denominator (see add_observation_measure). Defined inline: this is
+  /// the hottest non-engine call of the all-pairs delay CDF.
+  void add_segment(double a, double b, double arrival) {
+    assert(a <= b);
+    if (!(a < b)) return;
+    // Contribution to P[delay <= x] for x = grid[j]:
+    //   measure{ t in (a, b] : arrival - t <= x }
+    //   = b - max(a, arrival - x), clamped to [0, b - a]
+    //   = 0                       when x <  arrival - b   (no coverage)
+    //   = (b - arrival) + x       when arrival - b <= x < arrival - a
+    //   = b - a                   when x >= arrival - a   (full coverage).
+    const auto lo = static_cast<std::size_t>(
+        std::lower_bound(grid_.begin(), grid_.end(), arrival - b) -
+        grid_.begin());
+    const auto hi = static_cast<std::size_t>(
+        std::lower_bound(grid_.begin(), grid_.end(), arrival - a) -
+        grid_.begin());
+    // Partial coverage on [lo, hi): affine in x.
+    if (lo < hi) {
+      const_diff_[lo] += b - arrival;
+      const_diff_[hi] -= b - arrival;
+      slope_diff_[lo] += 1.0;
+      slope_diff_[hi] -= 1.0;
+    }
+    // Full coverage on [hi, end).
+    if (hi < grid_.size()) {
+      const_diff_[hi] += b - a;
+      const_diff_[grid_.size()] -= b - a;
+    }
+  }
 
   /// Adds `measure` to the normalization denominator. Callers typically
   /// add (t_hi - t_lo) once per (source, destination) pair, so start times

@@ -198,6 +198,61 @@ TEST(DelayCdf, InvalidOptionsThrow) {
   EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
 }
 
+TEST(DelayCdf, ConvergedFlagReportsFixpointTruncation) {
+  // A 5-hop chain with strictly increasing contact times: the DP needs 5
+  // levels from node 0, so max_levels = 3 cannot converge.
+  TemporalGraph g(6, {{0, 1, 0.0, 1.0},
+                      {1, 2, 2.0, 3.0},
+                      {2, 3, 4.0, 5.0},
+                      {3, 4, 6.0, 7.0},
+                      {4, 5, 8.0, 9.0}});
+  auto opt = base_options();
+  opt.max_hops = 2;
+  opt.max_levels = 3;
+  const auto truncated = compute_delay_cdf(g, opt);
+  EXPECT_FALSE(truncated.converged);
+  // fixpoint_hops degrades to max_levels + 1 (a lower bound, flagged).
+  EXPECT_EQ(truncated.fixpoint_hops, 4);
+
+  opt.max_levels = 64;
+  const auto full = compute_delay_cdf(g, opt);
+  EXPECT_TRUE(full.converged);
+  EXPECT_EQ(full.fixpoint_hops, 5);
+}
+
+TEST(DelayCdf, EngineModesProduceIdenticalCdfs) {
+  Rng rng(77);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 140; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(10));
+    auto v = static_cast<NodeId>(rng.below(9));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 80);
+    contacts.push_back({u, v, b, b + rng.uniform(0, 6)});
+  }
+  TemporalGraph g(10, std::move(contacts));
+  auto indexed_opt = base_options();
+  indexed_opt.num_threads = 1;
+  auto sweep_opt = indexed_opt;
+  sweep_opt.engine = EngineMode::kLevelSweep;
+  const auto a = compute_delay_cdf(g, indexed_opt);
+  const auto b = compute_delay_cdf(g, sweep_opt);
+  ASSERT_EQ(a.cdf_by_hops.size(), b.cdf_by_hops.size());
+  for (std::size_t k = 0; k < a.cdf_by_hops.size(); ++k)
+    for (std::size_t j = 0; j < a.grid.size(); ++j)
+      ASSERT_EQ(a.cdf_by_hops[k][j], b.cdf_by_hops[k][j]) << k << " " << j;
+  for (std::size_t j = 0; j < a.grid.size(); ++j)
+    ASSERT_EQ(a.cdf_unbounded[j], b.cdf_unbounded[j]);
+  EXPECT_EQ(a.fixpoint_hops, b.fixpoint_hops);
+  EXPECT_TRUE(a.converged);
+  // The indexed engine must examine no more contacts than the sweep and
+  // must actually skip frontier snapshots.
+  EXPECT_LE(a.stats.contacts_examined, b.stats.contacts_examined);
+  EXPECT_GT(a.stats.frontier_copies_avoided, 0u);
+  EXPECT_EQ(b.stats.frontier_copies_avoided, 0u);
+  EXPECT_GT(a.stats.pairs_inserted, 0u);
+}
+
 TEST(DelayCdf, SingleThreadAndMultiThreadAgree) {
   Rng rng(31);
   std::vector<Contact> contacts;

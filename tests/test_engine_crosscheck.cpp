@@ -19,8 +19,11 @@ namespace {
 
 /// Random trace with overlapping contacts, zero-duration contacts, and
 /// boundary coincidences (integer-ish times), to stress edge cases.
+/// `time_shift` moves every timestamp (negative shifts exercise the
+/// all-negative-time regime of epoch-shifted imports).
 TemporalGraph random_trace(Rng& rng, std::size_t nodes,
-                           std::size_t num_contacts, double horizon) {
+                           std::size_t num_contacts, double horizon,
+                           bool directed = false, double time_shift = 0.0) {
   std::vector<Contact> contacts;
   contacts.reserve(num_contacts);
   for (std::size_t i = 0; i < num_contacts; ++i) {
@@ -28,12 +31,44 @@ TemporalGraph random_trace(Rng& rng, std::size_t nodes,
     auto v = static_cast<NodeId>(rng.below(nodes - 1));
     if (v >= u) ++v;
     // Quantize to integers so begin/end coincidences are common.
-    const double begin = std::floor(rng.uniform(0.0, horizon));
+    const double begin = std::floor(rng.uniform(0.0, horizon)) + time_shift;
     const double extra =
         rng.bernoulli(0.2) ? 0.0 : std::floor(rng.uniform(1.0, horizon / 4));
     contacts.push_back({u, v, begin, begin + extra});
   }
-  return TemporalGraph(nodes, std::move(contacts));
+  return TemporalGraph(nodes, std::move(contacts), directed);
+}
+
+/// Steps the indexed engine and the level-sweep reference side by side
+/// and requires identical frontiers at EVERY hop level, plus agreement
+/// with flood() arrivals at sampled start times at every hop budget.
+void expect_modes_and_flooding_agree(const TemporalGraph& g, NodeId src,
+                                     Rng& rng, double t_lo, double t_hi) {
+  SingleSourceEngine indexed(g, src, EngineMode::kIndexed);
+  SingleSourceEngine sweep(g, src, EngineMode::kLevelSweep);
+  for (int hops = 1; hops <= 64; ++hops) {
+    const bool indexed_grew = indexed.step();
+    const bool sweep_grew = sweep.step();
+    ASSERT_EQ(indexed_grew, sweep_grew) << "src=" << src << " hops=" << hops;
+    ASSERT_EQ(indexed.hops(), sweep.hops());
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+      ASSERT_EQ(indexed.frontier(dst), sweep.frontier(dst))
+          << "src=" << src << " dst=" << dst << " hops=" << hops;
+    }
+    for (int q = 0; q < 10; ++q) {
+      const double t0 = rng.uniform(t_lo, t_hi);
+      const FloodingResult fr = flood(g, src, t0, indexed.hops());
+      for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+        ASSERT_EQ(indexed.frontier(dst).deliver_at(t0),
+                  fr.arrival_with_hops(dst, indexed.hops()))
+            << "src=" << src << " dst=" << dst << " t0=" << t0
+            << " hops=" << indexed.hops();
+      }
+    }
+    if (!indexed_grew) break;
+  }
+  ASSERT_TRUE(indexed.at_fixpoint());
+  ASSERT_TRUE(sweep.at_fixpoint());
 }
 
 struct CrosscheckParam {
@@ -108,6 +143,46 @@ TEST_P(EngineCrosscheck, UnboundedEqualsLargeHopFlooding) {
     for (NodeId dst = 0; dst < g.num_nodes(); ++dst)
       ASSERT_EQ(engine.frontier(dst).deliver_at(t0), fr.best_arrival(dst));
   }
+}
+
+TEST_P(EngineCrosscheck, IndexedMatchesLevelSweepUndirected) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0xD1EDC0DE);
+  const TemporalGraph g =
+      random_trace(rng, param.nodes, param.contacts, 100.0);
+  for (NodeId src = 0; src < std::min<std::size_t>(g.num_nodes(), 3); ++src)
+    expect_modes_and_flooding_agree(g, src, rng, -5.0, 110.0);
+}
+
+TEST_P(EngineCrosscheck, IndexedMatchesLevelSweepDirected) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0xD1AEC7ED);
+  const TemporalGraph g = random_trace(rng, param.nodes, param.contacts,
+                                       100.0, /*directed=*/true);
+  for (NodeId src = 0; src < std::min<std::size_t>(g.num_nodes(), 3); ++src)
+    expect_modes_and_flooding_agree(g, src, rng, -5.0, 110.0);
+}
+
+TEST_P(EngineCrosscheck, IndexedMatchesLevelSweepNegativeTimes) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0x4E6A71E5);
+  // All timestamps strictly negative (epoch-shifted import regime).
+  const TemporalGraph g =
+      random_trace(rng, param.nodes, param.contacts, 100.0,
+                   /*directed=*/false, /*time_shift=*/-1000.0);
+  ASSERT_LT(g.end_time(), 0.0);
+  for (NodeId src = 0; src < std::min<std::size_t>(g.num_nodes(), 3); ++src)
+    expect_modes_and_flooding_agree(g, src, rng, -1005.0, -890.0);
+}
+
+TEST_P(EngineCrosscheck, DirectedNegativeTimeMatchesFlooding) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0xBADCAFE);
+  const TemporalGraph g =
+      random_trace(rng, param.nodes, param.contacts, 100.0,
+                   /*directed=*/true, /*time_shift=*/-500.0);
+  for (NodeId src = 0; src < std::min<std::size_t>(g.num_nodes(), 3); ++src)
+    expect_modes_and_flooding_agree(g, src, rng, -505.0, -390.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

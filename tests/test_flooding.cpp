@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <stdexcept>
 
 #include "core/path_pair.hpp"
 
@@ -98,6 +99,21 @@ TEST(Flooding, ReconstructEmptyForUnreachableAndSource) {
 TEST(Flooding, OptimalHopsUnreachableIsMinusOne) {
   TemporalGraph g(3, {{0, 1, 0.0, 1.0}});
   EXPECT_EQ(flood(g, 0, 0.0).optimal_hops(2), -1);
+}
+
+// Regression: a -1 parent on a node recorded as reached used to be
+// guarded only by an assert; in release builds it was cast to a huge
+// std::size_t and indexed graph.contacts() out of bounds.
+TEST(Flooding, ReconstructThrowsOnInconsistentParentData) {
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}});
+  auto r = flood(g, 0, 0.0);
+  ASSERT_GE(r.parent.size(), 3u);
+  // Corrupt the tables: node 2 claims an arrival but loses its parent.
+  r.parent[2][2] = -1;
+  EXPECT_THROW(r.reconstruct(g, 2, 64), std::logic_error);
+  // And a parent pointing past the contact list must not be chased.
+  r.parent[2][2] = static_cast<std::int64_t>(g.num_contacts()) + 7;
+  EXPECT_THROW(r.reconstruct(g, 2, 64), std::logic_error);
 }
 
 }  // namespace

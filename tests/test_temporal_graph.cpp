@@ -99,5 +99,33 @@ TEST(TemporalGraph, ContactDurations) {
   EXPECT_DOUBLE_EQ(d[0], 10.0);
 }
 
+// Regression: end_time used to be seeded from 0.0 instead of the first
+// contact, so an all-negative-time trace (e.g. an epoch-shifted import)
+// reported end_time() == 0, inflating duration() and corrupting
+// contact_rate() and the default CDF window.
+TEST(TemporalGraph, AllNegativeTimesReportExactSpan) {
+  TemporalGraph g(3, {{0, 1, -100.0, -90.0},
+                      {1, 2, -80.0, -50.0},
+                      {0, 2, -75.0, -60.0}});
+  EXPECT_DOUBLE_EQ(g.start_time(), -100.0);
+  EXPECT_DOUBLE_EQ(g.end_time(), -50.0);
+  EXPECT_DOUBLE_EQ(g.duration(), 50.0);
+  // 3 contacts, both endpoints logging, 3 nodes, 50 s span.
+  EXPECT_DOUBLE_EQ(g.contact_rate(50.0), 2.0);
+}
+
+TEST(TemporalGraph, NegativeSpanInvariantUnderTimeShift) {
+  const std::vector<Contact> base{{0, 1, 10.0, 20.0}, {1, 2, 15.0, 45.0}};
+  const TemporalGraph g(3, base);
+  std::vector<Contact> shifted = base;
+  for (Contact& c : shifted) {
+    c.begin -= 1e6;
+    c.end -= 1e6;
+  }
+  const TemporalGraph h(3, shifted);
+  EXPECT_DOUBLE_EQ(h.duration(), g.duration());
+  EXPECT_DOUBLE_EQ(h.contact_rate(1.0), g.contact_rate(1.0));
+}
+
 }  // namespace
 }  // namespace odtn

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Extended verify: the tier-1 recipe (Release build + ctest) followed by
+# a second ctest pass under ASan + UBSan (the `sanitize` CMake preset).
+# Run from the repository root. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: Release build + ctest =="
+cmake --preset release
+cmake --build --preset release -j
+ctest --preset release
+
+echo "== tier-2: ASan+UBSan build + ctest =="
+cmake --preset sanitize
+cmake --build --preset sanitize -j
+ctest --preset sanitize
+
+echo "== verify OK =="
