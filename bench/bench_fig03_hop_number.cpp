@@ -18,7 +18,7 @@
 
 using namespace odtn;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 3",
                 "hop-number of the delay-optimal path vs contact rate");
 
@@ -41,25 +41,52 @@ int main() {
     }
   }
 
-  // Monte-Carlo validation at a few rates.
+  // Monte-Carlo validation at a few rates, through the deterministic
+  // parallel harness: every (lambda, contact-case) run gets its own
+  // seed, each trial its own keyed stream. The whole set runs twice --
+  // 1 thread and --threads N -- and the bench exits non-zero unless the
+  // per-trial outcomes match bit-for-bit (bench_perf_engine pattern),
+  // which also keeps the CSV identical across thread counts.
   const std::size_t n = 3000;
   const std::size_t trials = 60;
   const std::size_t max_slots = 60000;
-  Rng rng(0xF163);
+  const unsigned num_threads = bench::parse_threads(argc, argv);
+  constexpr std::uint64_t kSeed = 0xF163;
   PlotSeries short_mc{"short contacts (simulated, N=3000)", {}, {}};
   PlotSeries long_mc{"long contacts (simulated, N=3000)", {}, {}};
+
+  int determinism_failures = 0;
+  double serial_ms = 0.0, parallel_ms = 0.0;
+  const auto measure_gated = [&](double lambda, ContactCase mode,
+                                 std::uint64_t seed) {
+    const auto serial =
+        measure_delay_optimal(n, lambda, mode, trials, max_slots, {seed, 1});
+    auto parallel = measure_delay_optimal(n, lambda, mode, trials, max_slots,
+                                          {seed, num_threads});
+    serial_ms += serial.mc.wall_ms;
+    parallel_ms += parallel.mc.wall_ms;
+    for (std::size_t i = 0; i < trials; ++i) {
+      if (serial.trials[i].reached != parallel.trials[i].reached ||
+          serial.trials[i].delay_over_log_n !=
+              parallel.trials[i].delay_over_log_n ||
+          serial.trials[i].hops_over_log_n !=
+              parallel.trials[i].hops_over_log_n)
+        ++determinism_failures;
+    }
+    return parallel;
+  };
 
   std::printf("%-8s %-13s %-19s %-13s %-19s\n", "lambda", "theory", "MC mean",
               "theory", "MC mean");
   std::printf("%-8s %-33s %-33s\n", "", "---- short contacts ----",
               "---- long contacts ----");
+  std::size_t rate_index = 0;
   for (double l : {0.1, 0.25, 0.5, 1.0, 1.5, 2.5, 4.0}) {
-    const auto s =
-        measure_delay_optimal(n, l, ContactCase::kShort, trials, max_slots,
-                              rng);
-    const auto g =
-        measure_delay_optimal(n, l, ContactCase::kLong, trials, max_slots,
-                              rng);
+    const auto s = measure_gated(l, ContactCase::kShort,
+                                 kSeed + 2 * rate_index);
+    const auto g = measure_gated(l, ContactCase::kLong,
+                                 kSeed + 2 * rate_index + 1);
+    ++rate_index;
     const double ms = s.hops_over_log_n.mean();
     const double ml = g.hops_over_log_n.mean();
     short_mc.x.push_back(l);
@@ -88,5 +115,20 @@ int main() {
       "away from lambda = 1, where the long-contact case has its "
       "singularity.\n");
   std::printf("[csv] wrote %s\n", bench::csv_path("fig03_hop_number").c_str());
+
+  bench::write_mc_timing_csv("fig03_mc_timing",
+                             {{1u, serial_ms},
+                              {shared_thread_pool().num_workers(),
+                               parallel_ms}});
+  std::printf("  wall-clock: 1 thread %.1f ms, parallel %.1f ms (%.2fx)\n",
+              serial_ms, parallel_ms,
+              serial_ms / std::max(parallel_ms, 1e-9));
+  if (!bench::check(determinism_failures == 0,
+                    "MC per-trial outcomes bit-identical across thread "
+                    "counts")) {
+    std::printf("\n%d trial(s) diverged between thread counts\n",
+                determinism_failures);
+    return 1;
+  }
   return 0;
 }

@@ -6,14 +6,18 @@
 // bench_out/<name>.csv for external replotting.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/diameter.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/mc_harness.hpp"
 #include "util/time_format.hpp"
 
 namespace odtn::bench {
@@ -30,6 +34,49 @@ inline void banner(const std::string& artifact, const std::string& caption) {
 inline std::string csv_path(const std::string& name) {
   std::filesystem::create_directories("bench_out");
   return "bench_out/" + name + ".csv";
+}
+
+/// Parses `--threads N` from a bench's argv (0 = hardware concurrency,
+/// the default). Monte-Carlo benches accept it so the thread-count
+/// invariance of the harness can be exercised from the command line.
+inline unsigned parse_threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads")
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+  }
+  return 0;
+}
+
+/// Prints one harness instrumentation line.
+inline void print_mc_stats(const char* what, const McStats& s) {
+  std::printf("  [mc] %s: %llu trials / %u worker(s), %.1f ms, "
+              "%.0f trials/s, utilization %.2f\n",
+              what, static_cast<unsigned long long>(s.trials), s.workers,
+              s.wall_ms, s.trials_per_second(), s.worker_utilization());
+}
+
+/// PASS/FAIL line in the bench_perf_engine style; returns `ok`.
+inline bool check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  return ok;
+}
+
+/// Appends a timing row to `bench_out/<name>.csv` (separate from the
+/// result CSVs so those stay bit-identical across runs and thread
+/// counts). One row per harness configuration.
+inline void write_mc_timing_csv(const std::string& name,
+                                const std::vector<std::pair<unsigned, double>>&
+                                    wall_ms_by_threads) {
+  CsvWriter csv(csv_path(name));
+  csv.write_row({"threads", "wall_ms", "speedup_vs_1_thread"});
+  const double base = wall_ms_by_threads.empty()
+                          ? 0.0
+                          : wall_ms_by_threads.front().second;
+  for (const auto& [threads, wall_ms] : wall_ms_by_threads) {
+    csv.write_numeric_row({static_cast<double>(threads), wall_ms,
+                           base / std::max(wall_ms, 1e-9)});
+  }
+  std::printf("[csv] wrote %s\n", csv_path(name).c_str());
 }
 
 /// Label for a hop budget (kUnboundedHops -> "inf").

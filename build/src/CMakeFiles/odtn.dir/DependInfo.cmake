@@ -42,6 +42,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/trace/wlan_generator.cpp" "src/CMakeFiles/odtn.dir/trace/wlan_generator.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/trace/wlan_generator.cpp.o.d"
   "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/odtn.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/ascii_plot.cpp.o.d"
   "/root/repo/src/util/csv.cpp" "src/CMakeFiles/odtn.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/mc_harness.cpp" "src/CMakeFiles/odtn.dir/util/mc_harness.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/mc_harness.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/CMakeFiles/odtn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/rng.cpp.o.d"
   "/root/repo/src/util/samplers.cpp" "src/CMakeFiles/odtn.dir/util/samplers.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/samplers.cpp.o.d"
   "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/odtn.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/odtn.dir/util/thread_pool.cpp.o.d"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_harness.dir/test_mc_harness.cpp.o"
+  "CMakeFiles/test_mc_harness.dir/test_mc_harness.cpp.o.d"
+  "test_mc_harness"
+  "test_mc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,8 @@
 #include "core/diameter.hpp"
 #include "core/path_enumeration.hpp"
 #include "core/reachability.hpp"
+#include "random/phase_transition.hpp"
+#include "random/theory.hpp"
 #include "stats/empirical.hpp"
 #include "stats/log_grid.hpp"
 #include "trace/datasets.hpp"
@@ -18,6 +20,15 @@
 
 namespace odtn::cli {
 namespace {
+
+/// Parses `--threads N` (0 = hardware concurrency, the default).
+unsigned take_threads(ArgList& args) {
+  const auto threads = args.take_option("threads");
+  if (!threads) return 0;
+  const long value = parse_long(*threads, "threads");
+  if (value < 0) throw CliError("--threads must be >= 0");
+  return static_cast<unsigned>(value);
+}
 
 std::string required_positional(ArgList& args, std::string_view what) {
   auto value = args.take_positional();
@@ -94,6 +105,7 @@ int cmd_cdf(ArgList args) {
   const auto grid_lo = args.take_option("grid-lo");
   const auto grid_hi = args.take_option("grid-hi");
   const auto daytime = args.take_option("daytime");
+  const unsigned num_threads = take_threads(args);
   args.expect_empty();
 
   const TemporalGraph g = read_trace_file(path);
@@ -121,6 +133,7 @@ int cmd_cdf(ArgList args) {
   opt.grid = make_log_grid(lo, hi, 40);
   opt.max_hops =
       max_hops ? static_cast<int>(parse_long(*max_hops, "max-hops")) : 10;
+  opt.num_threads = num_threads;
   const double epsilon = eps ? parse_double(*eps, "eps") : 0.01;
 
   const auto result = compute_delay_cdf(g, opt);
@@ -210,6 +223,60 @@ int cmd_import(ArgList args) {
   return 0;
 }
 
+int cmd_mc(ArgList args) {
+  // Monte-Carlo phase-transition probe on the random temporal network
+  // (§3.2), driven by the deterministic parallel harness: the estimate
+  // depends on --seed and --trials only, never on --threads.
+  const std::string contact_case = required_option(args, "case");
+  const auto n = static_cast<std::size_t>(
+      parse_long(required_option(args, "n"), "n"));
+  const double lambda = parse_double(required_option(args, "lambda"), "lambda");
+  const auto tau_opt = args.take_option("tau");
+  const auto gamma_opt = args.take_option("gamma");
+  const auto trials_opt = args.take_option("trials");
+  const auto seed_opt = args.take_option("seed");
+  const unsigned num_threads = take_threads(args);
+  args.expect_empty();
+
+  ContactCase mode;
+  if (contact_case == "short") {
+    mode = ContactCase::kShort;
+  } else if (contact_case == "long") {
+    mode = ContactCase::kLong;
+  } else {
+    throw CliError("--case must be 'short' or 'long'");
+  }
+  if (n < 2) throw CliError("--n must be >= 2");
+  if (lambda <= 0.0) throw CliError("--lambda must be > 0");
+
+  // Defaults: probe at the analytic optimum of the phase boundary.
+  const double gamma =
+      gamma_opt ? parse_double(*gamma_opt, "gamma")
+                : (mode == ContactCase::kShort ? gamma_star_short(lambda)
+                                               : gamma_star_long(lambda));
+  const double tau =
+      tau_opt ? parse_double(*tau_opt, "tau")
+              : (mode == ContactCase::kShort ? delay_constant_short(lambda)
+                                             : delay_constant_long(lambda));
+  const auto trials = static_cast<std::size_t>(
+      trials_opt ? parse_long(*trials_opt, "trials") : 200);
+  if (trials == 0) throw CliError("--trials must be >= 1");
+  const auto seed = static_cast<std::uint64_t>(
+      seed_opt ? parse_long(*seed_opt, "seed") : 1);
+
+  const auto probe = probe_path_probability(n, lambda, tau, gamma, mode,
+                                            trials, {seed, num_threads});
+  std::printf("P[path within %.3f ln N slots, %.3f*t hops] = %.4f "
+              "(%zu/%zu trials)\n",
+              tau, gamma, probe.probability, probe.successes, trials);
+  std::printf("harness: %llu trials over %u worker(s), %.1f ms, "
+              "%.0f trials/s, utilization %.2f\n",
+              static_cast<unsigned long long>(probe.mc.trials),
+              probe.mc.workers, probe.mc.wall_ms,
+              probe.mc.trials_per_second(), probe.mc.worker_utilization());
+  return 0;
+}
+
 int cmd_route(ArgList args) {
   const std::string path = required_positional(args, "trace file");
   const auto src = static_cast<NodeId>(
@@ -270,7 +337,11 @@ std::string usage_text() {
          "           [--seed N] --out <file>    synthesize a Table-1 trace\n"
          "  stats <trace>                       contact statistics report\n"
          "  cdf <trace> [--max-hops K] [--eps E] [--daytime H-H]\n"
-         "      [--grid-lo D --grid-hi D]       delay CDFs + diameter\n"
+         "      [--grid-lo D --grid-hi D] [--threads W]\n"
+         "                                      delay CDFs + diameter\n"
+         "  mc --case <short|long> --n N --lambda L [--tau T] [--gamma G]\n"
+         "     [--trials K] [--seed S] [--threads W]\n"
+         "                                      Monte-Carlo phase probe\n"
          "  filter <trace> --out <file> [--min-duration D]\n"
          "      [--keep-prob P [--seed N]] [--window-lo D --window-hi D]\n"
          "      [--internal N]                  Section-6 trace transforms\n"
@@ -297,6 +368,7 @@ int run_cli(std::vector<std::string> args) {
     if (command == "cdf") return cmd_cdf(std::move(rest));
     if (command == "filter") return cmd_filter(std::move(rest));
     if (command == "route") return cmd_route(std::move(rest));
+    if (command == "mc") return cmd_mc(std::move(rest));
     if (command == "import") return cmd_import(std::move(rest));
     if (command == "help" || command == "--help") {
       std::fputs(usage_text().c_str(), stdout);

@@ -6,10 +6,17 @@
 #include "random/slot_flooding.hpp"
 
 namespace odtn {
+namespace {
 
-double estimate_path_probability(std::size_t n, double lambda, double tau,
-                                 double gamma, ContactCase mode,
-                                 std::size_t trials, Rng& rng) {
+constexpr NodeId kSource = 0;
+constexpr NodeId kDestination = 1;
+
+}  // namespace
+
+PathProbeResult probe_path_probability(std::size_t n, double lambda,
+                                       double tau, double gamma,
+                                       ContactCase mode, std::size_t trials,
+                                       const McOptions& options) {
   const double log_n = std::log(static_cast<double>(n));
   const auto t_budget =
       std::max<std::size_t>(1, static_cast<std::size_t>(
@@ -17,40 +24,68 @@ double estimate_path_probability(std::size_t n, double lambda, double tau,
   const auto k_budget = std::max<long>(
       1, std::lround(gamma * static_cast<double>(t_budget)));
 
-  std::size_t successes = 0;
-  constexpr NodeId kSource = 0;
-  constexpr NodeId kDestination = 1;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    SlotFloodProcess process(n, lambda, mode, kSource, rng.split());
-    for (std::size_t s = 0; s < t_budget; ++s) {
-      process.step();
-      if (process.min_hops()[kDestination] <= k_budget) break;
-    }
-    if (process.min_hops()[kDestination] <= k_budget) ++successes;
-  }
-  return static_cast<double>(successes) / static_cast<double>(trials);
+  PathProbeResult result;
+  result.outcomes = run_trials(
+      trials, options,
+      [&](std::size_t, Rng& rng) -> std::uint8_t {
+        SlotFloodProcess process(n, lambda, mode, kSource, rng);
+        for (std::size_t s = 0; s < t_budget; ++s) {
+          process.step();
+          if (process.min_hops()[kDestination] <= k_budget) break;
+        }
+        return process.min_hops()[kDestination] <= k_budget ? 1 : 0;
+      },
+      &result.mc);
+  result.successes = fold_trials(
+      result.outcomes, std::size_t{0},
+      [](std::size_t& acc, std::uint8_t hit) { acc += hit; });
+  result.probability = static_cast<double>(result.successes) /
+                       static_cast<double>(trials);
+  return result;
+}
+
+double estimate_path_probability(std::size_t n, double lambda, double tau,
+                                 double gamma, ContactCase mode,
+                                 std::size_t trials, std::uint64_t seed,
+                                 unsigned num_threads) {
+  return probe_path_probability(n, lambda, tau, gamma, mode, trials,
+                                {seed, num_threads})
+      .probability;
 }
 
 DelayOptimalStats measure_delay_optimal(std::size_t n, double lambda,
                                         ContactCase mode, std::size_t trials,
-                                        std::size_t max_slots, Rng& rng) {
+                                        std::size_t max_slots,
+                                        const McOptions& options) {
   const double log_n = std::log(static_cast<double>(n));
   DelayOptimalStats stats;
-  constexpr NodeId kSource = 0;
-  constexpr NodeId kDestination = 1;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    SlotFloodProcess process(n, lambda, mode, kSource, rng.split());
-    while (!process.reached(kDestination) && process.slots() < max_slots)
-      process.step();
-    if (!process.reached(kDestination)) {
+  stats.trials = run_trials(
+      trials, options,
+      [&](std::size_t, Rng& rng) -> DelayOptimalTrial {
+        SlotFloodProcess process(n, lambda, mode, kSource, rng);
+        while (!process.reached(kDestination) && process.slots() < max_slots)
+          process.step();
+        DelayOptimalTrial trial;
+        if (!process.reached(kDestination)) return trial;
+        trial.reached = true;
+        // min_hops at the first slot of arrival is the hop-number of the
+        // delay-optimal path.
+        trial.delay_over_log_n =
+            static_cast<double>(process.slots()) / log_n;
+        trial.hops_over_log_n =
+            static_cast<double>(process.min_hops()[kDestination]) / log_n;
+        return trial;
+      },
+      &stats.mc);
+  // Welford updates applied in trial order: the summaries are
+  // bit-identical for every thread count.
+  for (const DelayOptimalTrial& trial : stats.trials) {
+    if (!trial.reached) {
       ++stats.unreached;
       continue;
     }
-    // min_hops at the first slot of arrival is the hop-number of the
-    // delay-optimal path.
-    stats.delay_over_log_n.add(static_cast<double>(process.slots()) / log_n);
-    stats.hops_over_log_n.add(
-        static_cast<double>(process.min_hops()[kDestination]) / log_n);
+    stats.delay_over_log_n.add(trial.delay_over_log_n);
+    stats.hops_over_log_n.add(trial.hops_over_log_n);
   }
   return stats;
 }

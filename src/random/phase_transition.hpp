@@ -1,33 +1,70 @@
 // Monte-Carlo experiments on random temporal networks (§3.2-3.3).
 //
 // These drivers validate the paper's analysis empirically:
-//  * estimate_path_probability: the probability that a path obeying the
-//    logarithmic constraints (delay <= tau*ln N, hops <= gamma*tau*ln N)
-//    exists -- exhibiting the phase transition of Corollary 1.
+//  * probe_path_probability / estimate_path_probability: the probability
+//    that a path obeying the logarithmic constraints (delay <= tau*ln N,
+//    hops <= gamma*tau*ln N) exists -- exhibiting the phase transition
+//    of Corollary 1.
 //  * measure_delay_optimal: delay and hop-number of the delay-optimal
 //    path, normalized by ln N -- the quantities behind Figure 3.
+//
+// All trials run through the deterministic parallel harness
+// (util/mc_harness): trial i of a run draws from Rng::keyed(seed, i),
+// so per-trial outcomes depend only on (seed, i) -- not on trial order,
+// not on how many trials run, and not on the thread count -- and the
+// merged statistics are bit-identical for every num_threads.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "random/random_temporal_network.hpp"
 #include "stats/summary.hpp"
-#include "util/rng.hpp"
+#include "util/mc_harness.hpp"
 
 namespace odtn {
 
-/// Fraction of `trials` in which a path from a fixed source to a fixed
-/// destination exists within ceil(tau*ln n) slots and
-/// max(1, round(gamma * t)) hops.
+/// Full outcome of a path-probability probe.
+struct PathProbeResult {
+  /// outcomes[i] == 1 iff trial i found a constrained path. A run with
+  /// more trials under the same seed reproduces this as a prefix.
+  std::vector<std::uint8_t> outcomes;
+  std::size_t successes = 0;
+  double probability = 0.0;
+  McStats mc;
+};
+
+/// Probability that a path from a fixed source to a fixed destination
+/// exists within ceil(tau*ln n) slots and max(1, round(gamma * t))
+/// hops, estimated over `trials` independent networks.
+PathProbeResult probe_path_probability(std::size_t n, double lambda,
+                                       double tau, double gamma,
+                                       ContactCase mode, std::size_t trials,
+                                       const McOptions& options);
+
+/// Convenience wrapper returning only the success fraction.
 double estimate_path_probability(std::size_t n, double lambda, double tau,
                                  double gamma, ContactCase mode,
-                                 std::size_t trials, Rng& rng);
+                                 std::size_t trials, std::uint64_t seed,
+                                 unsigned num_threads = 0);
+
+/// Per-trial outcome of the delay-optimal measurement.
+struct DelayOptimalTrial {
+  bool reached = false;
+  double delay_over_log_n = 0.0;  ///< arrival slot / ln(n); 0 if unreached
+  double hops_over_log_n = 0.0;   ///< optimal-path hops / ln(n); 0 if unreached
+};
 
 /// Statistics of the delay-optimal source->destination path.
 struct DelayOptimalStats {
   SummaryStats delay_over_log_n;  ///< arrival slot / ln(n)
   SummaryStats hops_over_log_n;   ///< hop count of the optimal path / ln(n)
   std::size_t unreached = 0;      ///< trials that hit the slot cap
+  /// Per-trial outcomes in trial order (prefix-stable across runs with
+  /// more trials under the same seed).
+  std::vector<DelayOptimalTrial> trials;
+  McStats mc;
 };
 
 /// Floods until the destination is first reached (or `max_slots` slots)
@@ -36,6 +73,7 @@ struct DelayOptimalStats {
 /// path.
 DelayOptimalStats measure_delay_optimal(std::size_t n, double lambda,
                                         ContactCase mode, std::size_t trials,
-                                        std::size_t max_slots, Rng& rng);
+                                        std::size_t max_slots,
+                                        const McOptions& options);
 
 }  // namespace odtn

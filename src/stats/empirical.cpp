@@ -8,6 +8,52 @@
 
 namespace odtn {
 
+EmpiricalDistribution::EmpiricalDistribution(
+    const EmpiricalDistribution& other) {
+  // Lock the source so the copy cannot observe a half-finished lazy sort
+  // racing on another thread.
+  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  finite_ = other.finite_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  infinite_ = other.infinite_;
+}
+
+EmpiricalDistribution& EmpiricalDistribution::operator=(
+    const EmpiricalDistribution& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  finite_ = other.finite_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  infinite_ = other.infinite_;
+  return *this;
+}
+
+EmpiricalDistribution::EmpiricalDistribution(
+    EmpiricalDistribution&& other) noexcept
+    : finite_(std::move(other.finite_)),
+      infinite_(other.infinite_) {
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.finite_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+  other.infinite_ = 0;
+}
+
+EmpiricalDistribution& EmpiricalDistribution::operator=(
+    EmpiricalDistribution&& other) noexcept {
+  if (this == &other) return *this;
+  finite_ = std::move(other.finite_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  infinite_ = other.infinite_;
+  other.finite_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+  other.infinite_ = 0;
+  return *this;
+}
+
 void EmpiricalDistribution::add(double value) {
   assert(!std::isnan(value));
   if (std::isinf(value)) {
@@ -16,7 +62,7 @@ void EmpiricalDistribution::add(double value) {
     return;
   }
   finite_.push_back(value);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 void EmpiricalDistribution::add(double value, std::size_t n) {
@@ -24,9 +70,13 @@ void EmpiricalDistribution::add(double value, std::size_t n) {
 }
 
 void EmpiricalDistribution::ensure_sorted() const {
-  if (!sorted_) {
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sort_mutex_);
+  if (!sorted_.load(std::memory_order_relaxed)) {
     std::sort(finite_.begin(), finite_.end());
-    sorted_ = true;
+    // Release pairs with the acquire above: a reader that sees true
+    // also sees the sorted buffer.
+    sorted_.store(true, std::memory_order_release);
   }
 }
 

@@ -5,15 +5,29 @@
 // connected), which shows up as a CDF that saturates below 1.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace odtn {
 
 /// Accumulates scalar samples and answers distribution queries.
 /// Queries sort lazily; adding samples after a query is allowed.
+///
+/// Thread safety: concurrent const queries (cdf/ccdf/quantile/extrema)
+/// on a shared distribution are safe -- the lazy sort behind them is
+/// guarded, so readers never race on the sample buffer. Mutation
+/// (add, assignment) still requires exclusive access, like a standard
+/// container.
 class EmpiricalDistribution {
  public:
+  EmpiricalDistribution() = default;
+  EmpiricalDistribution(const EmpiricalDistribution& other);
+  EmpiricalDistribution& operator=(const EmpiricalDistribution& other);
+  EmpiricalDistribution(EmpiricalDistribution&& other) noexcept;
+  EmpiricalDistribution& operator=(EmpiricalDistribution&& other) noexcept;
+
   /// Adds one sample. +infinity is allowed; NaN is rejected (assert).
   void add(double value);
 
@@ -53,7 +67,10 @@ class EmpiricalDistribution {
   void ensure_sorted() const;
 
   mutable std::vector<double> finite_;
-  mutable bool sorted_ = true;
+  // Double-checked: queries take the fast path on the acquire load and
+  // only contend on sort_mutex_ while the first sort is pending.
+  mutable std::atomic<bool> sorted_{true};
+  mutable std::mutex sort_mutex_;
   std::size_t infinite_ = 0;
 };
 

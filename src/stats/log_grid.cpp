@@ -25,6 +25,9 @@ std::vector<double> make_linear_grid(double lo, double hi, std::size_t points) {
     const double f = static_cast<double>(i) / static_cast<double>(points - 1);
     grid[i] = lo + f * (hi - lo);
   }
+  // Pin both endpoints exactly (the log grid does the same): callers
+  // key tables on grid.front()/grid.back() matching lo/hi bit-for-bit.
+  grid.front() = lo;
   grid.back() = hi;
   return grid;
 }

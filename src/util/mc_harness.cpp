@@ -1,0 +1,37 @@
+#include "util/mc_harness.hpp"
+
+#include <algorithm>
+
+namespace odtn {
+
+double McStats::trials_per_second() const noexcept {
+  if (wall_ms <= 0.0) return 0.0;
+  return static_cast<double>(trials) / (wall_ms / 1e3);
+}
+
+double McStats::worker_utilization() const noexcept {
+  if (trials_by_worker.empty() || trials == 0) return 0.0;
+  const std::uint64_t busiest =
+      *std::max_element(trials_by_worker.begin(), trials_by_worker.end());
+  if (busiest == 0) return 0.0;
+  const double mean = static_cast<double>(trials) /
+                      static_cast<double>(trials_by_worker.size());
+  return mean / static_cast<double>(busiest);
+}
+
+Rng make_trial_rng(std::uint64_t seed, std::uint64_t trial) noexcept {
+  return Rng::keyed(seed, trial);
+}
+
+namespace detail {
+
+void fill_mc_stats(McStats& stats, std::uint64_t trials, double wall_ms,
+                   std::vector<std::uint64_t> trials_by_worker) {
+  stats.trials = trials;
+  stats.wall_ms = wall_ms;
+  stats.workers = static_cast<unsigned>(trials_by_worker.size());
+  stats.trials_by_worker = std::move(trials_by_worker);
+}
+
+}  // namespace detail
+}  // namespace odtn

@@ -1,0 +1,102 @@
+// Deterministic parallel Monte-Carlo harness.
+//
+// run_trials() fans independent trials out over the work-queue thread
+// pool. Each trial draws from its own Rng derived from (seed,
+// trial_index) by Rng::keyed -- NOT from a shared advancing stream and
+// NOT from sequential split() calls -- so a trial's randomness depends
+// only on its index and the run seed. Results are written into a
+// vector indexed by trial and reduced serially in trial order, which
+// makes every merged statistic (SummaryStats, success counters,
+// EmpiricalDistribution fills) bit-identical regardless of thread
+// count or scheduling, and makes any prefix of the trial range
+// reproduce the same per-trial outcomes as a longer run.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace odtn {
+
+/// Instrumentation for one run_trials call (the Monte-Carlo analogue of
+/// EngineStats): how many trials ran, how fast, and how evenly the
+/// dynamic hand-out spread them over the workers.
+struct McStats {
+  std::uint64_t trials = 0;  ///< trials executed
+  double wall_ms = 0.0;      ///< wall-clock of the parallel region
+  unsigned workers = 0;      ///< worker slots (including the caller)
+  std::vector<std::uint64_t> trials_by_worker;  ///< per-worker counts
+
+  /// Trials per second of wall-clock (0 when nothing was timed).
+  double trials_per_second() const noexcept;
+
+  /// Mean worker load over the busiest worker's load, in (0, 1]:
+  /// 1.0 is a perfectly balanced hand-out, 1/workers is one worker
+  /// doing everything.
+  double worker_utilization() const noexcept;
+};
+
+/// Knobs shared by every harness entry point.
+struct McOptions {
+  std::uint64_t seed = 0;
+  /// Worker threads for the trial fan-out. 0 = the process-wide shared
+  /// pool (hardware concurrency).
+  unsigned num_threads = 0;
+};
+
+/// Rng for trial `trial` of a run keyed by `seed` (see Rng::keyed).
+Rng make_trial_rng(std::uint64_t seed, std::uint64_t trial) noexcept;
+
+namespace detail {
+void fill_mc_stats(McStats& stats, std::uint64_t trials, double wall_ms,
+                   std::vector<std::uint64_t> trials_by_worker);
+}  // namespace detail
+
+/// Runs fn(trial_index, rng) for every trial in [0, n) with a keyed
+/// per-trial Rng, in parallel over a pool, and returns the per-trial
+/// results in trial order. The result type must be default-constructible.
+/// Deterministic: the returned vector is identical for every
+/// options.num_threads. The first exception thrown by fn is rethrown.
+template <typename Fn>
+auto run_trials(std::size_t n, const McOptions& options, Fn&& fn,
+                McStats* stats = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t, Rng&>> {
+  using T = std::invoke_result_t<Fn&, std::size_t, Rng&>;
+  std::optional<ThreadPool> local_pool;
+  if (options.num_threads != 0) local_pool.emplace(options.num_threads);
+  ThreadPool& pool = local_pool ? *local_pool : shared_thread_pool();
+
+  std::vector<T> results(n);
+  std::vector<std::uint64_t> by_worker(pool.num_workers(), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.parallel_for(n, [&](std::size_t trial, unsigned worker) {
+    Rng rng = make_trial_rng(options.seed, trial);
+    results[trial] = fn(trial, rng);
+    ++by_worker[worker];
+  });
+  if (stats) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    detail::fill_mc_stats(*stats, n, wall_ms, std::move(by_worker));
+  }
+  return results;
+}
+
+/// Serial trial-order reduction over run_trials output -- the merge
+/// step every harness client should use so the accumulated statistics
+/// are independent of how trials were scheduled.
+template <typename T, typename Acc, typename Merge>
+Acc fold_trials(const std::vector<T>& results, Acc acc, Merge&& merge) {
+  for (const T& r : results) merge(acc, r);
+  return acc;
+}
+
+}  // namespace odtn

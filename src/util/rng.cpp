@@ -61,4 +61,15 @@ Rng Rng::split() noexcept {
   return Rng(next_u64());
 }
 
+Rng Rng::keyed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two chained splitmix64 finalizations: hash the seed, fold the
+  // stream index into the hash, hash again. Both words get full
+  // avalanche, so (s, i) and (s, i+1) are decorrelated -- unlike
+  // Rng(seed + i), whose splitmix walks for nearby i overlap.
+  std::uint64_t x = seed;
+  const std::uint64_t seed_hash = splitmix64(x);
+  std::uint64_t y = stream ^ seed_hash;
+  return Rng(splitmix64(y));
+}
+
 }  // namespace odtn

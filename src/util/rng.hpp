@@ -42,7 +42,16 @@ class Rng {
   bool bernoulli(double p) noexcept;
 
   /// Derives an independent child stream; advances this stream once.
+  /// Note the child depends on how often this stream was consumed
+  /// before the call -- for order-independent streams use keyed().
   Rng split() noexcept;
+
+  /// Derives the stream for index `stream` of a run keyed by `seed`.
+  /// The result depends only on the (seed, stream) pair -- never on how
+  /// many other streams were derived before it -- which is what makes
+  /// parallel Monte-Carlo trials reproducible regardless of scheduling:
+  /// trial i of seed s is the same stream on 1 thread or N.
+  static Rng keyed(std::uint64_t seed, std::uint64_t stream) noexcept;
 
  private:
   std::array<std::uint64_t, 4> state_;

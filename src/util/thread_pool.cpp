@@ -63,6 +63,17 @@ void ThreadPool::worker_loop(unsigned worker_id) {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
   if (n == 0) return;
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acquire)) {
+    // The job slot is taken (nested or concurrent call): run inline.
+    for (std::size_t i = 0; i < n; ++i) fn(i, /*worker_id=*/0);
+    return;
+  }
+  struct BusyReset {
+    std::atomic<bool>& flag;
+    ~BusyReset() { flag.store(false, std::memory_order_release); }
+  } busy_reset{busy_};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;

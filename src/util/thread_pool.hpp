@@ -41,7 +41,16 @@ class ThreadPool {
   /// Runs fn(index, worker) for every index in [0, n), handing indices
   /// out dynamically (work stealing via a shared cursor). Blocks until
   /// all indices completed. The first exception thrown by `fn` is
-  /// rethrown here. Not reentrant: one parallel_for at a time per pool.
+  /// rethrown here.
+  ///
+  /// The pool runs one distributed job at a time: the job state
+  /// (cursor, generation) is a single slot. A parallel_for issued while
+  /// another is in flight on the same pool -- a nested call from inside
+  /// `fn`, or a call from an unrelated thread -- is detected and run
+  /// inline on the calling thread (serially, worker id 0) instead of
+  /// corrupting the in-flight job. Nested calls must therefore keep any
+  /// per-worker scratch local to themselves: their worker id 0 may be
+  /// active in the outer job simultaneously.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, unsigned)>& fn);
 
@@ -62,6 +71,9 @@ class ThreadPool {
   std::atomic<std::size_t> cursor_{0};
   std::exception_ptr error_;
   bool stop_ = false;
+  // True while a distributed parallel_for owns the job slot; a second
+  // caller seeing true falls back to inline serial execution.
+  std::atomic<bool> busy_{false};
 };
 
 /// Lazily-constructed process-wide pool sized to hardware concurrency.

@@ -158,6 +158,24 @@ TEST_F(CliCommands, CdfDaytimeWindows) {
   EXPECT_EQ(run_cli({"cdf", trace, "--daytime", "1-2"}), 2);
 }
 
+TEST_F(CliCommands, McRunsAndValidates) {
+  EXPECT_EQ(run_cli({"mc", "--case", "short", "--n", "150", "--lambda",
+                     "0.5", "--trials", "20", "--seed", "3"}),
+            0);
+  // Explicit budget + thread count; 0 threads = shared pool.
+  EXPECT_EQ(run_cli({"mc", "--case", "long", "--n", "150", "--lambda", "0.5",
+                     "--tau", "2.0", "--gamma", "1.0", "--trials", "20",
+                     "--threads", "2"}),
+            0);
+  EXPECT_EQ(run_cli({"mc", "--case", "nope", "--n", "150", "--lambda",
+                     "0.5"}),
+            2);
+  EXPECT_EQ(run_cli({"mc", "--case", "short", "--lambda", "0.5"}), 2);
+  EXPECT_EQ(run_cli({"mc", "--case", "short", "--n", "150", "--lambda",
+                     "0.5", "--threads", "-1"}),
+            2);
+}
+
 TEST_F(CliCommands, RouteRejectsBadNodes) {
   const std::string trace = track(path("tiny2.trace"));
   write_trace_file(trace, TemporalGraph(2, {{0, 1, 0.0, 1.0}}));

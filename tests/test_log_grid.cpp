@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 namespace odtn {
 namespace {
@@ -44,6 +45,41 @@ TEST(LinearGrid, NegativeRange) {
   EXPECT_DOUBLE_EQ(g[0], -5.0);
   EXPECT_DOUBLE_EQ(g[1], 0.0);
   EXPECT_DOUBLE_EQ(g[2], 5.0);
+}
+
+TEST(LinearGrid, EndpointsExact) {
+  // Regression: lo + 0 * step can differ from lo in the last ulp when
+  // the step itself rounds; both endpoints are now pinned exactly, the
+  // same guarantee make_log_grid gives.
+  const double lo = 0.1;
+  const double hi = 0.1 + 0.7 * 99;  // not exactly representable steps
+  const auto g = make_linear_grid(lo, hi, 100);
+  ASSERT_EQ(g.size(), 100u);
+  EXPECT_EQ(g.front(), lo);
+  EXPECT_EQ(g.back(), hi);
+}
+
+TEST(LinearGrid, AwkwardEndpointsStayExactAndMonotone) {
+  for (const auto& [lo, hi] : {std::pair{1e-9, 3.0000000007},
+                              std::pair{-7.3, 11.11},
+                              std::pair{1234.5678, 98765.4321}}) {
+    for (std::size_t n : {2u, 7u, 33u}) {
+      const auto g = make_linear_grid(lo, hi, n);
+      ASSERT_EQ(g.size(), n);
+      EXPECT_EQ(g.front(), lo) << lo << " " << hi << " " << n;
+      EXPECT_EQ(g.back(), hi) << lo << " " << hi << " " << n;
+      for (std::size_t i = 1; i < g.size(); ++i) ASSERT_GT(g[i], g[i - 1]);
+    }
+  }
+}
+
+TEST(LogGrid, AwkwardEndpointsStayExact) {
+  for (const auto& [lo, hi] :
+       {std::pair{0.123, 456.789}, std::pair{3.7, 11.3}}) {
+    const auto g = make_log_grid(lo, hi, 17);
+    EXPECT_EQ(g.front(), lo);
+    EXPECT_EQ(g.back(), hi);
+  }
 }
 
 }  // namespace

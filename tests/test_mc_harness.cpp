@@ -1,0 +1,150 @@
+// Seed-determinism suite for the parallel Monte-Carlo harness: the same
+// (seed, n_trials) must produce bit-identical per-trial results and
+// merged statistics on 1 thread, 2 threads, and hardware concurrency.
+// tools/verify.sh runs this suite under the default, sanitize (ASan +
+// UBSan), and thread (TSan) presets.
+#include "util/mc_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace odtn {
+namespace {
+
+/// Summaries compared through memcmp-exact doubles: "equal" here means
+/// bit-identical accumulation, not approximately equal means.
+void expect_bit_identical(const SummaryStats& a, const SummaryStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  const double av[4] = {a.mean(), a.variance(), a.min(), a.max()};
+  const double bv[4] = {b.mean(), b.variance(), b.min(), b.max()};
+  EXPECT_EQ(std::memcmp(av, bv, sizeof av), 0);
+}
+
+TEST(TrialRng, DependsOnlyOnSeedAndIndex) {
+  Rng a = make_trial_rng(42, 7);
+  Rng b = make_trial_rng(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(TrialRng, DistinctIndicesGiveDistinctStreams) {
+  Rng a = make_trial_rng(42, 0);
+  Rng b = make_trial_rng(42, 1);
+  Rng c = make_trial_rng(43, 0);
+  // First outputs differing is the practical independence smoke check.
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a2 = make_trial_rng(42, 0);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(TrialRng, UnlikeSplitNotOrderCoupled) {
+  // split() depends on how far the parent advanced; keyed streams do
+  // not. Deriving trial 5 first or last gives the same stream.
+  Rng first = make_trial_rng(9, 5);
+  for (std::uint64_t i = 0; i < 5; ++i) (void)make_trial_rng(9, i);
+  Rng second = make_trial_rng(9, 5);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(first.next_u64(), second.next_u64());
+}
+
+TEST(RunTrials, ResultsInTrialOrder) {
+  const auto results = run_trials(
+      100, {123, 2},
+      [](std::size_t trial, Rng&) { return trial * trial; });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], i * i);
+}
+
+TEST(RunTrials, SeedDeterminismAcrossThreadCounts) {
+  const std::size_t n_trials = 500;
+  const std::uint64_t seed = 0xDECAF;
+  const auto trial_fn = [](std::size_t, Rng& rng) {
+    // Consume a variable amount of the stream so scheduling skew is real.
+    double acc = 0.0;
+    const int draws = 1 + static_cast<int>(rng.below(32));
+    for (int d = 0; d < draws; ++d) acc += rng.next_double();
+    return acc;
+  };
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned counts[] = {1u, 2u, hw == 0 ? 4u : hw};
+  std::vector<std::vector<double>> runs;
+  for (unsigned threads : counts)
+    runs.push_back(run_trials(n_trials, {seed, threads}, trial_fn));
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < n_trials; ++i)
+      EXPECT_EQ(runs[r][i], runs[0][i]) << "trial " << i;
+  }
+  // Merged summaries (trial-order fold) are bit-identical too.
+  std::vector<SummaryStats> summaries;
+  for (const auto& run : runs)
+    summaries.push_back(fold_trials(
+        run, SummaryStats{},
+        [](SummaryStats& acc, double x) { acc.add(x); }));
+  for (std::size_t r = 1; r < summaries.size(); ++r)
+    expect_bit_identical(summaries[0], summaries[r]);
+}
+
+TEST(RunTrials, PrefixOfLongerRunIsStable) {
+  const auto trial_fn = [](std::size_t, Rng& rng) {
+    return rng.next_u64();
+  };
+  const auto short_run = run_trials(100, {7, 2}, trial_fn);
+  const auto long_run = run_trials(250, {7, 3}, trial_fn);
+  for (std::size_t i = 0; i < short_run.size(); ++i)
+    EXPECT_EQ(short_run[i], long_run[i]);
+}
+
+TEST(RunTrials, StatsCountTrialsAndWorkers) {
+  McStats stats;
+  const auto results = run_trials(
+      300, {1, 3}, [](std::size_t, Rng& rng) { return rng.next_double(); },
+      &stats);
+  EXPECT_EQ(results.size(), 300u);
+  EXPECT_EQ(stats.trials, 300u);
+  EXPECT_EQ(stats.workers, 3u);
+  ASSERT_EQ(stats.trials_by_worker.size(), 3u);
+  EXPECT_EQ(std::accumulate(stats.trials_by_worker.begin(),
+                            stats.trials_by_worker.end(), std::uint64_t{0}),
+            300u);
+  EXPECT_GE(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.worker_utilization(), 0.0);
+  EXPECT_LE(stats.worker_utilization(), 1.0);
+}
+
+TEST(RunTrials, ZeroTrials) {
+  McStats stats;
+  const auto results = run_trials(
+      0, {1, 2}, [](std::size_t, Rng&) { return 1; }, &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(stats.trials, 0u);
+  EXPECT_EQ(stats.trials_per_second(), 0.0);
+}
+
+TEST(RunTrials, ExceptionPropagates) {
+  EXPECT_THROW(run_trials(50, {1, 2},
+                          [](std::size_t trial, Rng&) -> int {
+                            if (trial == 13)
+                              throw std::runtime_error("trial failed");
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+TEST(RunTrials, SharedPoolAndLocalPoolAgree) {
+  const auto trial_fn = [](std::size_t, Rng& rng) {
+    return rng.next_double();
+  };
+  const auto shared = run_trials(200, {11, 0}, trial_fn);
+  const auto local = run_trials(200, {11, 2}, trial_fn);
+  EXPECT_EQ(shared, local);
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,11 +1,17 @@
 // Monte-Carlo validation of the phase transition (§3.2) and of the
 // Figure 3 hop-number predictions. Kept at moderate sizes so the test
 // stays fast; the benches run the full-size experiments.
+//
+// All experiments run through the deterministic parallel harness, so
+// this suite also pins its invariants: per-trial outcomes depend only
+// on (seed, trial_index) -- never on thread count, trial order, or how
+// many trials run in total.
 #include "random/phase_transition.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "random/theory.hpp"
 
@@ -13,33 +19,31 @@ namespace odtn {
 namespace {
 
 TEST(PhaseTransition, SuperVsSubCriticalShortContacts) {
-  Rng rng(1001);
   const std::size_t n = 400;
   const double lambda = 0.5;
   const double gamma = gamma_star_short(lambda);       // 1/3
   const double tau_c = delay_constant_short(lambda);   // ~2.47
   const double p_sub = estimate_path_probability(n, lambda, 0.4 * tau_c,
                                                  gamma, ContactCase::kShort,
-                                                 200, rng);
+                                                 200, /*seed=*/1001);
   const double p_super = estimate_path_probability(n, lambda, 3.0 * tau_c,
                                                    gamma, ContactCase::kShort,
-                                                   200, rng);
+                                                   200, /*seed=*/1001);
   EXPECT_LT(p_sub, 0.15);
   EXPECT_GT(p_super, 0.85);
 }
 
 TEST(PhaseTransition, SuperVsSubCriticalLongContacts) {
-  Rng rng(1002);
   const std::size_t n = 400;
   const double lambda = 0.5;
   const double gamma = gamma_star_long(lambda);       // 1
   const double tau_c = delay_constant_long(lambda);   // ~1.44
   const double p_sub = estimate_path_probability(n, lambda, 0.4 * tau_c,
                                                  gamma, ContactCase::kLong,
-                                                 200, rng);
+                                                 200, /*seed=*/1002);
   const double p_super = estimate_path_probability(n, lambda, 3.0 * tau_c,
                                                    gamma, ContactCase::kLong,
-                                                   200, rng);
+                                                   200, /*seed=*/1002);
   EXPECT_LT(p_sub, 0.15);
   EXPECT_GT(p_super, 0.85);
 }
@@ -47,18 +51,55 @@ TEST(PhaseTransition, SuperVsSubCriticalLongContacts) {
 TEST(PhaseTransition, DenseLongContactsConnectAlmostInstantly) {
   // lambda > 1: paths exist within tau*ln(N) slots even for tiny tau
   // (the giant-component regime of §3.2.3).
-  Rng rng(1003);
   const double p = estimate_path_probability(500, 2.0, 0.35, 8.0,
-                                             ContactCase::kLong, 150, rng);
+                                             ContactCase::kLong, 150,
+                                             /*seed=*/1003);
   EXPECT_GT(p, 0.8);
 }
 
+TEST(PhaseTransition, ThreadCountDoesNotChangeOutcomes) {
+  const double tau_c = delay_constant_short(0.5);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const McOptions one_thread{2024, 1};
+  const McOptions two_threads{2024, 2};
+  const McOptions many_threads{2024, hw == 0 ? 4 : hw};
+  const auto a = probe_path_probability(300, 0.5, tau_c, 1.0 / 3.0,
+                                        ContactCase::kShort, 120, one_thread);
+  const auto b = probe_path_probability(300, 0.5, tau_c, 1.0 / 3.0,
+                                        ContactCase::kShort, 120, two_threads);
+  const auto c = probe_path_probability(300, 0.5, tau_c, 1.0 / 3.0,
+                                        ContactCase::kShort, 120,
+                                        many_threads);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.outcomes, c.outcomes);
+  EXPECT_EQ(a.successes, c.successes);
+  EXPECT_EQ(a.probability, c.probability);
+}
+
+TEST(PhaseTransition, TrialSubsetsAreStable) {
+  // Regression for the shared-Rng trial loop: running 100 trials and
+  // then "100 more" must agree with 200 straight -- the first 100
+  // outcomes of the longer run are exactly the shorter run.
+  const double tau_c = delay_constant_short(0.5);
+  const auto short_run =
+      probe_path_probability(300, 0.5, tau_c, 1.0 / 3.0, ContactCase::kShort,
+                             100, {7777, 2});
+  const auto long_run =
+      probe_path_probability(300, 0.5, tau_c, 1.0 / 3.0, ContactCase::kShort,
+                             200, {7777, 3});
+  ASSERT_EQ(short_run.outcomes.size(), 100u);
+  ASSERT_EQ(long_run.outcomes.size(), 200u);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(short_run.outcomes[i], long_run.outcomes[i]) << "trial " << i;
+}
+
 TEST(MeasureDelayOptimal, ReachesAndRecords) {
-  Rng rng(1004);
   const auto stats = measure_delay_optimal(200, 1.0, ContactCase::kShort, 50,
-                                           10000, rng);
+                                           10000, {1004, 0});
   EXPECT_EQ(stats.unreached, 0u);
   EXPECT_EQ(stats.delay_over_log_n.count(), 50u);
+  EXPECT_EQ(stats.trials.size(), 50u);
+  EXPECT_EQ(stats.mc.trials, 50u);
   EXPECT_GT(stats.delay_over_log_n.mean(), 0.0);
   EXPECT_GT(stats.hops_over_log_n.mean(), 0.0);
   // Hops on the delay-optimal path never exceed its delay in slots
@@ -70,10 +111,9 @@ TEST(MeasureDelayOptimal, ReachesAndRecords) {
 TEST(MeasureDelayOptimal, HopNumberTracksFigure3Prediction) {
   // At lambda = 0.5, short contacts: k/ln N ~ 0.82 for large N. At
   // N = 1000 finite-size effects remain, so use a generous band.
-  Rng rng(1005);
   const double lambda = 0.5;
   const auto stats = measure_delay_optimal(1000, lambda, ContactCase::kShort,
-                                           60, 20000, rng);
+                                           60, 20000, {1005, 0});
   ASSERT_EQ(stats.unreached, 0u);
   const double predicted = hop_constant_short(lambda);  // ~0.822
   EXPECT_NEAR(stats.hops_over_log_n.mean(), predicted, 0.45);
@@ -83,12 +123,34 @@ TEST(MeasureDelayOptimal, HopNumberTracksFigure3Prediction) {
 }
 
 TEST(MeasureDelayOptimal, UnreachedCountedWhenCapTooSmall) {
-  Rng rng(1006);
   // Essentially no contacts: with a tiny slot cap nothing arrives.
   const auto stats = measure_delay_optimal(100, 0.01, ContactCase::kShort, 10,
-                                           3, rng);
+                                           3, {1006, 0});
   EXPECT_EQ(stats.unreached, 10u);
   EXPECT_EQ(stats.delay_over_log_n.count(), 0u);
+}
+
+TEST(MeasureDelayOptimal, MergedSummariesThreadCountInvariant) {
+  const auto one = measure_delay_optimal(250, 1.0, ContactCase::kShort, 40,
+                                         5000, {31337, 1});
+  const auto many = measure_delay_optimal(250, 1.0, ContactCase::kShort, 40,
+                                          5000, {31337, 4});
+  ASSERT_EQ(one.trials.size(), many.trials.size());
+  for (std::size_t i = 0; i < one.trials.size(); ++i) {
+    EXPECT_EQ(one.trials[i].reached, many.trials[i].reached);
+    EXPECT_EQ(one.trials[i].delay_over_log_n, many.trials[i].delay_over_log_n);
+    EXPECT_EQ(one.trials[i].hops_over_log_n, many.trials[i].hops_over_log_n);
+  }
+  // The fold happens in trial order, so the merged Welford summaries
+  // are bit-identical, not merely close.
+  EXPECT_EQ(one.unreached, many.unreached);
+  EXPECT_EQ(one.delay_over_log_n.count(), many.delay_over_log_n.count());
+  EXPECT_EQ(one.delay_over_log_n.mean(), many.delay_over_log_n.mean());
+  EXPECT_EQ(one.delay_over_log_n.variance(),
+            many.delay_over_log_n.variance());
+  EXPECT_EQ(one.hops_over_log_n.mean(), many.hops_over_log_n.mean());
+  EXPECT_EQ(one.hops_over_log_n.variance(),
+            many.hops_over_log_n.variance());
 }
 
 }  // namespace

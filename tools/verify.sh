@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Extended verify: the tier-1 recipe (Release build + ctest) followed by
-# a second ctest pass under ASan + UBSan (the `sanitize` CMake preset).
-# Run from the repository root. Exits non-zero on the first failure.
+# a second ctest pass under ASan + UBSan (the `sanitize` CMake preset)
+# and a third pass of the concurrency suites (thread pool, MC harness,
+# empirical distribution, phase transition) under ThreadSanitizer (the
+# `tsan` preset). Run from the repository root. Exits non-zero on the
+# first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,5 +18,10 @@ echo "== tier-2: ASan+UBSan build + ctest =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j
 ctest --preset sanitize
+
+echo "== tier-3: TSan build + concurrency suites =="
+cmake --preset tsan
+cmake --build --preset tsan -j
+ctest --preset tsan
 
 echo "== verify OK =="
