@@ -1,5 +1,6 @@
 // Performance bench (§4.4 claim): the indexed dirty-set engine vs the
-// seed level-sweep engine on the all-pairs delay-CDF -- the hottest path
+// seed level-sweep engine, and the hop-incremental CDF accumulation vs
+// the direct reference, on the all-pairs delay-CDF -- the hottest path
 // behind Figures 9-12 and Table 1.
 //
 // Sections (all rows land in bench_out/perf_engine.csv together with the
@@ -8,17 +9,34 @@
 //   scaling -- single-source fixpoint runs by trace density, per engine.
 //   perf    -- all-pairs delay-CDF on a synthetic trace with >= 200
 //              nodes; acceptance: indexed engine >= 2x faster wall-clock
-//              than the level-sweep engine, identical CDFs.
+//              than the level-sweep engine, identical CDFs. Both runs
+//              use the direct accumulation path so the gate compares the
+//              propagation schemes alone, bit for bit.
 //   fig09   -- the three Figure-9 dataset configs; the indexed engine's
 //              CDF vectors must match the level-sweep engine within
 //              1e-12 at every grid point and hop budget.
+//   accum   -- hop-incremental accumulation + per-worker engine reuse
+//              (CdfAccumulation::kIncremental) vs the direct reference
+//              (kDirect), both on the indexed engine, over trace-scale
+//              conference / campus workloads under the paper's day-time
+//              traffic model, swept across hop-budget depths K: direct
+//              pays a full re-integration per budget, incremental only
+//              the level deltas, so the gap widens with K. Acceptance on
+//              the deep (K=32) sweep: >= 1.5x end-to-end
+//              compute_delay_cdf speedup; at every K: CDFs within 1e-9,
+//              bit-identical diameter() at every eps, and zero
+//              steady-state workspace allocations after the first source
+//              per worker (EngineStats counters). Also emits
+//              machine-readable bench_out/BENCH_pr3.json.
 //
-// Exit status is non-zero when a CDF equivalence check fails (so CI
-// catches semantic regressions); speedup shortfalls are reported as
-// FAIL lines but do not abort the remaining sections.
+// Exit status is non-zero when a CDF equivalence / diameter / allocation
+// check fails (so CI catches semantic regressions); speedup shortfalls
+// are reported as FAIL lines but do not abort the remaining sections.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -30,6 +48,7 @@
 #include "trace/generators.hpp"
 #include "trace/transforms.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time_format.hpp"
 
 using namespace odtn;
@@ -52,8 +71,9 @@ struct CdfRun {
 };
 
 CdfRun run_cdf(const TemporalGraph& graph, DelayCdfOptions opt,
-               EngineMode mode) {
+               EngineMode mode, CdfAccumulation accumulation) {
   opt.engine = mode;
+  opt.accumulation = accumulation;
   CdfRun run;
   const double t0 = now_ms();
   run.result = compute_delay_cdf(graph, opt);
@@ -65,10 +85,10 @@ CdfRun run_cdf(const TemporalGraph& graph, DelayCdfOptions opt,
 /// scheduler and frequency noise); the result itself is identical across
 /// repetitions, so the last one is returned.
 CdfRun run_cdf_best(const TemporalGraph& graph, const DelayCdfOptions& opt,
-                    EngineMode mode, int reps) {
-  CdfRun best = run_cdf(graph, opt, mode);
+                    EngineMode mode, CdfAccumulation accumulation, int reps) {
+  CdfRun best = run_cdf(graph, opt, mode, accumulation);
   for (int r = 1; r < reps; ++r) {
-    CdfRun run = run_cdf(graph, opt, mode);
+    CdfRun run = run_cdf(graph, opt, mode, accumulation);
     run.wall_ms = std::min(run.wall_ms, best.wall_ms);
     best = std::move(run);
   }
@@ -90,15 +110,18 @@ double max_cdf_diff(const DelayCdfResult& a, const DelayCdfResult& b) {
 
 void write_row(CsvWriter& csv, const std::string& section,
                const std::string& trace, const TemporalGraph& g,
-               EngineMode mode, double wall_ms, double speedup,
+               const std::string& scheme, double wall_ms, double speedup,
                const EngineStats& stats, double cdf_diff, bool converged) {
   csv.write_row({section, trace, std::to_string(g.num_nodes()),
-                 std::to_string(g.num_contacts()), engine_name(mode),
+                 std::to_string(g.num_contacts()), scheme,
                  std::to_string(wall_ms), std::to_string(speedup),
                  std::to_string(stats.contacts_examined),
                  std::to_string(stats.pairs_inserted),
                  std::to_string(stats.pairs_dominated),
                  std::to_string(stats.frontier_copies_avoided),
+                 std::to_string(stats.cdf_pairs_integrated),
+                 std::to_string(stats.workspace_allocations),
+                 std::to_string(stats.workspace_reuses),
                  std::to_string(cdf_diff), converged ? "1" : "0"});
 }
 
@@ -109,6 +132,11 @@ void print_stats(const EngineStats& s) {
               static_cast<unsigned long long>(s.pairs_inserted),
               static_cast<unsigned long long>(s.pairs_dominated),
               static_cast<unsigned long long>(s.frontier_copies_avoided));
+  std::printf("    %llu cdf pairs integrated, %llu workspace allocations, "
+              "%llu workspace reuses\n",
+              static_cast<unsigned long long>(s.cdf_pairs_integrated),
+              static_cast<unsigned long long>(s.workspace_allocations),
+              static_cast<unsigned long long>(s.workspace_reuses));
 }
 
 TemporalGraph make_scaling_trace(double scale) {
@@ -135,6 +163,35 @@ TemporalGraph make_large_trace() {
   spec.gatherings = {25.0, 0.18, 0.04, 10 * kMinute, 0.75, 0.05};
   spec.profile = ActivityProfile::conference();
   return generate_trace(spec, 1717).graph;
+}
+
+/// Campus workload for the accumulation section: diurnal class schedule,
+/// community-structured and sparse like Reality Mining, over a five-day
+/// observation window.
+TemporalGraph make_campus_trace() {
+  SyntheticTraceSpec spec;
+  spec.name = "campus_accum";
+  spec.num_internal = 160;
+  spec.duration = 5 * kDay;
+  spec.pair_contacts_mean = 0.10;
+  spec.num_communities = 10;
+  spec.gatherings = {30.0, 0.22, 0.04, 15 * kMinute, 0.8, 0.05};
+  spec.profile = ActivityProfile::campus();
+  return generate_trace(spec, 2024).graph;
+}
+
+/// Day-time-only start windows (08:00-20:00 each day), the paper's
+/// §5.3.1 traffic model: messages are created during waking hours only.
+/// Integration cost scales with the window count while propagation work
+/// is unchanged -- exactly the accumulation-bound regime this section
+/// measures.
+std::vector<std::pair<double, double>> day_time_windows(
+    const TemporalGraph& g) {
+  std::vector<std::pair<double, double>> w;
+  for (double day = g.start_time(); day + 20 * kHour <= g.end_time();
+       day += kDay)
+    w.emplace_back(day + 8 * kHour, day + 20 * kHour);
+  return w;
 }
 
 bool check(bool ok, const char* what) {
@@ -164,7 +221,7 @@ int section_scaling(CsvWriter& csv) {
                 wall[0], wall[1], speedup);
     const std::string trace = "synthetic_x" + std::to_string(scale);
     for (int m = 0; m < 2; ++m)
-      write_row(csv, "scaling", trace, g, modes[m], wall[m],
+      write_row(csv, "scaling", trace, g, engine_name(modes[m]), wall[m],
                 m == 1 ? speedup : 1.0, stats[m], 0.0, true);
   }
   return 0;
@@ -179,8 +236,12 @@ int section_perf(CsvWriter& csv) {
   opt.grid = make_log_grid(2 * kMinute, kDay, 32);
   opt.max_hops = 8;
 
-  const CdfRun sweep = run_cdf_best(g, opt, EngineMode::kLevelSweep, 2);
-  const CdfRun indexed = run_cdf_best(g, opt, EngineMode::kIndexed, 2);
+  // Direct accumulation on both sides: this section gates the two
+  // propagation schemes against each other bit for bit.
+  const CdfRun sweep = run_cdf_best(g, opt, EngineMode::kLevelSweep,
+                                    CdfAccumulation::kDirect, 2);
+  const CdfRun indexed = run_cdf_best(g, opt, EngineMode::kIndexed,
+                                      CdfAccumulation::kDirect, 2);
   const double speedup = sweep.wall_ms / std::max(indexed.wall_ms, 1e-9);
   const double diff = max_cdf_diff(sweep.result, indexed.result);
 
@@ -192,10 +253,10 @@ int section_perf(CsvWriter& csv) {
               diff, indexed.result.diameter(0.01), sweep.result.diameter(0.01),
               indexed.result.fixpoint_hops);
 
-  write_row(csv, "perf", "synthetic_n220", g, EngineMode::kLevelSweep,
+  write_row(csv, "perf", "synthetic_n220", g, "level_sweep+direct",
             sweep.wall_ms, 1.0, sweep.result.stats, 0.0,
             sweep.result.converged);
-  write_row(csv, "perf", "synthetic_n220", g, EngineMode::kIndexed,
+  write_row(csv, "perf", "synthetic_n220", g, "indexed+direct",
             indexed.wall_ms, speedup, indexed.result.stats, diff,
             indexed.result.converged);
 
@@ -226,8 +287,10 @@ int section_fig09(CsvWriter& csv) {
     opt.max_hops = 12;
     if (cfg.use_external) opt.endpoints = trace.internal_nodes();
 
-    const CdfRun sweep = run_cdf(graph, opt, EngineMode::kLevelSweep);
-    const CdfRun indexed = run_cdf(graph, opt, EngineMode::kIndexed);
+    const CdfRun sweep = run_cdf(graph, opt, EngineMode::kLevelSweep,
+                                 CdfAccumulation::kDirect);
+    const CdfRun indexed = run_cdf(graph, opt, EngineMode::kIndexed,
+                                   CdfAccumulation::kDirect);
     const double speedup = sweep.wall_ms / std::max(indexed.wall_ms, 1e-9);
     const double diff = max_cdf_diff(sweep.result, indexed.result);
 
@@ -237,10 +300,10 @@ int section_fig09(CsvWriter& csv) {
                 sweep.wall_ms, indexed.wall_ms, speedup, diff);
     print_stats(indexed.result.stats);
 
-    write_row(csv, "fig09", cfg.preset.spec.name, graph,
-              EngineMode::kLevelSweep, sweep.wall_ms, 1.0, sweep.result.stats,
-              0.0, sweep.result.converged);
-    write_row(csv, "fig09", cfg.preset.spec.name, graph, EngineMode::kIndexed,
+    write_row(csv, "fig09", cfg.preset.spec.name, graph, "level_sweep+direct",
+              sweep.wall_ms, 1.0, sweep.result.stats, 0.0,
+              sweep.result.converged);
+    write_row(csv, "fig09", cfg.preset.spec.name, graph, "indexed+direct",
               indexed.wall_ms, speedup, indexed.result.stats, diff,
               indexed.result.converged);
 
@@ -251,26 +314,195 @@ int section_fig09(CsvWriter& csv) {
   return failures;
 }
 
+/// One accumulation-section record, mirrored into BENCH_pr3.json.
+struct AccumRecord {
+  std::string workload;
+  std::string scheme;
+  int max_hops = 0;
+  double wall_ms = 0.0;
+  double speedup_vs_direct = 1.0;
+  EngineStats stats;
+  double max_abs_cdf_diff_vs_direct = 0.0;
+  bool diameters_match = true;
+  bool zero_steady_state_allocs = true;
+};
+
+/// Diameters must be bit-identical between the two accumulation schemes
+/// at every eps/tol of interest (the headline numbers of Figs. 9-12).
+bool diameters_match(const DelayCdfResult& a, const DelayCdfResult& b) {
+  for (const double eps : {0.001, 0.01, 0.05, 0.1, 0.5}) {
+    if (a.diameter(eps) != b.diameter(eps)) return false;
+    if (a.diameter_per_delay(eps) != b.diameter_per_delay(eps)) return false;
+  }
+  for (const double tol : {0.001, 0.01, 0.05})
+    if (a.diameter_absolute(tol) != b.diameter_absolute(tol)) return false;
+  return true;
+}
+
+int section_accumulation(CsvWriter& csv, std::vector<AccumRecord>& records) {
+  std::printf("\n-- accum: hop-incremental accumulation + engine reuse vs "
+              "direct reference --\n");
+  int failures = 0;
+  struct Workload {
+    const char* name;
+    TemporalGraph graph;
+    // Hop-budget sweep depths: direct accumulation pays a full
+    // re-integration per budget (O(K * sum |frontier|)) while the
+    // incremental scheme pays only the level deltas, so the gap widens
+    // with K -- the tentpole's complexity claim, measured directly. The
+    // deepest sweep is the gated config: the budget range one needs when
+    // the trace's fixpoint level is not known a priori (max_levels
+    // defaults to 64; this trace's fixpoint is ~14).
+    std::vector<int> budgets;
+    // The >= 1.5x end-to-end gate applies at budgets >= this depth.
+    int gate_at;
+  };
+  const Workload workloads[] = {
+      {"conference_n240", make_large_trace(), {8, 16, 32}, 32},
+      {"campus_n160", make_campus_trace(), {16}, 0}};
+  const unsigned workers = shared_thread_pool().num_workers();
+  for (const Workload& wl : workloads) {
+    std::printf("  %-16s %zu nodes, %zu contacts, %s, day-time windows\n",
+                wl.name, wl.graph.num_nodes(), wl.graph.num_contacts(),
+                format_duration(wl.graph.duration()).c_str());
+    for (const int max_hops : wl.budgets) {
+      DelayCdfOptions opt;
+      opt.grid = make_log_grid(2 * kMinute, kDay, 48);
+      opt.max_hops = max_hops;
+      // Paper's day-time-only traffic model (§5.3.1): messages are
+      // created during waking hours only (one window per day).
+      opt.windows = day_time_windows(wl.graph);
+
+      const bool gated = wl.gate_at > 0 && max_hops >= wl.gate_at;
+      const int reps = gated ? 3 : 2;
+      const CdfRun direct = run_cdf_best(wl.graph, opt, EngineMode::kIndexed,
+                                         CdfAccumulation::kDirect, reps);
+      const CdfRun inc = run_cdf_best(wl.graph, opt, EngineMode::kIndexed,
+                                      CdfAccumulation::kIncremental, reps);
+      const double speedup = direct.wall_ms / std::max(inc.wall_ms, 1e-9);
+      const double diff = max_cdf_diff(direct.result, inc.result);
+      const bool diam_ok = diameters_match(direct.result, inc.result);
+      // Zero steady-state allocations: each worker materializes exactly
+      // one engine workspace; every further source is a capacity-keeping
+      // reset.
+      const EngineStats& is = inc.result.stats;
+      const std::uint64_t sources = wl.graph.num_nodes();
+      const bool alloc_ok =
+          is.workspace_allocations <= workers &&
+          is.workspace_allocations + is.workspace_reuses == sources;
+
+      std::printf("  K=%-2d direct %8.1f ms, incremental %8.1f ms (%.2fx), "
+                  "max |diff| %.3g, diameter(0.01) %d vs %d, fixpoint %d, "
+                  "%llu/%llu pairs integrated (%.1fx less), "
+                  "%llu allocs / %llu reuses\n",
+                  max_hops, direct.wall_ms, inc.wall_ms, speedup, diff,
+                  inc.result.diameter(0.01), direct.result.diameter(0.01),
+                  inc.result.fixpoint_hops,
+                  static_cast<unsigned long long>(is.cdf_pairs_integrated),
+                  static_cast<unsigned long long>(
+                      direct.result.stats.cdf_pairs_integrated),
+                  static_cast<double>(
+                      direct.result.stats.cdf_pairs_integrated) /
+                      std::max<double>(1.0, is.cdf_pairs_integrated),
+                  static_cast<unsigned long long>(is.workspace_allocations),
+                  static_cast<unsigned long long>(is.workspace_reuses));
+
+      const std::string trace =
+          std::string(wl.name) + "_k" + std::to_string(max_hops);
+      write_row(csv, "accum", trace, wl.graph, "indexed+direct",
+                direct.wall_ms, 1.0, direct.result.stats, 0.0,
+                direct.result.converged);
+      write_row(csv, "accum", trace, wl.graph, "indexed+incremental",
+                inc.wall_ms, speedup, inc.result.stats, diff,
+                inc.result.converged);
+      records.push_back({wl.name, "direct", max_hops, direct.wall_ms, 1.0,
+                         direct.result.stats, 0.0, true, false});
+      records.push_back({wl.name, "incremental", max_hops, inc.wall_ms,
+                         speedup, inc.result.stats, diff, diam_ok, alloc_ok});
+
+      if (!check(diff <= 1e-9,
+                 "incremental CDFs match direct within 1e-9")) ++failures;
+      if (!check(diam_ok, "diameters bit-identical at every eps/tol"))
+        ++failures;
+      if (!check(alloc_ok,
+                 "zero steady-state workspace allocations after first "
+                 "source per worker")) ++failures;
+      if (gated)
+        check(speedup >= 1.5,
+              "incremental + engine reuse >= 1.5x faster than direct on the "
+              "trace-scale budget sweep");
+    }
+  }
+  return failures;
+}
+
+/// Machine-readable perf trajectory record for CI (PR 3 onward).
+void write_bench_json(const std::vector<AccumRecord>& records) {
+  const std::string path = "bench_out/BENCH_pr3.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("[json] could not open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_perf_engine\",\n  \"pr\": 3,\n"
+                  "  \"metric\": \"all-pairs delay CDF accumulation\",\n"
+                  "  \"records\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const AccumRecord& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"scheme\": \"%s\", \"max_hops\": %d, "
+        "\"wall_ms\": %.3f, \"speedup_vs_direct\": %.3f, "
+        "\"pairs_integrated\": %llu, \"workspace_allocations\": %llu, "
+        "\"workspace_reuses\": %llu, \"max_abs_cdf_diff_vs_direct\": %.3g, "
+        "\"diameters_match\": %s, \"zero_steady_state_allocs\": %s}%s\n",
+        r.workload.c_str(), r.scheme.c_str(), r.max_hops, r.wall_ms,
+        r.speedup_vs_direct,
+        static_cast<unsigned long long>(r.stats.cdf_pairs_integrated),
+        static_cast<unsigned long long>(r.stats.workspace_allocations),
+        static_cast<unsigned long long>(r.stats.workspace_reuses),
+        r.max_abs_cdf_diff_vs_direct, r.diameters_match ? "true" : "false",
+        r.zero_steady_state_allocs ? "true" : "false",
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main() {
   bench::banner("Engine perf",
-                "indexed dirty-set engine vs seed level-sweep baseline");
+                "indexed dirty-set engine + hop-incremental accumulation vs "
+                "the reference schemes");
   CsvWriter csv(bench::csv_path("perf_engine"));
-  csv.write_row({"section", "trace", "nodes", "contacts", "engine", "wall_ms",
-                 "speedup_vs_sweep", "contacts_examined", "pairs_inserted",
+  csv.write_row({"section", "trace", "nodes", "contacts", "scheme", "wall_ms",
+                 "speedup_vs_baseline", "contacts_examined", "pairs_inserted",
                  "pairs_dominated", "frontier_copies_avoided",
-                 "max_abs_cdf_diff_vs_sweep", "converged"});
+                 "cdf_pairs_integrated", "workspace_allocations",
+                 "workspace_reuses", "max_abs_cdf_diff_vs_baseline",
+                 "converged"});
+
+  // BENCH_SECTIONS=perf,accum (comma list) restricts the run -- handy
+  // when iterating on one section; default runs everything.
+  const char* only = std::getenv("BENCH_SECTIONS");
+  auto enabled = [&](const char* name) {
+    return only == nullptr || std::strstr(only, name) != nullptr;
+  };
 
   int failures = 0;
-  failures += section_scaling(csv);
-  failures += section_perf(csv);
-  failures += section_fig09(csv);
+  std::vector<AccumRecord> records;
+  if (enabled("scaling")) failures += section_scaling(csv);
+  if (enabled("perf")) failures += section_perf(csv);
+  if (enabled("fig09")) failures += section_fig09(csv);
+  if (enabled("accum")) failures += section_accumulation(csv, records);
+  write_bench_json(records);
   std::printf("[csv] wrote %s\n", bench::csv_path("perf_engine").c_str());
   if (failures) {
-    std::printf("\n%d CDF equivalence check(s) FAILED\n", failures);
+    std::printf("\n%d equivalence/allocation check(s) FAILED\n", failures);
     return 1;
   }
-  std::printf("\nall CDF equivalence checks passed\n");
+  std::printf("\nall equivalence and allocation checks passed\n");
   return 0;
 }

@@ -147,14 +147,21 @@ int cmd_cdf(ArgList args) {
       std::printf(" %6.4f", result.cdf_by_hops[k - 1][j]);
     std::printf(" %6.4f\n", result.cdf_unbounded[j]);
   }
-  std::printf("\ndiameter (%.0f%% of flooding at every scale): %d hops\n",
-              100.0 * (1.0 - epsilon), result.diameter(epsilon));
+  const int diameter = result.diameter(epsilon);
+  if (diameter == DelayCdfResult::kUnknownDiameter)
+    std::printf("\ndiameter (%.0f%% of flooding at every scale): "
+                "undetermined (> %d hops)\n",
+                100.0 * (1.0 - epsilon), opt.max_hops);
+  else
+    std::printf("\ndiameter (%.0f%% of flooding at every scale): %d hops\n",
+                100.0 * (1.0 - epsilon), diameter);
   std::printf("max hops on any delay-optimal path:          %d\n",
               result.fixpoint_hops);
   if (!result.converged)
     std::fprintf(stderr,
                  "odtn: warning: hop-level DP did not converge within %d "
-                 "levels; diameter and max-hops figures are lower bounds\n",
+                 "levels; the max-hops figure is a lower bound and the "
+                 "diameter is undetermined beyond the evaluated budgets\n",
                  opt.max_levels);
   std::printf(
       "engine: %llu contact extensions, %llu pairs kept, %llu dominated, "
@@ -163,6 +170,12 @@ int cmd_cdf(ArgList args) {
       static_cast<unsigned long long>(result.stats.pairs_inserted),
       static_cast<unsigned long long>(result.stats.pairs_dominated),
       static_cast<unsigned long long>(result.stats.frontier_copies_avoided));
+  std::printf(
+      "cdf:    %llu pairs integrated, %llu workspace allocations, "
+      "%llu reuses\n",
+      static_cast<unsigned long long>(result.stats.cdf_pairs_integrated),
+      static_cast<unsigned long long>(result.stats.workspace_allocations),
+      static_cast<unsigned long long>(result.stats.workspace_reuses));
   return 0;
 }
 

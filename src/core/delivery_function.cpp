@@ -71,8 +71,8 @@ double DeliveryFunction::last_departure() const noexcept {
 }
 
 void DeliveryFunction::accumulate_delay_measure(MeasureCdfAccumulator& acc,
-                                                double t_lo,
-                                                double t_hi) const {
+                                                double t_lo, double t_hi,
+                                                double weight) const {
   assert(t_lo <= t_hi);
   // Start times in (ld_{i-1}, ld_i] are served by pair i: arrival
   // max(t, ea_i). Clip each segment to [t_lo, t_hi]; start times past the
@@ -81,7 +81,7 @@ void DeliveryFunction::accumulate_delay_measure(MeasureCdfAccumulator& acc,
   for (const PathPair& p : pairs_) {
     const double a = std::max(prev_ld, t_lo);
     const double b = std::min(p.ld, t_hi);
-    if (a < b) acc.add_segment(a, b, p.ea);
+    if (a < b) acc.add_segment(a, b, p.ea, weight);
     prev_ld = p.ld;
     if (prev_ld >= t_hi) break;
   }

@@ -54,9 +54,14 @@ class DeliveryFunction {
 
   /// Integrates this function's delay distribution for start times
   /// uniform on [t_lo, t_hi] into `acc` (numerator only; the caller adds
-  /// the (t_hi - t_lo) observation measure). Exact, no sampling.
+  /// the (t_hi - t_lo) observation measure), scaled by `weight`. Exact,
+  /// no sampling. weight = -1 retracts an earlier weight = +1
+  /// integration of the same frontier exactly (see
+  /// MeasureCdfAccumulator::add_segment), which is how the incremental
+  /// all-pairs scheme swaps a changed destination's old frontier for its
+  /// new one.
   void accumulate_delay_measure(MeasureCdfAccumulator& acc, double t_lo,
-                                double t_hi) const;
+                                double t_hi, double weight = 1.0) const;
 
   /// Latest useful departure time (+infinity never occurs; -infinity when
   /// empty).

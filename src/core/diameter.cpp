@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -41,12 +42,18 @@ double total_measure(const Windows& windows) {
 }
 
 /// Per-worker partial result: one accumulator per hop budget + unbounded.
+/// Under the incremental scheme by_hops[k-1] holds only the level-k
+/// delta and `unbounded` the deltas past max_hops; compute_delay_cdf
+/// prefix-merges once after the workers finish. The engine workspace is
+/// recycled across the worker's sources (incremental scheme only; the
+/// direct scheme keeps the reference fresh-engine-per-source behavior).
 struct Partial {
   std::vector<MeasureCdfAccumulator> by_hops;
   MeasureCdfAccumulator unbounded;
   int fixpoint_hops = 0;
   bool converged = true;
   EngineStats stats;
+  std::optional<SingleSourceEngine> engine;
 
   Partial(const std::vector<double>& grid, int max_hops)
       : unbounded(grid) {
@@ -55,15 +62,21 @@ struct Partial {
   }
 };
 
-void process_source(const TemporalGraph& graph, NodeId src,
-                    const std::vector<NodeId>& endpoints, const Windows& w,
-                    int max_hops, int max_levels, EngineMode mode,
-                    Partial& out) {
+void record_fixpoint(Partial& out, int fixpoint, int max_levels) {
+  if (fixpoint > max_levels) out.converged = false;
+  out.fixpoint_hops = std::max(out.fixpoint_hops, fixpoint);
+}
+
+void process_source_direct(const TemporalGraph& graph, NodeId src,
+                           const std::vector<NodeId>& endpoints,
+                           const Windows& w, int max_hops, int max_levels,
+                           EngineMode mode, Partial& out) {
   SingleSourceEngine engine(graph, src, mode);
   const double window_measure = total_measure(w);
   auto accumulate = [&](MeasureCdfAccumulator& acc, NodeId dst) {
-    for (const auto& [lo, hi] : w)
-      engine.frontier(dst).accumulate_delay_measure(acc, lo, hi);
+    const DeliveryFunction& f = engine.frontier(dst);
+    for (const auto& [lo, hi] : w) f.accumulate_delay_measure(acc, lo, hi);
+    out.stats.cdf_pairs_integrated += f.size();
     acc.add_observation_measure(window_measure);
   };
   for (int k = 1; k <= max_hops; ++k) {
@@ -73,14 +86,64 @@ void process_source(const TemporalGraph& graph, NodeId src,
       accumulate(out.by_hops[k - 1], dst);
     }
   }
-  const int fixpoint = engine.run_to_fixpoint(max_levels);
-  if (fixpoint > max_levels) out.converged = false;
-  out.fixpoint_hops = std::max(out.fixpoint_hops, fixpoint);
-  out.stats.merge(engine.stats());
+  record_fixpoint(out, engine.run_to_fixpoint(max_levels), max_levels);
   for (NodeId dst : endpoints) {
     if (dst == src) continue;
     accumulate(out.unbounded, dst);
   }
+  out.stats.merge(engine.stats());
+}
+
+void process_source_incremental(const TemporalGraph& graph, NodeId src,
+                                const std::vector<NodeId>& endpoints,
+                                const std::vector<std::uint8_t>& is_endpoint,
+                                const Windows& w, int max_hops,
+                                int max_levels, EngineMode mode,
+                                Partial& out) {
+  if (!out.engine) {
+    out.engine.emplace(graph, src, mode);
+    out.engine->track_changes(true);
+  } else {
+    out.engine->reset(src);
+  }
+  SingleSourceEngine& engine = *out.engine;
+
+  // Observation measure for every (src, dst) pair of this source parks
+  // in the hop-1 accumulator; prefix_merge propagates it to every hop
+  // budget and to `unbounded`.
+  out.by_hops[0].add_observation_measure(
+      total_measure(w) * static_cast<double>(endpoints.size() - 1));
+
+  // After each level, only destinations whose frontier changed move any
+  // CDF: retract the pre-change frontier's integration and add the new
+  // one. Everything else is carried over by the finalization prefix sum.
+  auto apply_level_deltas = [&](MeasureCdfAccumulator& acc) {
+    const std::vector<NodeId>& changed = engine.last_changed();
+    for (std::size_t i = 0; i < changed.size(); ++i) {
+      const NodeId dst = changed[i];
+      if (dst == src || !is_endpoint[dst]) continue;
+      const DeliveryFunction& old_f = engine.previous_frontier(i);
+      const DeliveryFunction& new_f = engine.frontier(dst);
+      for (const auto& [lo, hi] : w) {
+        old_f.accumulate_delay_measure(acc, lo, hi, -1.0);
+        new_f.accumulate_delay_measure(acc, lo, hi, +1.0);
+      }
+      out.stats.cdf_pairs_integrated += old_f.size() + new_f.size();
+    }
+  };
+  for (int k = 1; k <= max_hops; ++k) {
+    engine.step();  // no-op once at fixpoint: last_changed() is empty
+    apply_level_deltas(out.by_hops[k - 1]);
+  }
+  // Levels past the last budget feed the unbounded accumulator, which
+  // finalization chains onto by_hops[max_hops - 1] -- reaching the
+  // fixpoint costs only the residual deltas, never a full re-pass.
+  while (!engine.at_fixpoint() && engine.hops() < max_levels) {
+    engine.step();
+    apply_level_deltas(out.unbounded);
+  }
+  record_fixpoint(out, engine.at_fixpoint() ? engine.hops() : max_levels + 1,
+                  max_levels);
 }
 
 }  // namespace
@@ -97,8 +160,10 @@ int DelayCdfResult::diameter(double eps) const {
     if (ok) return static_cast<int>(k) + 1;
   }
   // Hop budgets above max_hops were not evaluated separately, but the
-  // fixpoint level always satisfies the criterion.
-  return fixpoint_hops;
+  // fixpoint level always satisfies the criterion -- unless the DP was
+  // truncated, in which case fixpoint_hops is only a lower bound and
+  // returning it would silently understate the diameter.
+  return converged ? fixpoint_hops : kUnknownDiameter;
 }
 
 int DelayCdfResult::diameter_absolute(double tol) const {
@@ -112,7 +177,7 @@ int DelayCdfResult::diameter_absolute(double tol) const {
     }
     if (ok) return static_cast<int>(k) + 1;
   }
-  return fixpoint_hops;
+  return converged ? fixpoint_hops : kUnknownDiameter;
 }
 
 std::vector<int> DelayCdfResult::diameter_per_delay(double eps) const {
@@ -150,6 +215,20 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
       throw std::invalid_argument("compute_delay_cdf: endpoint out of range");
   }
 
+  const bool incremental =
+      options.accumulation == CdfAccumulation::kIncremental ||
+      (options.accumulation == CdfAccumulation::kAuto &&
+       options.engine == EngineMode::kIndexed);
+  if (incremental && options.engine != EngineMode::kIndexed)
+    throw std::invalid_argument(
+        "compute_delay_cdf: incremental accumulation requires the indexed "
+        "engine");
+  std::vector<std::uint8_t> is_endpoint;
+  if (incremental) {
+    is_endpoint.assign(graph.num_nodes(), 0);
+    for (NodeId n : endpoints) is_endpoint[n] = 1;
+  }
+
   // Reusable pool with dynamic source hand-out: expensive sources (dense
   // neighborhoods, long traces) no longer serialize behind a strided
   // static partition. num_threads == 0 reuses the shared pool.
@@ -163,11 +242,18 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
     partials.emplace_back(options.grid, options.max_hops);
 
   pool.parallel_for(endpoints.size(), [&](std::size_t i, unsigned worker) {
-    process_source(graph, endpoints[i], endpoints, w, options.max_hops,
-                   options.max_levels, options.engine, partials[worker]);
+    if (incremental)
+      process_source_incremental(graph, endpoints[i], endpoints, is_endpoint,
+                                 w, options.max_hops, options.max_levels,
+                                 options.engine, partials[worker]);
+    else
+      process_source_direct(graph, endpoints[i], endpoints, w,
+                            options.max_hops, options.max_levels,
+                            options.engine, partials[worker]);
   });
 
   Partial total = std::move(partials.front());
+  if (total.engine) total.stats.merge(total.engine->stats());
   for (std::size_t t = 1; t < partials.size(); ++t) {
     for (int k = 0; k < options.max_hops; ++k)
       total.by_hops[k].merge(partials[t].by_hops[k]);
@@ -176,6 +262,15 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
                                    partials[t].fixpoint_hops);
     total.converged = total.converged && partials[t].converged;
     total.stats.merge(partials[t].stats);
+    if (partials[t].engine) total.stats.merge(partials[t].engine->stats());
+  }
+  if (incremental) {
+    // Reconstruct CDF_k = CDF_{k-1} + delta_k across the hop budgets and
+    // chain the past-max_hops deltas onto the last budget for the
+    // unbounded CDF. Merging worker partials first is equivalent (both
+    // are sums over the same segment set).
+    MeasureCdfAccumulator::prefix_merge(total.by_hops);
+    total.unbounded.merge(total.by_hops.back());
   }
 
   DelayCdfResult result;
@@ -184,6 +279,19 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
   for (int k = 0; k < options.max_hops; ++k)
     result.cdf_by_hops.push_back(total.by_hops[k].cdf());
   result.cdf_unbounded = total.unbounded.cdf();
+  if (incremental) {
+    // The prefix-reconstructed CDFs are mathematically monotone in the
+    // hop budget, but each budget's numerator carries its own rounding,
+    // so adjacent budgets can invert by ~1 ulp where the delta is zero.
+    // Clamp to restore the exact invariant consumers rely on.
+    for (int k = 1; k < options.max_hops; ++k)
+      for (std::size_t j = 0; j < result.grid.size(); ++j)
+        result.cdf_by_hops[k][j] =
+            std::max(result.cdf_by_hops[k][j], result.cdf_by_hops[k - 1][j]);
+    for (std::size_t j = 0; j < result.grid.size(); ++j)
+      result.cdf_unbounded[j] =
+          std::max(result.cdf_unbounded[j], result.cdf_by_hops.back()[j]);
+  }
   result.fixpoint_hops = total.fixpoint_hops;
   result.converged = total.converged;
   result.stats = total.stats;

@@ -18,6 +18,26 @@
 
 namespace odtn {
 
+/// How compute_delay_cdf turns per-source frontiers into per-hop CDFs.
+enum class CdfAccumulation {
+  /// kIncremental for the indexed engine, kDirect otherwise.
+  kAuto,
+  /// Reference semantics: after each of the max_hops levels (and once
+  /// more at the fixpoint), re-integrate EVERY destination's full
+  /// delivery function into that hop budget's accumulator, with a fresh
+  /// engine per source. O(K * sum |frontier|) integration work.
+  kDirect,
+  /// Hop-incremental scheme (requires EngineMode::kIndexed): each
+  /// accumulator k receives only the level-k delta -- for destinations
+  /// whose frontier changed at level k, the old frontier's segments are
+  /// retracted (weight -1) and the new one's added -- and the per-hop
+  /// CDFs are reconstructed by one prefix_merge at finalization.
+  /// Workers recycle a single engine workspace across sources via
+  /// SingleSourceEngine::reset, so steady state allocates nothing.
+  /// O(sum |changed frontier|) integration work, up to ~K x less.
+  kIncremental,
+};
+
 /// Options for the all-pairs delay-CDF computation.
 struct DelayCdfOptions {
   /// Delay values at which the CDFs are evaluated. Must be positive and
@@ -53,6 +73,11 @@ struct DelayCdfOptions {
   /// Propagation scheme for the per-source engines. kLevelSweep is the
   /// reference (seed) semantics, kept for cross-checks and benches.
   EngineMode engine = EngineMode::kIndexed;
+
+  /// Accumulation scheme. kIncremental with a non-indexed engine throws;
+  /// both schemes agree within accumulated rounding (~1e-12 observed,
+  /// tests gate at 1e-9) and are cross-checked in bench_perf_engine.
+  CdfAccumulation accumulation = CdfAccumulation::kAuto;
 };
 
 /// All-pairs/all-start-times delay CDFs per hop budget.
@@ -76,28 +101,45 @@ struct DelayCdfResult {
   /// Total observation measure (num ordered pairs * window length).
   double denominator = 0.0;
 
+  /// Sentinel returned by diameter()/diameter_absolute() when the DP was
+  /// truncated (`converged == false`) and no evaluated hop budget meets
+  /// the criterion: the true diameter is some k > max_hops that the
+  /// truncated run cannot name. Callers must not feed it into hop-count
+  /// arithmetic; compare against it explicitly (the CLI prints
+  /// "undetermined").
+  static constexpr int kUnknownDiameter = -1;
+
   /// The (1-eps)-diameter over the evaluation grid: least k with
   /// cdf_k(t) >= (1-eps) * cdf_inf(t) for every grid point t. This is
   /// the paper's strict relative criterion; at time scales where the
   /// flooding success itself is tiny, it can demand hops whose absolute
-  /// contribution is far below plot resolution.
+  /// contribution is far below plot resolution. When no k <= max_hops
+  /// qualifies, falls back to fixpoint_hops (which always qualifies) if
+  /// the DP converged, and returns kUnknownDiameter otherwise -- a
+  /// truncated fixpoint_hops would silently understate the diameter.
   int diameter(double eps) const;
 
   /// Plot-resolution diameter: least k whose CDF is within `tol`
   /// ABSOLUTE probability of the flooding CDF at every grid point --
   /// the k at which the curves of Figures 9-11 become visually
-  /// indistinguishable from flooding.
+  /// indistinguishable from flooding. Same unconverged-fallback contract
+  /// as diameter(): kUnknownDiameter when truncated.
   int diameter_absolute(double tol) const;
 
   /// Diameter as a function of the delay constraint (paper Figure 12):
   /// element j is the least k with cdf_k(grid[j]) >= (1-eps)*cdf_inf(grid[j]),
-  /// or 0 when even flooding has zero success at grid[j].
+  /// or 0 when even flooding has zero success at grid[j]. Entries that
+  /// fall through to fixpoint_hops are lower bounds when `converged` is
+  /// false.
   std::vector<int> diameter_per_delay(double eps) const;
 };
 
 /// Computes exact delay CDFs for every hop budget by running the
 /// single-source engine from every endpoint and integrating each
-/// destination's delivery function over all start times.
+/// destination's delivery function over all start times -- either in
+/// full at every hop budget (CdfAccumulation::kDirect) or, by default
+/// with the indexed engine, incrementally from the engine's per-level
+/// change sets (CdfAccumulation::kIncremental).
 DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
                                  const DelayCdfOptions& options);
 

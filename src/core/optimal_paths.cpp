@@ -55,15 +55,23 @@ bool extend_frontier(const DeliveryFunction& from, double begin, double end,
   return changed;
 }
 
+namespace {
+
+/// The empty sequence: the message is at the source at all times.
+constexpr PathPair identity_pair() noexcept {
+  return {std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+}
+
+}  // namespace
+
 SingleSourceEngine::SingleSourceEngine(const TemporalGraph& graph,
                                        NodeId source, EngineMode mode)
     : graph_(&graph), source_(source), mode_(mode),
       frontiers_(graph.num_nodes()) {
   if (source >= graph.num_nodes())
     throw std::out_of_range("SingleSourceEngine: source out of range");
-  // The empty sequence: the message is at the source at all times.
-  frontiers_[source_].insert({std::numeric_limits<double>::infinity(),
-                              -std::numeric_limits<double>::infinity()});
+  frontiers_[source_].insert(identity_pair());
   if (mode_ == EngineMode::kIndexed) {
     cur_delta_.resize(graph.num_nodes());
     next_delta_.resize(graph.num_nodes());
@@ -71,6 +79,34 @@ SingleSourceEngine::SingleSourceEngine(const TemporalGraph& graph,
     active_.push_back(source_);
     dirty_mark_.assign(graph.num_nodes(), 0);
   }
+  ++stats_.workspace_allocations;
+}
+
+void SingleSourceEngine::reset(NodeId source) {
+  if (source >= graph_->num_nodes())
+    throw std::out_of_range("SingleSourceEngine: source out of range");
+  source_ = source;
+  level_ = 0;
+  fixpoint_ = false;
+  for (DeliveryFunction& f : frontiers_) f.clear();
+  frontiers_[source_].insert(identity_pair());
+  if (mode_ == EngineMode::kIndexed) {
+    for (DeliveryFunction& d : cur_delta_) d.clear();
+    for (DeliveryFunction& d : next_delta_) d.clear();
+    active_.clear();
+    next_active_.clear();
+    std::fill(dirty_mark_.begin(), dirty_mark_.end(), 0);
+    cur_delta_[source_].insert(identity_pair());
+    active_.push_back(source_);
+  }
+  ++stats_.workspace_reuses;
+}
+
+void SingleSourceEngine::track_changes(bool enable) {
+  if (enable && mode_ != EngineMode::kIndexed)
+    throw std::logic_error(
+        "SingleSourceEngine: change tracking requires EngineMode::kIndexed");
+  track_changes_ = enable;
 }
 
 bool SingleSourceEngine::step() {
@@ -158,8 +194,17 @@ bool SingleSourceEngine::step_indexed() {
   // Publish the level: merge every collected delta into its frontier.
   // No merge insert can fail -- each pair survived the L_k dominance
   // check at offer time and same-level pruning inside its delta.
-  for (const NodeId v : next_active_) {
+  // When change tracking is on, snapshot each changed frontier first
+  // (copy-assignment into a recycled slot: no allocation once the slot's
+  // capacity has grown to fit) so callers can retract the pre-change
+  // integration. After the swap below, retired_[i] stays aligned with
+  // active_[i] == next_active_[i].
+  if (track_changes_ && retired_.size() < next_active_.size())
+    retired_.resize(next_active_.size());
+  for (std::size_t i = 0; i < next_active_.size(); ++i) {
+    const NodeId v = next_active_[i];
     DeliveryFunction& f = frontiers_[v];
+    if (track_changes_) retired_[i] = f;
     for (const PathPair& p : next_delta_[v].pairs()) f.insert(p);
   }
 

@@ -70,12 +70,27 @@ struct EngineStats {
   /// Frontier snapshots skipped relative to the level-sweep scheme
   /// (num_nodes - |active set|, summed over levels). Zero in kLevelSweep.
   std::uint64_t frontier_copies_avoided = 0;
+  /// Workspace allocations: +1 each time an engine materializes its
+  /// per-node arrays (construction). reset() never re-allocates, so a
+  /// worker that recycles one engine across sources stays at 1.
+  std::uint64_t workspace_allocations = 0;
+  /// reset() calls, i.e. sources served by an already-allocated
+  /// workspace. In steady state sources = allocations + reuses.
+  std::uint64_t workspace_reuses = 0;
+  /// Pareto pairs fed to delay-CDF accumulators (counted by
+  /// compute_delay_cdf for both accumulation schemes; incremental
+  /// retractions count too). The work the incremental scheme saves shows
+  /// up here.
+  std::uint64_t cdf_pairs_integrated = 0;
 
   void merge(const EngineStats& other) noexcept {
     contacts_examined += other.contacts_examined;
     pairs_inserted += other.pairs_inserted;
     pairs_dominated += other.pairs_dominated;
     frontier_copies_avoided += other.frontier_copies_avoided;
+    workspace_allocations += other.workspace_allocations;
+    workspace_reuses += other.workspace_reuses;
+    cdf_pairs_integrated += other.cdf_pairs_integrated;
   }
 };
 
@@ -96,6 +111,38 @@ class SingleSourceEngine {
  public:
   SingleSourceEngine(const TemporalGraph& graph, NodeId source,
                      EngineMode mode = EngineMode::kIndexed);
+
+  /// Rebinds the engine to a new source on the same graph: hop budget
+  /// back to 0, every frontier and delta emptied. All buffers keep their
+  /// capacity (DeliveryFunction::clear() preserves storage), so a worker
+  /// that processes many sources through one engine allocates its
+  /// workspace exactly once -- reset() itself never allocates. Counted
+  /// in stats().workspace_reuses; change tracking (track_changes)
+  /// survives the reset.
+  void reset(NodeId source);
+
+  /// Enables pre-change frontier snapshots: after each step() that
+  /// changed something, last_changed() lists the nodes whose frontier
+  /// grew at that level and previous_frontier(i) is last_changed()[i]'s
+  /// frontier as it was before the level. The snapshot cost is one pair
+  /// list copy per changed node (capacity reused across levels), i.e.
+  /// proportional to the integration work the incremental all-pairs
+  /// scheme performs anyway. Indexed mode only: throws std::logic_error
+  /// in kLevelSweep.
+  void track_changes(bool enable);
+
+  /// Nodes whose frontier changed at the last completed level, in
+  /// publication order (empty once the fixpoint step ran). Indexed mode
+  /// only.
+  const std::vector<NodeId>& last_changed() const noexcept {
+    return active_;
+  }
+
+  /// Frontier of last_changed()[i] as it was BEFORE the last level.
+  /// Requires track_changes(true) before the step that produced it.
+  const DeliveryFunction& previous_frontier(std::size_t i) const {
+    return retired_.at(i);
+  }
 
   /// Advances the hop budget by one. Returns false (and does nothing)
   /// once the fixpoint has been reached.
@@ -157,6 +204,11 @@ class SingleSourceEngine {
   // Scratch: per delta pair, the ea of its successor in the node's full
   // frontier (used to suppress provably redundant wait candidates).
   std::vector<double> succ_ea_;
+  // Pre-change frontier snapshots, aligned with active_ (the nodes
+  // changed at the last level), populated only when track_changes_ is
+  // set. Never shrunk, so each slot's pair storage is recycled.
+  std::vector<DeliveryFunction> retired_;
+  bool track_changes_ = false;
 };
 
 /// Convenience: frontiers from `source` at each requested hop budget.

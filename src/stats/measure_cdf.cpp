@@ -33,6 +33,12 @@ void MeasureCdfAccumulator::merge(const MeasureCdfAccumulator& other) {
   denominator_ += other.denominator_;
 }
 
+void MeasureCdfAccumulator::prefix_merge(
+    std::vector<MeasureCdfAccumulator>& levels) {
+  for (std::size_t k = 1; k < levels.size(); ++k)
+    levels[k].merge(levels[k - 1]);
+}
+
 std::vector<double> MeasureCdfAccumulator::cdf() const {
   std::vector<double> out(grid_.size(), 0.0);
   if (denominator_ <= 0.0) return out;

@@ -31,11 +31,16 @@ class MeasureCdfAccumulator {
   explicit MeasureCdfAccumulator(std::vector<double> grid);
 
   /// Accounts for start times t in (a, b] delivered at time
-  /// max(t, arrival), i.e. delay(t) = max(0, arrival - t).
+  /// max(t, arrival), i.e. delay(t) = max(0, arrival - t), scaled by
+  /// `weight`. A negative weight RETRACTS a previously added segment:
+  /// adding the same (a, b, arrival) with weights +1 and -1 cancels to
+  /// the bit (the diff-array entries receive exactly negated addends),
+  /// which is what the incremental all-pairs scheme relies on to replace
+  /// a destination's stale integration with its refreshed one.
   /// Requires a <= b; empty segments are ignored. Does NOT touch the
   /// denominator (see add_observation_measure). Defined inline: this is
   /// the hottest non-engine call of the all-pairs delay CDF.
-  void add_segment(double a, double b, double arrival) {
+  void add_segment(double a, double b, double arrival, double weight = 1.0) {
     assert(a <= b);
     if (!(a < b)) return;
     // Contribution to P[delay <= x] for x = grid[j]:
@@ -52,15 +57,15 @@ class MeasureCdfAccumulator {
         grid_.begin());
     // Partial coverage on [lo, hi): affine in x.
     if (lo < hi) {
-      const_diff_[lo] += b - arrival;
-      const_diff_[hi] -= b - arrival;
-      slope_diff_[lo] += 1.0;
-      slope_diff_[hi] -= 1.0;
+      const_diff_[lo] += (b - arrival) * weight;
+      const_diff_[hi] -= (b - arrival) * weight;
+      slope_diff_[lo] += weight;
+      slope_diff_[hi] -= weight;
     }
     // Full coverage on [hi, end).
     if (hi < grid_.size()) {
-      const_diff_[hi] += b - a;
-      const_diff_[grid_.size()] -= b - a;
+      const_diff_[hi] += (b - a) * weight;
+      const_diff_[grid_.size()] -= (b - a) * weight;
     }
   }
 
@@ -74,6 +79,16 @@ class MeasureCdfAccumulator {
   /// denominators add). Used to combine per-source partial results.
   void merge(const MeasureCdfAccumulator& other);
 
+  /// In-place prefix sum over hop-indexed accumulators: levels[k]
+  /// becomes the sum of levels[0..k] (numerator difference arrays and
+  /// denominators alike). The incremental all-pairs scheme stores in
+  /// levels[k] only the level-(k+1) delta (changed destinations'
+  /// retracted old segments plus their new ones, with the full
+  /// observation measure parked in levels[0]); one prefix_merge at
+  /// finalization reconstructs CDF_{k+1} = CDF_k + delta_{k+1} for every
+  /// hop budget at O(K * M) cost, independent of the trace size.
+  static void prefix_merge(std::vector<MeasureCdfAccumulator>& levels);
+
   /// The evaluation grid.
   const std::vector<double>& grid() const noexcept { return grid_; }
 
@@ -82,6 +97,8 @@ class MeasureCdfAccumulator {
 
   /// P[delay <= grid[j]] for every j. Returns zeros when the denominator
   /// is zero. Values are clamped to [0, 1] against rounding noise.
+  /// Meaningless on an accumulator still holding a bare inter-level
+  /// delta -- prefix_merge first.
   std::vector<double> cdf() const;
 
  private:

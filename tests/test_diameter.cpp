@@ -233,6 +233,11 @@ TEST(DelayCdf, EngineModesProduceIdenticalCdfs) {
   TemporalGraph g(10, std::move(contacts));
   auto indexed_opt = base_options();
   indexed_opt.num_threads = 1;
+  // Pin the direct accumulation path on both sides: this test isolates
+  // the two propagation schemes, which must agree to the bit. (Under
+  // kAuto the indexed engine would use incremental accumulation, whose
+  // agreement is within rounding -- covered by the tests below.)
+  indexed_opt.accumulation = CdfAccumulation::kDirect;
   auto sweep_opt = indexed_opt;
   sweep_opt.engine = EngineMode::kLevelSweep;
   const auto a = compute_delay_cdf(g, indexed_opt);
@@ -251,6 +256,135 @@ TEST(DelayCdf, EngineModesProduceIdenticalCdfs) {
   EXPECT_GT(a.stats.frontier_copies_avoided, 0u);
   EXPECT_EQ(b.stats.frontier_copies_avoided, 0u);
   EXPECT_GT(a.stats.pairs_inserted, 0u);
+}
+
+// Randomized property test for the hop-incremental accumulation scheme:
+// on random temporal networks (order-independent seeds via Rng::keyed),
+// the incremental CDFs must agree with the direct reference within 1e-9
+// at every grid point and hop budget, and the paper's headline numbers
+// -- diameter() at every eps, diameter_absolute(), diameter_per_delay()
+// -- must be bit-identical.
+TEST(DelayCdf, IncrementalMatchesDirectOnRandomNetworks) {
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    Rng rng = Rng::keyed(20260807, trial);
+    const std::size_t n = 6 + rng.below(8);
+    const int m = 80 + static_cast<int>(rng.below(160));
+    std::vector<Contact> contacts;
+    for (int i = 0; i < m; ++i) {
+      const auto u = static_cast<NodeId>(rng.below(n));
+      auto v = static_cast<NodeId>(rng.below(n - 1));
+      if (v >= u) ++v;
+      const double b = rng.uniform(0, 120);
+      contacts.push_back({u, v, b, b + rng.uniform(0, 6)});
+    }
+    TemporalGraph g(n, std::move(contacts));
+
+    auto direct_opt = base_options();
+    direct_opt.max_hops = 5;
+    direct_opt.accumulation = CdfAccumulation::kDirect;
+    if (trial % 2 == 1)  // exercise the multi-window integration path too
+      direct_opt.windows = {{0.0, 50.0}, {70.0, 110.0}};
+    auto inc_opt = direct_opt;
+    inc_opt.accumulation = CdfAccumulation::kIncremental;
+
+    const auto d = compute_delay_cdf(g, direct_opt);
+    const auto i = compute_delay_cdf(g, inc_opt);
+    ASSERT_EQ(d.cdf_by_hops.size(), i.cdf_by_hops.size());
+    for (std::size_t k = 0; k < d.cdf_by_hops.size(); ++k)
+      for (std::size_t j = 0; j < d.grid.size(); ++j)
+        ASSERT_NEAR(d.cdf_by_hops[k][j], i.cdf_by_hops[k][j], 1e-9)
+            << "trial " << trial << " k=" << k << " j=" << j;
+    for (std::size_t j = 0; j < d.grid.size(); ++j)
+      ASSERT_NEAR(d.cdf_unbounded[j], i.cdf_unbounded[j], 1e-9)
+          << "trial " << trial;
+    for (const double eps : {0.001, 0.01, 0.05, 0.1, 0.5, 1.0}) {
+      EXPECT_EQ(d.diameter(eps), i.diameter(eps)) << "trial " << trial;
+      EXPECT_EQ(d.diameter_per_delay(eps), i.diameter_per_delay(eps))
+          << "trial " << trial;
+    }
+    for (const double tol : {0.001, 0.01, 0.1})
+      EXPECT_EQ(d.diameter_absolute(tol), i.diameter_absolute(tol))
+          << "trial " << trial;
+    EXPECT_EQ(d.fixpoint_hops, i.fixpoint_hops) << "trial " << trial;
+    EXPECT_EQ(d.converged, i.converged) << "trial " << trial;
+    // Direct sums the window measure per (destination, level); the
+    // incremental scheme adds it in one shot per source -- same total,
+    // different summation order.
+    EXPECT_NEAR(d.denominator, i.denominator, 1e-9 * d.denominator)
+        << "trial " << trial;
+  }
+}
+
+TEST(DelayCdf, IncrementalReusesOneWorkspacePerWorker) {
+  Rng rng = Rng::keyed(20260807, 99);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(9));
+    auto v = static_cast<NodeId>(rng.below(8));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 80);
+    contacts.push_back({u, v, b, b + rng.uniform(0, 5)});
+  }
+  TemporalGraph g(9, std::move(contacts));
+  auto opt = base_options();
+  opt.num_threads = 1;
+
+  // Incremental: one workspace allocation total, every further source is
+  // a capacity-keeping reset -- the zero-steady-state-alloc contract.
+  opt.accumulation = CdfAccumulation::kIncremental;
+  const auto inc = compute_delay_cdf(g, opt);
+  EXPECT_EQ(inc.stats.workspace_allocations, 1u);
+  EXPECT_EQ(inc.stats.workspace_reuses, g.num_nodes() - 1);
+  EXPECT_GT(inc.stats.cdf_pairs_integrated, 0u);
+
+  // Direct keeps the reference fresh-engine-per-source behavior.
+  opt.accumulation = CdfAccumulation::kDirect;
+  const auto dir = compute_delay_cdf(g, opt);
+  EXPECT_EQ(dir.stats.workspace_allocations, g.num_nodes());
+  EXPECT_EQ(dir.stats.workspace_reuses, 0u);
+  EXPECT_GT(dir.stats.cdf_pairs_integrated, 0u);
+}
+
+TEST(DelayCdf, IncrementalRequiresIndexedEngine) {
+  TemporalGraph g(2, {{0, 1, 0.0, 1.0}});
+  auto opt = base_options();
+  opt.engine = EngineMode::kLevelSweep;
+  opt.accumulation = CdfAccumulation::kIncremental;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  // kAuto degrades to direct accumulation for the level-sweep engine.
+  opt.accumulation = CdfAccumulation::kAuto;
+  EXPECT_NO_THROW(compute_delay_cdf(g, opt));
+}
+
+TEST(DelayCdf, UnconvergedDiameterIsSentinel) {
+  // 5-hop chain with strictly increasing contact times, truncated at
+  // max_levels = 3: pairs needing 4-5 hops are reachable by flooding
+  // beyond the evaluated budgets, so no k <= max_hops satisfies the
+  // criterion and the old fixpoint_hops fallback would have silently
+  // understated the diameter.
+  TemporalGraph g(6, {{0, 1, 0.0, 1.0},
+                      {1, 2, 2.0, 3.0},
+                      {2, 3, 4.0, 5.0},
+                      {3, 4, 6.0, 7.0},
+                      {4, 5, 8.0, 9.0}});
+  auto opt = base_options();
+  opt.max_hops = 2;
+  opt.max_levels = 3;
+  const auto r = compute_delay_cdf(g, opt);
+  ASSERT_FALSE(r.converged);
+  EXPECT_EQ(r.diameter(0.01), DelayCdfResult::kUnknownDiameter);
+  EXPECT_EQ(r.diameter_absolute(0.01), DelayCdfResult::kUnknownDiameter);
+  // A criterion every evaluated budget satisfies still resolves: with
+  // eps = 1 the very first hop budget qualifies.
+  EXPECT_EQ(r.diameter(1.0), 1);
+
+  // The same network without truncation names the true diameter.
+  opt.max_levels = 64;
+  opt.max_hops = 6;
+  const auto full = compute_delay_cdf(g, opt);
+  ASSERT_TRUE(full.converged);
+  EXPECT_EQ(full.fixpoint_hops, 5);
+  EXPECT_NE(full.diameter(0.01), DelayCdfResult::kUnknownDiameter);
 }
 
 TEST(DelayCdf, SingleThreadAndMultiThreadAgree) {

@@ -145,5 +145,104 @@ TEST(MeasureCdf, RejectsBadGrids) {
   EXPECT_THROW(MeasureCdfAccumulator({2.0, 2.0}), std::invalid_argument);
 }
 
+TEST(MeasureCdf, SingleRetractionCancelsToTheBit) {
+  // One +1 / -1 pair on an otherwise empty accumulator: the diff-array
+  // entries receive exactly negated addends, so the numerator is bitwise
+  // zero -- no tolerance needed even for awkward non-representable
+  // coordinates.
+  const std::vector<double> grid = make_log_grid(0.1, 1000.0, 25);
+  MeasureCdfAccumulator acc(grid);
+  acc.add_segment(0.3, 107.7, 209.13);
+  acc.add_segment(0.3, 107.7, 209.13, -1.0);
+  acc.add_observation_measure(107.4);
+  for (double v : acc.cdf()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MeasureCdf, SignedRetractionRoundTripsToZero) {
+  // Many interleaved segments, then retract them all. Integer-valued
+  // coordinates keep every intermediate sum exact, so the round trip is
+  // exactly zero at every grid point, not merely within rounding.
+  const std::vector<double> grid = make_log_grid(1.0, 4096.0, 30);
+  MeasureCdfAccumulator acc(grid);
+  Rng rng(42);
+  struct Seg {
+    double a, b, arr;
+  };
+  std::vector<Seg> segs;
+  for (int i = 0; i < 100; ++i) {
+    const double a = static_cast<double>(rng.below(2000));
+    const double b = a + 1.0 + static_cast<double>(rng.below(500));
+    const double arr = static_cast<double>(rng.below(4000));
+    segs.push_back({a, b, arr});
+    acc.add_segment(a, b, arr);
+  }
+  for (const Seg& s : segs) acc.add_segment(s.a, s.b, s.arr, -1.0);
+  acc.add_observation_measure(1000.0);
+  for (double v : acc.cdf()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MeasureCdf, WeightEqualsRepeatedAddition) {
+  // weight = 3 is the same contribution as adding the segment 3 times
+  // (exact for integer coordinates). The denominator is not touched by
+  // weights -- only add_observation_measure moves it.
+  const std::vector<double> grid{1.0, 8.0, 64.0, 512.0};
+  MeasureCdfAccumulator weighted(grid), repeated(grid);
+  weighted.add_segment(10.0, 40.0, 55.0, 3.0);
+  for (int i = 0; i < 3; ++i) repeated.add_segment(10.0, 40.0, 55.0);
+  weighted.add_observation_measure(90.0);
+  repeated.add_observation_measure(90.0);
+  const auto w = weighted.cdf(), r = repeated.cdf();
+  for (std::size_t j = 0; j < grid.size(); ++j) EXPECT_DOUBLE_EQ(w[j], r[j]);
+  EXPECT_DOUBLE_EQ(weighted.denominator(), 90.0);
+}
+
+TEST(MeasureCdf, PrefixMergeReconstructsPerLevelCdfs) {
+  // Simulates the incremental all-pairs scheme on one destination whose
+  // frontier improves at level 2: levels[0] holds the level-1 state and
+  // the full observation measure, levels[1] holds only the delta
+  // (retract old, add new), levels[2] is an empty delta (no change).
+  // After prefix_merge, each level's CDF must equal a directly built
+  // accumulator for that level's frontier, and the parked denominator
+  // must have propagated everywhere.
+  const std::vector<double> grid = make_log_grid(1.0, 512.0, 20);
+  std::vector<MeasureCdfAccumulator> levels(3, MeasureCdfAccumulator(grid));
+  // Level-1 frontier: arrival 120 over (0, 100].
+  levels[0].add_segment(0.0, 100.0, 120.0);
+  levels[0].add_observation_measure(100.0);
+  // Level 2: a relay path improves (40, 100] to arrival 70.
+  levels[1].add_segment(40.0, 100.0, 120.0, -1.0);
+  levels[1].add_segment(40.0, 100.0, 70.0, +1.0);
+  MeasureCdfAccumulator::prefix_merge(levels);
+
+  MeasureCdfAccumulator direct1(grid), direct2(grid);
+  direct1.add_segment(0.0, 100.0, 120.0);
+  direct1.add_observation_measure(100.0);
+  direct2.add_segment(0.0, 40.0, 120.0);
+  direct2.add_segment(40.0, 100.0, 70.0);
+  direct2.add_observation_measure(100.0);
+
+  const auto l0 = levels[0].cdf(), l1 = levels[1].cdf(), l2 = levels[2].cdf();
+  const auto d1 = direct1.cdf(), d2 = direct2.cdf();
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    EXPECT_DOUBLE_EQ(l0[j], d1[j]) << "x=" << grid[j];
+    EXPECT_DOUBLE_EQ(l1[j], d2[j]) << "x=" << grid[j];
+    EXPECT_DOUBLE_EQ(l2[j], l1[j]) << "x=" << grid[j];  // unchanged level
+  }
+  for (const auto& lvl : levels) EXPECT_DOUBLE_EQ(lvl.denominator(), 100.0);
+}
+
+TEST(MeasureCdf, PrefixMergeAddsDenominatorsCumulatively) {
+  // Denominators prefix-sum exactly like numerators: parking the full
+  // observation measure in levels[0] (the incremental scheme's contract)
+  // relies on later levels contributing zero.
+  std::vector<MeasureCdfAccumulator> levels(3, MeasureCdfAccumulator({1.0}));
+  levels[0].add_observation_measure(5.0);
+  levels[1].add_observation_measure(2.0);
+  MeasureCdfAccumulator::prefix_merge(levels);
+  EXPECT_DOUBLE_EQ(levels[0].denominator(), 5.0);
+  EXPECT_DOUBLE_EQ(levels[1].denominator(), 7.0);
+  EXPECT_DOUBLE_EQ(levels[2].denominator(), 7.0);
+}
+
 }  // namespace
 }  // namespace odtn

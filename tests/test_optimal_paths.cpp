@@ -206,5 +206,90 @@ TEST(Engine, TotalPairsCountsFrontiers) {
   EXPECT_EQ(e.total_pairs(), 3u);
 }
 
+TEST(Engine, ResetMatchesFreshEngine) {
+  TemporalGraph g(4, {{0, 1, 0.0, 1.0},
+                      {1, 2, 2.0, 3.0},
+                      {2, 3, 4.0, 5.0},
+                      {0, 3, 8.0, 9.0}});
+  SingleSourceEngine reused(g, 0);
+  reused.run_to_fixpoint();
+  for (NodeId src = 0; src < 4; ++src) {
+    reused.reset(src);
+    EXPECT_EQ(reused.hops(), 0);
+    EXPECT_FALSE(reused.at_fixpoint());
+    SingleSourceEngine fresh(g, src);
+    const int fa = reused.run_to_fixpoint();
+    const int fb = fresh.run_to_fixpoint();
+    EXPECT_EQ(fa, fb) << "src " << src;
+    for (NodeId v = 0; v < 4; ++v)
+      EXPECT_EQ(reused.frontier(v), fresh.frontier(v))
+          << "src " << src << " dst " << v;
+  }
+  // Counters: one construction, one reuse per reset.
+  EXPECT_EQ(reused.stats().workspace_allocations, 1u);
+  EXPECT_EQ(reused.stats().workspace_reuses, 4u);
+}
+
+TEST(Engine, ResetRejectsOutOfRangeSource) {
+  TemporalGraph g(2, {{0, 1, 0.0, 1.0}});
+  SingleSourceEngine e(g, 0);
+  EXPECT_THROW(e.reset(7), std::out_of_range);
+}
+
+TEST(Engine, ChangeTrackingExposesExactDeltas) {
+  // Relay route improves node 2's frontier at level 2 while the direct
+  // late contact created it at level 1: last_changed() must name exactly
+  // the nodes whose frontier changed, and previous_frontier(i) must be
+  // the pre-merge state so old + published == new.
+  TemporalGraph g(3, {{0, 2, 10.0, 11.0}, {0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}});
+  SingleSourceEngine e(g, 0, EngineMode::kIndexed);
+  e.track_changes(true);
+
+  e.step();  // level 1: nodes 1 and 2 gain their first pairs
+  {
+    const auto& changed = e.last_changed();
+    ASSERT_EQ(changed.size(), 2u);
+    for (std::size_t i = 0; i < changed.size(); ++i) {
+      EXPECT_TRUE(e.previous_frontier(i).empty());  // born this level
+      EXPECT_FALSE(e.frontier(changed[i]).empty());
+    }
+  }
+
+  e.step();  // level 2: only node 2 improves (via the relay)
+  {
+    const auto& changed = e.last_changed();
+    ASSERT_EQ(changed.size(), 1u);
+    EXPECT_EQ(changed[0], NodeId{2});
+    // Pre-change frontier: the single late direct pair.
+    ASSERT_EQ(e.previous_frontier(0).size(), 1u);
+    EXPECT_DOUBLE_EQ(e.previous_frontier(0).pairs()[0].ea, 10.0);
+    // Post-change frontier: relay pair joined the direct pair.
+    EXPECT_EQ(e.frontier(2).size(), 2u);
+  }
+
+  e.step();  // fixpoint: nothing changes
+  EXPECT_TRUE(e.at_fixpoint());
+  EXPECT_TRUE(e.last_changed().empty());
+}
+
+TEST(Engine, ChangeTrackingSurvivesReset) {
+  TemporalGraph g(3, {{0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}});
+  SingleSourceEngine e(g, 0, EngineMode::kIndexed);
+  e.track_changes(true);
+  e.run_to_fixpoint();
+  e.reset(2);
+  e.step();
+  // From source 2 the level-1 delta is node 1 (undirected contact).
+  ASSERT_EQ(e.last_changed().size(), 1u);
+  EXPECT_EQ(e.last_changed()[0], NodeId{1});
+  EXPECT_TRUE(e.previous_frontier(0).empty());
+}
+
+TEST(Engine, ChangeTrackingRequiresIndexedMode) {
+  TemporalGraph g(2, {{0, 1, 0.0, 1.0}});
+  SingleSourceEngine e(g, 0, EngineMode::kLevelSweep);
+  EXPECT_THROW(e.track_changes(true), std::logic_error);
+}
+
 }  // namespace
 }  // namespace odtn

@@ -1,17 +1,20 @@
 #!/usr/bin/env sh
-# Extended verify: the tier-1 recipe (Release build + ctest) followed by
-# a second ctest pass under ASan + UBSan (the `sanitize` CMake preset)
-# and a third pass of the concurrency suites (thread pool, MC harness,
-# empirical distribution, phase transition) under ThreadSanitizer (the
-# `tsan` preset). Run from the repository root. Exits non-zero on the
-# first failure.
+# Extended verify: a fast `quick`-labelled smoke pass, then the tier-1
+# recipe (Release build + full ctest), then a second ctest pass under
+# ASan + UBSan (the `sanitize` CMake preset) and a third pass of the
+# concurrency suites (thread pool, MC harness, empirical distribution,
+# phase transition) under ThreadSanitizer (the `tsan` preset). Run from
+# the repository root. Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: Release build + ctest =="
+echo "== tier-0: Release build + quick smoke (ctest -L quick) =="
 cmake --preset release
 cmake --build --preset release -j
+ctest --preset quick
+
+echo "== tier-1: full ctest =="
 ctest --preset release
 
 echo "== tier-2: ASan+UBSan build + ctest =="
