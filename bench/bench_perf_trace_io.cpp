@@ -1,0 +1,306 @@
+// Trace ingestion throughput: the streaming tokenizer parser vs the
+// seed line-stream parser (kept as read_trace_reference).
+//
+// Sections:
+//   parse        -- ~1M-contact synthetic trace parsed by both parsers;
+//                   hard gates: bit-identical TemporalGraph and >= 5x
+//                   throughput for the streaming parser.
+//   lenient      -- the same trace with ~1% of contact lines corrupted;
+//                   hard gates: every corrupted record skipped and
+//                   counted, every clean record kept.
+//   canonicalize -- an out-of-order trace with overlapping duplicates;
+//                   hard gate: parse-time canonicalization equals
+//                   merge_overlapping_contacts on the raw contacts.
+//
+// Output: bench_out/perf_trace_io.csv (one row per timed run) and
+// machine-readable bench_out/BENCH_pr4.json. Exit code is non-zero when
+// any hard gate fails.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "trace/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+using bench::check;
+
+double now_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Random trace in the shape of a week-long campus data set: fractional
+/// second timestamps (so every value exercises the double parser) and
+/// dense node reuse.
+TemporalGraph synthetic_trace(std::size_t nodes, std::size_t contacts,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Contact> all;
+  all.reserve(contacts);
+  const double horizon = 7.0 * 86400.0;
+  for (std::size_t i = 0; i < contacts; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    const double begin = rng.uniform(0.0, horizon);
+    const double length = rng.uniform(0.0, 3600.0);
+    all.push_back({u, v, begin, begin + length});
+  }
+  return TemporalGraph(nodes, std::move(all));
+}
+
+struct TimedParse {
+  TemporalGraph graph;
+  double wall_ms = 0.0;
+};
+
+template <typename Parse>
+TimedParse best_of(int reps, const std::string& text, Parse parse) {
+  TimedParse best{TemporalGraph(0, {}), 0.0};
+  for (int r = 0; r < reps; ++r) {
+    std::istringstream in(text);
+    const double t0 = now_ms();
+    TemporalGraph g = parse(in);
+    const double wall = now_ms() - t0;
+    if (r == 0 || wall < best.wall_ms) best = {std::move(g), wall};
+  }
+  return best;
+}
+
+double mb_per_s(std::size_t bytes, double wall_ms) {
+  return static_cast<double>(bytes) / 1e6 / (wall_ms / 1e3);
+}
+
+struct SectionRecord {
+  std::string section;
+  std::string parser;
+  std::size_t contacts = 0;
+  std::size_t bytes = 0;
+  double wall_ms = 0.0;
+  double speedup = 0.0;
+};
+
+int section_parse(CsvWriter& csv, std::vector<SectionRecord>& records,
+                  const TemporalGraph& original, const std::string& text) {
+  std::printf("\n-- section parse: %zu contacts, %.1f MB --\n",
+              original.num_contacts(),
+              static_cast<double>(text.size()) / 1e6);
+  int failures = 0;
+
+  const TimedParse ref = best_of(3, text, [](std::istream& in) {
+    return read_trace_reference(in);
+  });
+  const TimedParse fast = best_of(3, text, [](std::istream& in) {
+    return read_trace(in);
+  });
+  const double speedup = ref.wall_ms / fast.wall_ms;
+
+  std::printf("  reference : %8.1f ms  %7.1f MB/s  %10.0f contacts/s\n",
+              ref.wall_ms, mb_per_s(text.size(), ref.wall_ms),
+              static_cast<double>(original.num_contacts()) /
+                  (ref.wall_ms / 1e3));
+  std::printf("  streaming : %8.1f ms  %7.1f MB/s  %10.0f contacts/s\n",
+              fast.wall_ms, mb_per_s(text.size(), fast.wall_ms),
+              static_cast<double>(original.num_contacts()) /
+                  (fast.wall_ms / 1e3));
+  std::printf("  speedup   : %.2fx\n", speedup);
+
+  const bool identical = fast.graph.num_nodes() == original.num_nodes() &&
+                         fast.graph.directed() == original.directed() &&
+                         fast.graph.contacts() == original.contacts();
+  const bool ref_identical = ref.graph.contacts() == original.contacts();
+  if (!check(identical,
+             "streaming parse is bit-identical to the written graph"))
+    ++failures;
+  if (!check(ref_identical,
+             "reference parse is bit-identical to the written graph"))
+    ++failures;
+  if (!check(speedup >= 5.0, "streaming parser >= 5x reference throughput"))
+    ++failures;
+
+  csv.write_row({"parse", "reference", std::to_string(original.num_contacts()),
+                 std::to_string(text.size()), std::to_string(ref.wall_ms),
+                 "1"});
+  csv.write_row({"parse", "streaming", std::to_string(original.num_contacts()),
+                 std::to_string(text.size()), std::to_string(fast.wall_ms),
+                 std::to_string(speedup)});
+  records.push_back({"parse", "reference", original.num_contacts(),
+                     text.size(), ref.wall_ms, 1.0});
+  records.push_back({"parse", "streaming", original.num_contacts(),
+                     text.size(), fast.wall_ms, speedup});
+  return failures;
+}
+
+int section_lenient(CsvWriter& csv, std::vector<SectionRecord>& records,
+                    const TemporalGraph& original, const std::string& text) {
+  // Corrupt ~1% of contact lines by overwriting their first byte; each
+  // becomes a syntax error the lenient pass must skip and count.
+  std::string broken = text;
+  Rng rng(99);
+  std::size_t corrupted = 0;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i < broken.size(); ++i) {
+    if (broken[i] != '\n') continue;
+    if (broken[line_start] != '#' && line_start < i && rng.bernoulli(0.01)) {
+      broken[line_start] = 'x';
+      ++corrupted;
+    }
+    line_start = i + 1;
+  }
+
+  std::printf("\n-- section lenient: %zu of %zu records corrupted --\n",
+              corrupted, original.num_contacts());
+  int failures = 0;
+  ParseReport report;
+  std::istringstream in(broken);
+  const double t0 = now_ms();
+  const TemporalGraph g = read_trace(in, {ParseMode::kLenient}, &report);
+  const double wall = now_ms() - t0;
+  std::printf("  lenient   : %8.1f ms  %7.1f MB/s  (%zu skipped)\n", wall,
+              mb_per_s(broken.size(), wall), report.skipped);
+
+  if (!check(report.skipped == corrupted,
+             "every corrupted record is skipped and counted"))
+    ++failures;
+  if (!check(g.num_contacts() == original.num_contacts() - corrupted,
+             "every clean record is kept"))
+    ++failures;
+  if (!check(!report.diagnostics.empty() &&
+                 report.diagnostics.size() <= 64,
+             "diagnostics recorded and capped at max_diagnostics"))
+    ++failures;
+
+  csv.write_row({"lenient", "streaming", std::to_string(g.num_contacts()),
+                 std::to_string(broken.size()), std::to_string(wall), ""});
+  records.push_back({"lenient", "streaming", g.num_contacts(), broken.size(),
+                     wall, 0.0});
+  return failures;
+}
+
+int section_canonicalize(CsvWriter& csv,
+                         std::vector<SectionRecord>& records) {
+  // An out-of-order trace with overlapping duplicates: shuffled copies
+  // of a base trace, written unsorted so the parser has to repair it.
+  Rng rng(7);
+  const std::size_t nodes = 120;
+  std::vector<Contact> contacts;
+  const std::size_t kCount = 200000;
+  contacts.reserve(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    const double begin = rng.uniform(0.0, 5000.0);  // dense: many overlaps
+    contacts.push_back({u, v, begin, begin + rng.uniform(0.0, 50.0)});
+  }
+  // Hand-write the records unsorted; write_trace would canonicalize.
+  std::string text = "# odtn-trace v1\n# nodes " + std::to_string(nodes) +
+                     "\n# directed 0\n";
+  char buf[128];
+  for (const Contact& c : contacts) {
+    std::snprintf(buf, sizeof buf, "%u %u %.17g %.17g\n", c.u, c.v, c.begin,
+                  c.end);
+    text += buf;
+  }
+
+  std::printf("\n-- section canonicalize: %zu unsorted records --\n", kCount);
+  int failures = 0;
+  ParseOptions options;
+  options.canonicalize = true;
+  ParseReport report;
+  std::istringstream in(text);
+  const double t0 = now_ms();
+  const TemporalGraph g = read_trace(in, options, &report);
+  const double wall = now_ms() - t0;
+  std::printf("  canonical : %8.1f ms  %zu merged, %zu order violations\n",
+              wall, report.merged, report.out_of_order);
+
+  const TemporalGraph expected(nodes, merge_overlapping_contacts(contacts));
+  if (!check(g.contacts() == expected.contacts(),
+             "parse-time canonicalization == merge_overlapping_contacts"))
+    ++failures;
+  if (!check(report.merged == kCount - g.num_contacts(),
+             "merge accounting: contacts_before - contacts_after"))
+    ++failures;
+  if (!check(report.merged > 0 && report.out_of_order > 0,
+             "workload actually exercised merging and reordering"))
+    ++failures;
+
+  csv.write_row({"canonicalize", "streaming", std::to_string(g.num_contacts()),
+                 std::to_string(text.size()), std::to_string(wall), ""});
+  records.push_back({"canonicalize", "streaming", g.num_contacts(),
+                     text.size(), wall, 0.0});
+  return failures;
+}
+
+void write_bench_json(const std::vector<SectionRecord>& records) {
+  const std::string path = "bench_out/BENCH_pr4.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("[json] could not open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_perf_trace_io\",\n  \"pr\": 4,\n"
+                  "  \"metric\": \"trace parse throughput\",\n"
+                  "  \"records\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SectionRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"section\": \"%s\", \"parser\": \"%s\", "
+                 "\"contacts\": %zu, \"bytes\": %zu, \"wall_ms\": %.3f, "
+                 "\"mb_per_s\": %.1f, \"speedup_vs_reference\": %.3f}%s\n",
+                 r.section.c_str(), r.parser.c_str(), r.contacts, r.bytes,
+                 r.wall_ms, mb_per_s(r.bytes, r.wall_ms), r.speedup,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace odtn
+
+int main() {
+  using namespace odtn;
+  bench::banner("Trace IO perf",
+                "streaming tokenizer parser vs the seed line-stream parser");
+  CsvWriter csv(bench::csv_path("perf_trace_io"));
+  csv.write_row({"section", "parser", "contacts", "bytes", "wall_ms",
+                 "speedup_vs_reference"});
+
+  const char* only = std::getenv("BENCH_SECTIONS");
+  auto enabled = [&](const char* name) {
+    return only == nullptr || std::strstr(only, name) != nullptr;
+  };
+
+  // ~1M contacts, ~50 MB of text: big enough that parse throughput
+  // dominates and both parsers stream well past any cache effects.
+  const TemporalGraph original = synthetic_trace(500, 1000000, 42);
+  std::ostringstream out;
+  write_trace(out, original);
+  const std::string text = out.str();
+
+  int failures = 0;
+  std::vector<SectionRecord> records;
+  if (enabled("parse")) failures += section_parse(csv, records, original, text);
+  if (enabled("lenient"))
+    failures += section_lenient(csv, records, original, text);
+  if (enabled("canonicalize")) failures += section_canonicalize(csv, records);
+  write_bench_json(records);
+  std::printf("[csv] wrote %s\n", bench::csv_path("perf_trace_io").c_str());
+  if (failures) {
+    std::printf("\n%d ingestion gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall ingestion gates passed\n");
+  return 0;
+}

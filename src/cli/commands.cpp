@@ -179,6 +179,34 @@ int cmd_cdf(ArgList args) {
   return 0;
 }
 
+int cmd_validate(ArgList args) {
+  // Ingestion diagnostics: lenient parse + canonicalization cross-check
+  // by default, so one run reports every defect and normalization the
+  // trace would need; --strict stops at the first defect instead.
+  const std::string path = required_positional(args, "trace file");
+  const bool strict = args.take_flag("strict");
+  args.expect_empty();
+
+  ParseOptions opt;
+  opt.mode = strict ? ParseMode::kStrict : ParseMode::kLenient;
+  opt.canonicalize = true;
+  ParseReport report;
+  const TemporalGraph g = read_trace_file(path, opt, &report);
+  std::printf("trace:        %s\n", path.c_str());
+  std::printf("%s", report.summary().c_str());
+  std::printf("span:         %s (from %s to %s)\n",
+              format_duration(g.duration()).c_str(),
+              format_timestamp(g.start_time()).c_str(),
+              format_timestamp(g.end_time()).c_str());
+  if (report.skipped == 0) {
+    std::printf("verdict:      OK\n");
+    return 0;
+  }
+  std::printf("verdict:      %zu defective record(s) skipped\n",
+              report.skipped);
+  return 1;
+}
+
 int cmd_filter(ArgList args) {
   const std::string path = required_positional(args, "trace file");
   const std::string out = required_option(args, "out");
@@ -349,6 +377,9 @@ std::string usage_text() {
          "  generate --preset <infocom05|infocom06|hong-kong|realitymining>\n"
          "           [--seed N] --out <file>    synthesize a Table-1 trace\n"
          "  stats <trace>                       contact statistics report\n"
+         "  validate <trace> [--strict]         ingestion diagnostics: parse\n"
+         "                                      report, canonicalization +\n"
+         "                                      node-count cross-check\n"
          "  cdf <trace> [--max-hops K] [--eps E] [--daytime H-H]\n"
          "      [--grid-lo D --grid-hi D] [--threads W]\n"
          "                                      delay CDFs + diameter\n"
@@ -378,6 +409,7 @@ int run_cli(std::vector<std::string> args) {
     ArgList rest(std::vector<std::string>(args.begin() + 1, args.end()));
     if (command == "generate") return cmd_generate(std::move(rest));
     if (command == "stats") return cmd_stats(std::move(rest));
+    if (command == "validate") return cmd_validate(std::move(rest));
     if (command == "cdf") return cmd_cdf(std::move(rest));
     if (command == "filter") return cmd_filter(std::move(rest));
     if (command == "route") return cmd_route(std::move(rest));

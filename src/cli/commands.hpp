@@ -2,6 +2,7 @@
 //
 //   odtn generate --preset <name> [--seed N] --out <file>
 //   odtn stats <trace>
+//   odtn validate <trace> [--strict]
 //   odtn cdf <trace> [--max-hops K] [--eps E] [--grid-lo D --grid-hi D]
 //   odtn filter <trace> --out <file> [--min-duration D] [--keep-prob P
 //       [--seed N]] [--window-lo D --window-hi D] [--internal N]

@@ -18,6 +18,23 @@ bool contact_less(const Contact& a, const Contact& b) noexcept {
          std::tie(b.begin, b.end, b.u, b.v);
 }
 
+NodeId max_node_id(const std::vector<Contact>& contacts) noexcept {
+  NodeId max_id = kInvalidNode;
+  for (const Contact& c : contacts) {
+    const NodeId hi = std::max(c.u, c.v);
+    max_id = max_id == kInvalidNode ? hi : std::max(max_id, hi);
+  }
+  return max_id;
+}
+
+std::size_t count_canonical_order_violations(
+    const std::vector<Contact>& contacts) noexcept {
+  std::size_t violations = 0;
+  for (std::size_t i = 1; i < contacts.size(); ++i)
+    if (contact_less(contacts[i], contacts[i - 1])) ++violations;
+  return violations;
+}
+
 std::vector<Contact> merge_overlapping_contacts(std::vector<Contact> contacts) {
   // Group by unordered pair, then sweep each pair's contacts in time order.
   std::sort(contacts.begin(), contacts.end(),

@@ -35,6 +35,16 @@ bool is_valid_contact(const Contact& c) noexcept;
 /// Orders contacts by (begin, end, u, v); the canonical trace order.
 bool contact_less(const Contact& a, const Contact& b) noexcept;
 
+/// Largest endpoint id appearing in `contacts`; kInvalidNode when empty.
+/// Trace canonicalization cross-checks this against the declared node
+/// count.
+NodeId max_node_id(const std::vector<Contact>& contacts) noexcept;
+
+/// Number of adjacent positions at which `contacts` violates canonical
+/// (begin, end, u, v) order; 0 iff the sequence is canonically sorted.
+std::size_t count_canonical_order_violations(
+    const std::vector<Contact>& contacts) noexcept;
+
 /// Sorts contacts into canonical order and merges overlapping or touching
 /// contacts of the same (unordered) node pair into single contacts.
 /// Used by trace generators and scan-granularity quantization.

@@ -13,13 +13,18 @@ TemporalGraph::TemporalGraph(std::size_t num_nodes,
     : num_nodes_(num_nodes),
       directed_(directed),
       contacts_(std::move(contacts)) {
-  for (const Contact& c : contacts_) {
+  bool sorted = true;
+  for (std::size_t i = 0; i < contacts_.size(); ++i) {
+    const Contact& c = contacts_[i];
     if (!is_valid_contact(c))
       throw std::invalid_argument("TemporalGraph: malformed contact");
     if (c.u >= num_nodes_ || c.v >= num_nodes_)
       throw std::invalid_argument("TemporalGraph: contact node out of range");
+    if (i > 0 && contact_less(c, contacts_[i - 1])) sorted = false;
   }
-  std::sort(contacts_.begin(), contacts_.end(), contact_less);
+  // Traces read back from write_trace (and most generators) are already
+  // canonical; skipping the sort keeps ingestion one pass per array.
+  if (!sorted) std::sort(contacts_.begin(), contacts_.end(), contact_less);
 
   if (!contacts_.empty()) {
     // Seed from the first contact, NOT from 0.0: a trace whose timestamps
@@ -29,48 +34,113 @@ TemporalGraph::TemporalGraph(std::size_t num_nodes,
     end_ = contacts_.front().end;
     for (const Contact& c : contacts_) end_ = std::max(end_, c.end);
   }
+}
 
-  // Build the per-node contact index (counting sort by node).
-  node_offsets_.assign(num_nodes_ + 1, 0);
+TemporalGraph::TemporalGraph(const TemporalGraph& other)
+    : num_nodes_(other.num_nodes_),
+      directed_(other.directed_),
+      contacts_(other.contacts_),
+      start_(other.start_),
+      end_(other.end_) {}  // indexes rebuild lazily: copies stay cheap
+
+TemporalGraph& TemporalGraph::operator=(const TemporalGraph& other) {
+  if (this != &other) {
+    num_nodes_ = other.num_nodes_;
+    directed_ = other.directed_;
+    contacts_ = other.contacts_;
+    start_ = other.start_;
+    end_ = other.end_;
+    delete indexes_.exchange(nullptr);
+  }
+  return *this;
+}
+
+TemporalGraph::TemporalGraph(TemporalGraph&& other) noexcept
+    : num_nodes_(other.num_nodes_),
+      directed_(other.directed_),
+      contacts_(std::move(other.contacts_)),
+      start_(other.start_),
+      end_(other.end_),
+      indexes_(other.indexes_.exchange(nullptr)) {}
+
+TemporalGraph& TemporalGraph::operator=(TemporalGraph&& other) noexcept {
+  if (this != &other) {
+    num_nodes_ = other.num_nodes_;
+    directed_ = other.directed_;
+    contacts_ = std::move(other.contacts_);
+    start_ = other.start_;
+    end_ = other.end_;
+    delete indexes_.exchange(other.indexes_.exchange(nullptr));
+  }
+  return *this;
+}
+
+TemporalGraph::~TemporalGraph() { delete indexes_.load(); }
+
+const TemporalGraph::Indexes& TemporalGraph::indexes() const {
+  // Double-checked build: the acquire load pairs with the release store
+  // so readers that see the pointer also see the built arrays.
+  const Indexes* ix = indexes_.load(std::memory_order_acquire);
+  if (ix == nullptr) {
+    const std::lock_guard<std::mutex> lock(index_mutex_);
+    ix = indexes_.load(std::memory_order_relaxed);
+    if (ix == nullptr) {
+      ix = new Indexes(build_indexes());
+      indexes_.store(ix, std::memory_order_release);
+    }
+  }
+  return *ix;
+}
+
+TemporalGraph::Indexes TemporalGraph::build_indexes() const {
+  Indexes ix;
+  // Per-node contact index (counting sort by node).
+  ix.node_offsets.assign(num_nodes_ + 1, 0);
   for (const Contact& c : contacts_) {
-    ++node_offsets_[c.u + 1];
-    ++node_offsets_[c.v + 1];
+    ++ix.node_offsets[c.u + 1];
+    ++ix.node_offsets[c.v + 1];
   }
-  for (std::size_t i = 1; i < node_offsets_.size(); ++i)
-    node_offsets_[i] += node_offsets_[i - 1];
-  node_contacts_.resize(2 * contacts_.size());
-  std::vector<std::uint32_t> cursor(node_offsets_.begin(),
-                                    node_offsets_.end() - 1);
-  for (std::uint32_t idx = 0; idx < contacts_.size(); ++idx) {
-    node_contacts_[cursor[contacts_[idx].u]++] = idx;
-    node_contacts_[cursor[contacts_[idx].v]++] = idx;
-  }
+  for (std::size_t i = 1; i < ix.node_offsets.size(); ++i)
+    ix.node_offsets[i] += ix.node_offsets[i - 1];
+  ix.node_contacts.resize(2 * contacts_.size());
+
   // Secondary index: each node's outgoing contact windows, materialized
   // as flat {begin, end, peer} records and re-sorted by end time, so
   // propagation engines scan sequential memory and can binary-search
-  // "first window ending at or after t".
-  neighbor_offsets_.assign(num_nodes_ + 1, 0);
-  for (const Contact& c : contacts_) {
-    ++neighbor_offsets_[c.u + 1];
-    if (!directed_) ++neighbor_offsets_[c.v + 1];
+  // "first window ending at or after t". Undirected graphs index both
+  // endpoints per contact, so the counts equal the node index's.
+  if (directed_) {
+    ix.neighbor_offsets.assign(num_nodes_ + 1, 0);
+    for (const Contact& c : contacts_) ++ix.neighbor_offsets[c.u + 1];
+    for (std::size_t i = 1; i < ix.neighbor_offsets.size(); ++i)
+      ix.neighbor_offsets[i] += ix.neighbor_offsets[i - 1];
+  } else {
+    ix.neighbor_offsets = ix.node_offsets;
   }
-  for (std::size_t i = 1; i < neighbor_offsets_.size(); ++i)
-    neighbor_offsets_[i] += neighbor_offsets_[i - 1];
-  neighbors_by_end_.resize(neighbor_offsets_.back());
-  cursor.assign(neighbor_offsets_.begin(), neighbor_offsets_.end() - 1);
-  for (const Contact& c : contacts_) {
-    neighbors_by_end_[cursor[c.u]++] = {c.begin, c.end, c.v};
-    if (!directed_) neighbors_by_end_[cursor[c.v]++] = {c.begin, c.end, c.u};
+  ix.neighbors_by_end.resize(ix.neighbor_offsets.back());
+
+  std::vector<std::uint32_t> cursor(ix.node_offsets.begin(),
+                                    ix.node_offsets.end() - 1);
+  std::vector<std::uint32_t> ncursor(ix.neighbor_offsets.begin(),
+                                     ix.neighbor_offsets.end() - 1);
+  for (std::uint32_t idx = 0; idx < contacts_.size(); ++idx) {
+    const Contact& c = contacts_[idx];
+    ix.node_contacts[cursor[c.u]++] = idx;
+    ix.node_contacts[cursor[c.v]++] = idx;
+    ix.neighbors_by_end[ncursor[c.u]++] = {c.begin, c.end, c.v};
+    if (!directed_)
+      ix.neighbors_by_end[ncursor[c.v]++] = {c.begin, c.end, c.u};
   }
   for (std::size_t n = 0; n < num_nodes_; ++n) {
-    std::sort(neighbors_by_end_.begin() + neighbor_offsets_[n],
-              neighbors_by_end_.begin() + neighbor_offsets_[n + 1],
+    std::sort(ix.neighbors_by_end.begin() + ix.neighbor_offsets[n],
+              ix.neighbors_by_end.begin() + ix.neighbor_offsets[n + 1],
               [](const NodeContact& a, const NodeContact& b) {
                 if (a.end != b.end) return a.end < b.end;
                 if (a.begin != b.begin) return a.begin < b.begin;
                 return a.to < b.to;
               });
   }
+  return ix;
 }
 
 double TemporalGraph::contact_rate(double unit) const noexcept {
@@ -85,16 +155,18 @@ double TemporalGraph::contact_rate(double unit) const noexcept {
 std::span<const std::uint32_t> TemporalGraph::contacts_of(NodeId node) const {
   if (node >= num_nodes_)
     throw std::out_of_range("TemporalGraph::contacts_of: bad node");
-  return {node_contacts_.data() + node_offsets_[node],
-          node_contacts_.data() + node_offsets_[node + 1]};
+  const Indexes& ix = indexes();
+  return {ix.node_contacts.data() + ix.node_offsets[node],
+          ix.node_contacts.data() + ix.node_offsets[node + 1]};
 }
 
 std::span<const NodeContact> TemporalGraph::neighbors_by_end(
     NodeId node) const {
   if (node >= num_nodes_)
     throw std::out_of_range("TemporalGraph::neighbors_by_end: bad node");
-  return {neighbors_by_end_.data() + neighbor_offsets_[node],
-          neighbors_by_end_.data() + neighbor_offsets_[node + 1]};
+  const Indexes& ix = indexes();
+  return {ix.neighbors_by_end.data() + ix.neighbor_offsets[node],
+          ix.neighbors_by_end.data() + ix.neighbor_offsets[node + 1]};
 }
 
 std::vector<double> TemporalGraph::contact_durations() const {

@@ -2,7 +2,9 @@
 // edges (contacts) are labeled with time intervals (paper Section 4.2).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,13 +30,26 @@ struct NodeContact {
 /// (the default; scanning traces record symmetric radio contacts) lets
 /// every contact carry data both ways; a directed graph restricts each
 /// contact to u -> v.
+///
+/// The per-node CSR indexes that the propagation engines scan are built
+/// lazily on first use (thread-safely), so ingestion-only workflows --
+/// `odtn validate`, filter round-trips, trace statistics -- never pay
+/// for them. Copying a graph copies the contacts only; the copy rebuilds
+/// its indexes on demand.
 class TemporalGraph {
  public:
   /// Builds a graph with `num_nodes` nodes. Contacts are validated
   /// (throws std::invalid_argument on malformed or out-of-range contacts)
-  /// and sorted into canonical order.
+  /// and sorted into canonical order (already-canonical input is
+  /// detected and kept as-is in one pass).
   TemporalGraph(std::size_t num_nodes, std::vector<Contact> contacts,
                 bool directed = false);
+
+  TemporalGraph(const TemporalGraph& other);
+  TemporalGraph& operator=(const TemporalGraph& other);
+  TemporalGraph(TemporalGraph&& other) noexcept;
+  TemporalGraph& operator=(TemporalGraph&& other) noexcept;
+  ~TemporalGraph();
 
   std::size_t num_nodes() const noexcept { return num_nodes_; }
   bool directed() const noexcept { return directed_; }
@@ -77,17 +92,29 @@ class TemporalGraph {
   std::size_t num_connected_pairs() const;
 
  private:
+  /// The engine-facing CSR indexes, built as a unit on first access.
+  struct Indexes {
+    // Per-node index into contacts_, in canonical (begin) order.
+    std::vector<std::uint32_t> node_offsets;
+    std::vector<std::uint32_t> node_contacts;
+    // Per-node outgoing contact windows, sorted by end time.
+    std::vector<std::uint32_t> neighbor_offsets;
+    std::vector<NodeContact> neighbors_by_end;
+  };
+
+  /// Returns the indexes, building them on first call. Thread-safe:
+  /// concurrent readers (the Monte-Carlo workers share const graphs)
+  /// race to the mutex, one builds, the rest reuse.
+  const Indexes& indexes() const;
+  Indexes build_indexes() const;
+
   std::size_t num_nodes_;
   bool directed_;
   std::vector<Contact> contacts_;
   double start_ = 0.0;
   double end_ = 0.0;
-  // CSR-style per-node index into contacts_, in canonical (begin) order.
-  std::vector<std::uint32_t> node_offsets_;
-  std::vector<std::uint32_t> node_contacts_;
-  // CSR-style per-node outgoing contact windows, sorted by end time.
-  std::vector<std::uint32_t> neighbor_offsets_;
-  std::vector<NodeContact> neighbors_by_end_;
+  mutable std::atomic<const Indexes*> indexes_{nullptr};
+  mutable std::mutex index_mutex_;
 };
 
 }  // namespace odtn

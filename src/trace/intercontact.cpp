@@ -19,7 +19,10 @@ std::vector<double> pair_inter_contact_times(const TemporalGraph& graph,
     const Contact& c = graph.contacts()[idx];
     if (c.u != v && c.v != v) continue;
     if (seen) gaps.push_back(std::max(0.0, c.begin - previous_end));
-    previous_end = c.end;
+    // Max, not overwrite: a nested contact ([0,100] then [10,20]) must
+    // not rewind the high-water mark, or gaps diverge from
+    // all_inter_contact_times on overlapping traces.
+    previous_end = seen ? std::max(previous_end, c.end) : c.end;
     seen = true;
   }
   return gaps;

@@ -1,21 +1,376 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace odtn {
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& message) {
-  throw std::runtime_error("trace parse error at line " +
-                           std::to_string(line) + ": " + message);
+constexpr std::size_t kChunkSize = 1 << 16;
+constexpr std::size_t kExcerptMax = 60;
+constexpr std::size_t kNodeIdMax = static_cast<std::size_t>(kInvalidNode) - 1;
+
+/// Truncated, printable copy of a line for diagnostics.
+std::string make_excerpt(const char* begin, const char* end) {
+  const std::size_t len = static_cast<std::size_t>(end - begin);
+  std::string s(begin, std::min(len, kExcerptMax));
+  for (char& c : s)
+    if (static_cast<unsigned char>(c) < 0x20 && c != '\t') c = '?';
+  if (len > kExcerptMax) s += "...";
+  return s;
 }
+
+const char* skip_blanks(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t')) ++p;
+  return p;
+}
+
+const char* token_end(const char* p, const char* end) {
+  while (p != end && *p != ' ' && *p != '\t') ++p;
+  return p;
+}
+
+/// Single-pass streaming parser state. Lines arrive as [begin, end)
+/// slices of the read buffer; nothing is copied or allocated per line.
+class Parser {
+ public:
+  explicit Parser(const ParseOptions& options) : options_(options) {}
+
+  void line(const char* begin, const char* end) {
+    ++line_no_;
+    ++report_.lines;
+    // Trim trailing CR for files written on other platforms.
+    if (begin != end && end[-1] == '\r') --end;
+    if (begin == end) return;
+    if (*begin == '#') {
+      header_line(begin, end);
+    } else {
+      contact_line(begin, end);
+    }
+  }
+
+  TemporalGraph finish(ParseReport* report_out) {
+    if (!saw_magic_) {
+      fatal(report_.lines == 0 ? TraceErrorCode::kEmptyInput
+                               : TraceErrorCode::kMissingMagic,
+            0, 0, "", "no '# odtn-trace v1' magic in the input");
+    }
+    if (!saw_nodes_)
+      fatal(TraceErrorCode::kMissingNodesHeader, 0, 0, "",
+            "no '# nodes' header in the input");
+    report_.declared_nodes = num_nodes_;
+    report_.directed = directed_;
+    report_.max_node_id = max_node_id_;
+    report_.contacts = contacts_.size();
+    if (options_.canonicalize) {
+      report_.canonicalized = true;
+      report_.out_of_order = count_canonical_order_violations(contacts_);
+      const std::size_t before = contacts_.size();
+      contacts_ = merge_overlapping_contacts(std::move(contacts_));
+      report_.merged = before - contacts_.size();
+      report_.contacts = contacts_.size();
+    }
+    TemporalGraph graph(num_nodes_, std::move(contacts_), directed_);
+    if (report_out) *report_out = std::move(report_);
+    return graph;
+  }
+
+  void io_failure() {
+    fatal(TraceErrorCode::kIoError, line_no_, 0, "",
+          "stream failed while reading");
+  }
+
+ private:
+  [[noreturn]] void fatal(TraceErrorCode code, std::size_t line,
+                          std::size_t column, std::string excerpt,
+                          std::string message) {
+    throw TraceError({code, line, column, std::move(excerpt),
+                      std::move(message)});
+  }
+
+  /// Record-level defect: throws in strict mode, records and skips the
+  /// line in lenient mode.
+  void defect(TraceErrorCode code, std::size_t column, const char* begin,
+              const char* end, std::string message) {
+    TraceDiagnostic diag{code, line_no_, column, make_excerpt(begin, end),
+                         std::move(message)};
+    if (options_.mode == ParseMode::kStrict) throw TraceError(std::move(diag));
+    ++report_.skipped;
+    if (report_.diagnostics.size() < options_.max_diagnostics)
+      report_.diagnostics.push_back(std::move(diag));
+  }
+
+  std::size_t column_of(const char* line_begin, const char* at) const {
+    return static_cast<std::size_t>(at - line_begin) + 1;
+  }
+
+  void header_line(const char* begin, const char* end) {
+    const char* p = skip_blanks(begin + 1, end);
+    const char* key_end = token_end(p, end);
+    const std::string_view key(p, static_cast<std::size_t>(key_end - p));
+    if (key == "odtn-trace") {
+      if (saw_magic_) {
+        defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
+               end, "duplicate '# odtn-trace' magic");
+        return;
+      }
+      const char* v = skip_blanks(key_end, end);
+      const char* v_end = token_end(v, end);
+      const std::string_view version(v, static_cast<std::size_t>(v_end - v));
+      if (version != "v1")
+        fatal(TraceErrorCode::kUnsupportedVersion, line_no_,
+              column_of(begin, v), make_excerpt(begin, end),
+              "unsupported trace version '" + std::string(version) +
+                  "' (this parser reads v1)");
+      saw_magic_ = true;
+      return;
+    }
+    if (key == "nodes") {
+      if (saw_nodes_) {
+        defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
+               end, "duplicate '# nodes' header");
+        return;
+      }
+      const char* v = skip_blanks(key_end, end);
+      unsigned long long value = 0;
+      const auto [ptr, ec] = std::from_chars(v, end, value);
+      if (ec != std::errc() || skip_blanks(ptr, end) != end) {
+        defect(TraceErrorCode::kBadHeader, column_of(begin, v), begin, end,
+               "bad '# nodes' header: expected one non-negative integer");
+        return;
+      }
+      if (value > kNodeIdMax + 1)
+        fatal(TraceErrorCode::kNodeCountOverflow, line_no_,
+              column_of(begin, v), make_excerpt(begin, end),
+              "'# nodes' " + std::to_string(value) +
+                  " exceeds the NodeId range (max " +
+                  std::to_string(kNodeIdMax + 1) + ")");
+      num_nodes_ = static_cast<std::size_t>(value);
+      saw_nodes_ = true;
+      return;
+    }
+    if (key == "directed") {
+      if (saw_directed_) {
+        defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
+               end, "duplicate '# directed' header");
+        return;
+      }
+      const char* v = skip_blanks(key_end, end);
+      unsigned flag = 0;
+      const auto [ptr, ec] = std::from_chars(v, end, flag);
+      if (ec != std::errc() || flag > 1 || skip_blanks(ptr, end) != end) {
+        defect(TraceErrorCode::kBadHeader, column_of(begin, v), begin, end,
+               "bad '# directed' header: expected 0 or 1");
+        return;
+      }
+      directed_ = flag == 1;
+      saw_directed_ = true;
+      return;
+    }
+    // Any other '#' line is an ordinary comment.
+  }
+
+  void contact_line(const char* begin, const char* end) {
+    if (!saw_magic_)
+      fatal(TraceErrorCode::kMissingMagic, line_no_, 1,
+            make_excerpt(begin, end),
+            "data before the '# odtn-trace v1' magic");
+    if (!saw_nodes_)
+      fatal(TraceErrorCode::kMissingNodesHeader, line_no_, 1,
+            make_excerpt(begin, end), "contact before the '# nodes' header");
+
+    const char* p = skip_blanks(begin, end);
+    unsigned long long u = 0, v = 0;
+    double times[2] = {0.0, 0.0};
+
+    auto bad_syntax = [&](const char* at) {
+      defect(TraceErrorCode::kBadContactSyntax, column_of(begin, at), begin,
+             end, "expected '<u> <v> <begin> <end>'");
+    };
+
+    const auto r_u = std::from_chars(p, end, u);
+    if (r_u.ec != std::errc()) return bad_syntax(p);
+    p = skip_blanks(r_u.ptr, end);
+    const auto r_v = std::from_chars(p, end, v);
+    if (r_v.ec != std::errc()) return bad_syntax(p);
+    p = skip_blanks(r_v.ptr, end);
+    const auto r_b =
+        std::from_chars(p, end, times[0], std::chars_format::general);
+    if (r_b.ec != std::errc()) return bad_syntax(p);
+    p = skip_blanks(r_b.ptr, end);
+    const auto r_e =
+        std::from_chars(p, end, times[1], std::chars_format::general);
+    if (r_e.ec != std::errc()) return bad_syntax(p);
+    p = skip_blanks(r_e.ptr, end);
+    if (p != end)
+      return defect(TraceErrorCode::kTrailingData, column_of(begin, p), begin,
+                    end,
+                    "trailing data after the four contact fields");
+
+    if (u >= num_nodes_ || v >= num_nodes_) {
+      const unsigned long long worst = std::max(u, v);
+      return defect(TraceErrorCode::kNodeOutOfRange, 1, begin, end,
+                    "node " + std::to_string(worst) +
+                        " out of range (nodes: " +
+                        std::to_string(num_nodes_) + ")");
+    }
+    const Contact c{static_cast<NodeId>(u), static_cast<NodeId>(v), times[0],
+                    times[1]};
+    if (!is_valid_contact(c))
+      return defect(TraceErrorCode::kMalformedContact, 1, begin, end,
+                    "malformed contact (self-loop, reversed or non-finite "
+                    "interval)");
+    ++report_.contact_lines;
+    max_node_id_ = max_node_id_ == kInvalidNode
+                       ? static_cast<NodeId>(std::max(u, v))
+                       : std::max(max_node_id_,
+                                  static_cast<NodeId>(std::max(u, v)));
+    contacts_.push_back(c);
+  }
+
+  const ParseOptions& options_;
+  ParseReport report_;
+  std::size_t line_no_ = 0;
+  bool saw_magic_ = false;
+  bool saw_nodes_ = false;
+  bool saw_directed_ = false;
+  std::size_t num_nodes_ = 0;
+  bool directed_ = false;
+  NodeId max_node_id_ = kInvalidNode;
+  std::vector<Contact> contacts_;
+};
 
 }  // namespace
 
+const char* trace_error_name(TraceErrorCode code) noexcept {
+  switch (code) {
+    case TraceErrorCode::kCannotOpen: return "cannot-open";
+    case TraceErrorCode::kIoError: return "io-error";
+    case TraceErrorCode::kEmptyInput: return "empty-input";
+    case TraceErrorCode::kMissingMagic: return "missing-magic";
+    case TraceErrorCode::kUnsupportedVersion: return "unsupported-version";
+    case TraceErrorCode::kDuplicateHeader: return "duplicate-header";
+    case TraceErrorCode::kBadHeader: return "bad-header";
+    case TraceErrorCode::kNodeCountOverflow: return "node-count-overflow";
+    case TraceErrorCode::kMissingNodesHeader: return "missing-nodes-header";
+    case TraceErrorCode::kBadContactSyntax: return "bad-contact-syntax";
+    case TraceErrorCode::kTrailingData: return "trailing-data";
+    case TraceErrorCode::kNodeOutOfRange: return "node-out-of-range";
+    case TraceErrorCode::kMalformedContact: return "malformed-contact";
+  }
+  return "unknown";
+}
+
+std::string TraceDiagnostic::to_string() const {
+  std::string s = trace_error_name(code);
+  if (line > 0) {
+    s += " at line " + std::to_string(line);
+    if (column > 0) s += ", column " + std::to_string(column);
+  }
+  s += ": " + message;
+  if (!excerpt.empty()) s += " ['" + excerpt + "']";
+  return s;
+}
+
+TraceError::TraceError(TraceDiagnostic diagnostic)
+    : std::runtime_error("trace parse error: " + diagnostic.to_string()),
+      diagnostic_(std::move(diagnostic)) {}
+
+std::size_t ParseReport::unused_node_ids() const noexcept {
+  if (max_node_id == kInvalidNode) return declared_nodes;
+  return declared_nodes - (static_cast<std::size_t>(max_node_id) + 1);
+}
+
+std::string ParseReport::summary() const {
+  std::string s;
+  s += "lines:        " + std::to_string(lines) + " (" +
+       std::to_string(contact_lines) + " contact records)\n";
+  s += "contacts:     " + std::to_string(contacts) + "\n";
+  s += "nodes:        " + std::to_string(declared_nodes) + " declared";
+  if (max_node_id != kInvalidNode)
+    s += ", max id " + std::to_string(max_node_id);
+  if (unused_node_ids() > 0)
+    s += " (" + std::to_string(unused_node_ids()) + " ids unused)";
+  s += "\n";
+  s += std::string("directed:     ") + (directed ? "yes" : "no") + "\n";
+  if (canonicalized) {
+    s += "canonical:    " +
+         (out_of_order == 0 ? std::string("input already sorted")
+                            : std::to_string(out_of_order) +
+                                  " order violations repaired") +
+         ", " + std::to_string(merged) + " overlapping contacts merged\n";
+  }
+  s += "skipped:      " + std::to_string(skipped) + " defective record(s)\n";
+  for (const TraceDiagnostic& d : diagnostics) s += "  " + d.to_string() + "\n";
+  if (skipped > diagnostics.size())
+    s += "  ... and " + std::to_string(skipped - diagnostics.size()) +
+         " more\n";
+  return s;
+}
+
+TemporalGraph read_trace(std::istream& in, const ParseOptions& options,
+                         ParseReport* report) {
+  Parser parser(options);
+  std::vector<char> chunk(kChunkSize);
+  std::string carry;  // partial line spanning chunk boundaries
+  while (in) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    const char* p = chunk.data();
+    const char* const end = p + got;
+    while (p != end) {
+      const char* nl =
+          static_cast<const char*>(std::memchr(p, '\n', end - p));
+      if (nl == nullptr) {
+        carry.append(p, end);
+        break;
+      }
+      if (carry.empty()) {
+        parser.line(p, nl);
+      } else {
+        carry.append(p, nl);
+        parser.line(carry.data(), carry.data() + carry.size());
+        carry.clear();
+      }
+      p = nl + 1;
+    }
+  }
+  if (in.bad()) parser.io_failure();
+  if (!carry.empty())
+    parser.line(carry.data(), carry.data() + carry.size());
+  return parser.finish(report);
+}
+
 TemporalGraph read_trace(std::istream& in) {
+  return read_trace(in, ParseOptions{}, nullptr);
+}
+
+TemporalGraph read_trace_file(const std::string& path,
+                              const ParseOptions& options,
+                              ParseReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw TraceError({TraceErrorCode::kCannotOpen, 0, 0, path,
+                      "cannot open trace file: " + path});
+  return read_trace(in, options, report);
+}
+
+TemporalGraph read_trace_file(const std::string& path) {
+  return read_trace_file(path, ParseOptions{}, nullptr);
+}
+
+TemporalGraph read_trace_reference(std::istream& in) {
+  const auto fail = [](std::size_t line, const std::string& message) {
+    throw std::runtime_error("trace parse error at line " +
+                             std::to_string(line) + ": " + message);
+  };
   std::string line;
   std::size_t line_no = 0;
   bool saw_magic = false;
@@ -26,7 +381,6 @@ TemporalGraph read_trace(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++line_no;
-    // Trim trailing CR for files written on other platforms.
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
@@ -65,12 +419,6 @@ TemporalGraph read_trace(std::istream& in) {
   return TemporalGraph(num_nodes, std::move(contacts), directed);
 }
 
-TemporalGraph read_trace_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open trace file: " + path);
-  return read_trace(in);
-}
-
 void write_trace(std::ostream& out, const TemporalGraph& graph) {
   out << "# odtn-trace v1\n";
   out << "# nodes " << graph.num_nodes() << "\n";
@@ -82,9 +430,13 @@ void write_trace(std::ostream& out, const TemporalGraph& graph) {
 
 void write_trace_file(const std::string& path, const TemporalGraph& graph) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  if (!out)
+    throw TraceError({TraceErrorCode::kCannotOpen, 0, 0, path,
+                      "cannot write trace file: " + path});
   write_trace(out, graph);
-  if (!out) throw std::runtime_error("error while writing: " + path);
+  if (!out)
+    throw TraceError({TraceErrorCode::kIoError, 0, 0, path,
+                      "error while writing: " + path});
 }
 
 }  // namespace odtn

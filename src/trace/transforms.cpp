@@ -43,7 +43,10 @@ TemporalGraph restrict_time_window(const TemporalGraph& graph, double t_lo,
   for (Contact c : graph.contacts()) {
     c.begin = std::max(c.begin, t_lo);
     c.end = std::min(c.end, t_hi);
-    if (c.begin < c.end) kept.push_back(c);
+    // begin == end is a legal zero-duration contact (instantaneous
+    // meetings of the continuous-time model, or a contact clamped to
+    // exactly the window edge); only non-intersecting contacts invert.
+    if (c.begin <= c.end) kept.push_back(c);
   }
   return TemporalGraph(graph.num_nodes(), std::move(kept), graph.directed());
 }

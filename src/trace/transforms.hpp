@@ -21,7 +21,9 @@ TemporalGraph remove_contacts_shorter_than(const TemporalGraph& graph,
                                            double min_duration);
 
 /// Keeps only contacts intersecting [t_lo, t_hi], clipped to the window.
-/// Zero-length clipped leftovers are dropped.
+/// Zero-duration results (instantaneous contacts inside the window, or
+/// contacts touching the window at exactly one edge instant) are kept --
+/// begin == end is a legal contact (see core/contact.hpp).
 TemporalGraph restrict_time_window(const TemporalGraph& graph, double t_lo,
                                    double t_hi);
 

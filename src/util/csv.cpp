@@ -1,6 +1,6 @@
 #include "util/csv.hpp"
 
-#include <cstdio>
+#include <charconv>
 #include <stdexcept>
 
 namespace odtn {
@@ -49,8 +49,10 @@ void CsvWriter::write_numeric_row(const std::vector<double>& values) {
   fields.reserve(values.size());
   char buf[64];
   for (double v : values) {
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    fields.emplace_back(buf);
+    // Shortest round-trip representation: result CSVs parse back to the
+    // exact double (the trace writer already guarantees precision 17).
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    fields.emplace_back(buf, res.ptr);
   }
   write_fields(fields);
 }

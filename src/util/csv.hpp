@@ -21,7 +21,8 @@ class CsvWriter {
   void write_row(const std::vector<std::string>& fields);
   void write_row(std::initializer_list<std::string_view> fields);
 
-  /// Convenience: formats doubles with %.6g.
+  /// Convenience: formats doubles with the shortest representation that
+  /// round-trips to the exact value (std::to_chars).
   void write_numeric_row(const std::vector<double>& values);
 
   /// Number of rows written so far.

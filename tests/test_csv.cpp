@@ -53,6 +53,34 @@ TEST_F(CsvWriterTest, EscapesInsideRows) {
   EXPECT_EQ(read_all(path_), "name,\"a,b\"\n");
 }
 
+TEST_F(CsvWriterTest, NumericRowsRoundTripExactly) {
+  // Shortest round-trip formatting: every value parses back to the same
+  // bit pattern, and the old %.6g truncation artifacts are gone.
+  const std::vector<double> values = {0.1 + 0.2, 1.0 / 3.0, 1e-300,
+                                      123456789.123456789, -0.0, 2e22};
+  {
+    CsvWriter w(path_);
+    w.write_numeric_row(values);
+  }
+  const std::string line = read_all(path_);
+  EXPECT_EQ(line, "0.30000000000000004,0.3333333333333333,1e-300,"
+                  "123456789.12345679,-0,2e+22\n");
+  std::istringstream in(line);
+  std::string field;
+  for (double expected : values) {
+    ASSERT_TRUE(std::getline(in, field, ','));
+    EXPECT_EQ(std::stod(field), expected);
+  }
+}
+
+TEST_F(CsvWriterTest, IntegralValuesStayShort) {
+  {
+    CsvWriter w(path_);
+    w.write_numeric_row({0.0, 42.0, -7.0, 1e6});
+  }
+  EXPECT_EQ(read_all(path_), "0,42,-7,1e+06\n");
+}
+
 TEST(CsvWriter, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
 }

@@ -22,6 +22,61 @@ TEST(InterContactTimes, PairGapsComputed) {
   EXPECT_EQ(pair_inter_contact_times(g, 1, 0), gaps);
 }
 
+TEST(InterContactTimes, NestedContactsDoNotRewindTheHighWaterMark) {
+  // [10,20] and [30,40] are nested inside [0,100]: the pair is never
+  // actually out of contact, so both gaps are zero. The pre-fix code
+  // overwrote previous_end with 20 and reported a phantom 10 s gap.
+  TemporalGraph g(2, {{0, 1, 0.0, 100.0},
+                      {0, 1, 10.0, 20.0},
+                      {0, 1, 30.0, 40.0}});
+  const auto gaps = pair_inter_contact_times(g, 0, 1);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 0.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 0.0);
+  // And the real gap after the umbrella contact ends is measured from
+  // its end, not from the last nested interval's.
+  TemporalGraph g2(2, {{0, 1, 0.0, 100.0},
+                       {0, 1, 10.0, 20.0},
+                       {0, 1, 150.0, 160.0}});
+  const auto gaps2 = pair_inter_contact_times(g2, 0, 1);
+  ASSERT_EQ(gaps2.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps2[0], 0.0);
+  EXPECT_DOUBLE_EQ(gaps2[1], 50.0);  // 150 - 100, not 150 - 20
+}
+
+TEST(InterContactTimes, PairAndAggregateAgreeOnOverlappingTraces) {
+  // Property: the multiset union of pair_inter_contact_times over all
+  // pairs equals all_inter_contact_times, including on traces full of
+  // nested and overlapping contacts.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed);
+    const std::size_t nodes = 2 + rng.below(8);
+    std::vector<Contact> contacts;
+    const std::size_t count = 20 + rng.below(150);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto u = static_cast<NodeId>(rng.below(nodes));
+      auto v = static_cast<NodeId>(rng.below(nodes - 1));
+      if (v >= u) ++v;
+      const double begin = rng.uniform(0.0, 300.0);
+      // Heavy overlap on purpose: long umbrellas plus short bursts.
+      const double length = rng.bernoulli(0.3) ? rng.uniform(50.0, 200.0)
+                                               : rng.uniform(0.0, 10.0);
+      contacts.push_back({u, v, begin, begin + length});
+    }
+    TemporalGraph g(nodes, std::move(contacts));
+    std::vector<double> from_pairs;
+    for (NodeId u = 0; u < g.num_nodes(); ++u)
+      for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+        const auto gaps = pair_inter_contact_times(g, u, v);
+        from_pairs.insert(from_pairs.end(), gaps.begin(), gaps.end());
+      }
+    auto aggregate = all_inter_contact_times(g);
+    std::sort(from_pairs.begin(), from_pairs.end());
+    std::sort(aggregate.begin(), aggregate.end());
+    EXPECT_EQ(from_pairs, aggregate) << "seed " << seed;
+  }
+}
+
 TEST(InterContactTimes, SingleContactPairHasNoGap) {
   TemporalGraph g(3, {{0, 1, 0.0, 1.0}, {1, 2, 2.0, 3.0}});
   EXPECT_TRUE(pair_inter_contact_times(g, 0, 1).empty());

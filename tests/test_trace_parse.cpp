@@ -1,0 +1,148 @@
+// Property tests for the streaming trace parser: write_trace ->
+// read_trace is bit-identical for randomized traces (negative times,
+// zero durations, CRLF line endings, directed flags), and the streaming
+// parser agrees with the seed line-stream parser on every input both
+// accept. Part of the `quick` tier-1 smoke label.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+#include "trace/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+/// Random trace exercising the writer's full value range: negative
+/// times, zero durations, sub-second fractions that need all 17 digits,
+/// and both directedness flags.
+TemporalGraph random_trace(Rng& rng) {
+  const std::size_t nodes = 2 + rng.below(20);
+  const std::size_t count = rng.below(120);
+  std::vector<Contact> contacts;
+  contacts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    double begin = rng.uniform(-1e4, 1e4);
+    double length = 0.0;
+    switch (rng.below(4)) {
+      case 0: length = 0.0; break;                       // instantaneous
+      case 1: length = rng.below(100); break;            // integral
+      case 2: length = rng.uniform(0.0, 1e-6); break;    // tiny fraction
+      default: length = rng.uniform(0.0, 1e5); break;    // long
+    }
+    if (rng.bernoulli(0.3)) begin = std::floor(begin);
+    contacts.push_back({u, v, begin, begin + length});
+  }
+  return TemporalGraph(nodes, std::move(contacts), rng.bernoulli(0.3));
+}
+
+void expect_identical(const TemporalGraph& a, const TemporalGraph& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.num_nodes(), b.num_nodes()) << context;
+  EXPECT_EQ(a.directed(), b.directed()) << context;
+  EXPECT_EQ(a.contacts(), b.contacts()) << context;
+}
+
+TEST(TraceParseProperty, RoundTripIsBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const TemporalGraph original = random_trace(rng);
+    std::ostringstream out;
+    write_trace(out, original);
+    std::istringstream in(out.str());
+    expect_identical(read_trace(in), original,
+                     "seed " + std::to_string(seed));
+  }
+}
+
+TEST(TraceParseProperty, CrlfRoundTripIsBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const TemporalGraph original = random_trace(rng);
+    std::ostringstream out;
+    write_trace(out, original);
+    std::string text = out.str();
+    // Rewrite the file the way a Windows tool would.
+    std::string crlf;
+    crlf.reserve(text.size() + text.size() / 16);
+    for (char c : text) {
+      if (c == '\n') crlf += '\r';
+      crlf += c;
+    }
+    std::istringstream in(crlf);
+    expect_identical(read_trace(in), original,
+                     "seed " + std::to_string(seed));
+  }
+}
+
+TEST(TraceParseProperty, StreamingAgreesWithReferenceParser) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const TemporalGraph original = random_trace(rng);
+    std::ostringstream out;
+    write_trace(out, original);
+    std::istringstream fast_in(out.str());
+    std::istringstream ref_in(out.str());
+    expect_identical(read_trace(fast_in), read_trace_reference(ref_in),
+                     "seed " + std::to_string(seed));
+  }
+}
+
+TEST(TraceParseProperty, LenientEqualsStrictOnCleanTraces) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const TemporalGraph original = random_trace(rng);
+    std::ostringstream out;
+    write_trace(out, original);
+    std::istringstream in(out.str());
+    ParseReport report;
+    expect_identical(read_trace(in, {ParseMode::kLenient}, &report), original,
+                     "seed " + std::to_string(seed));
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_EQ(report.contact_lines, original.num_contacts());
+  }
+}
+
+TEST(TraceParseProperty, FinalLineWithoutNewlineParses) {
+  // Files truncated after the last record (no trailing '\n') are legal.
+  std::istringstream in("# odtn-trace v1\n# nodes 2\n0 1 0 1");
+  EXPECT_EQ(read_trace(in).num_contacts(), 1u);
+}
+
+TEST(TraceParseProperty, LinesSpanningChunkBoundariesParse) {
+  // Force lines to straddle the parser's 64 KiB read chunks: a comment
+  // block pushes the first contact right up against the boundary.
+  std::string text = "# odtn-trace v1\n# nodes 2\n";
+  text += "# " + std::string((1 << 16) - text.size() - 4, 'x') + "\n";
+  text += "0 1 0.125 4096.5\n0 1 5000 6000.25\n";
+  std::istringstream in(text);
+  const auto g = read_trace(in);
+  ASSERT_EQ(g.num_contacts(), 2u);
+  EXPECT_EQ(g.contacts()[0], (Contact{0, 1, 0.125, 4096.5}));
+  EXPECT_EQ(g.contacts()[1], (Contact{0, 1, 5000.0, 6000.25}));
+}
+
+TEST(TraceParseProperty, SeventeenDigitValuesSurvive) {
+  // 0.1 has no finite binary expansion; precision-17 output must come
+  // back as the same bit pattern.
+  const double begin = 0.1;
+  const double end = 0.1 + 0.2;  // 0.30000000000000004
+  TemporalGraph g(2, {{0, 1, begin, end}});
+  std::ostringstream out;
+  write_trace(out, g);
+  std::istringstream in(out.str());
+  const auto restored = read_trace(in);
+  ASSERT_EQ(restored.num_contacts(), 1u);
+  EXPECT_EQ(restored.contacts()[0].begin, begin);
+  EXPECT_EQ(restored.contacts()[0].end, end);
+}
+
+}  // namespace
+}  // namespace odtn

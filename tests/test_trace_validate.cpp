@@ -1,0 +1,70 @@
+// Every generator in the repo must produce traces that `odtn validate`
+// accepts cleanly: canonical order, no overlapping duplicates, a node
+// count matching the ids in use. This is the acceptance gate tying the
+// generators to the hardened ingestion pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "trace/datasets.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/wlan_generator.hpp"
+
+namespace odtn {
+namespace {
+
+/// Writes `graph` to a temp file and runs `odtn validate` on it in both
+/// lenient and strict modes; generator output must be defect-free.
+void expect_validates(const TemporalGraph& graph, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/odtn_validate_" + name +
+                           ".trace";
+  write_trace_file(path, graph);
+  EXPECT_EQ(cli::run_cli({"validate", path}), 0) << name;
+  EXPECT_EQ(cli::run_cli({"validate", path, "--strict"}), 0) << name;
+  std::remove(path.c_str());
+}
+
+TEST(TraceValidate, AcceptsEveryDatasetPreset) {
+  for (const DatasetPreset& preset : all_datasets()) {
+    SCOPED_TRACE(preset.paper.name);
+    expect_validates(preset.generate().graph, preset.paper.name);
+  }
+}
+
+TEST(TraceValidate, AcceptsSyntheticGeneratorOutput) {
+  SyntheticTraceSpec spec;
+  spec.num_internal = 25;
+  spec.num_external = 10;
+  spec.duration = 3.0 * 86400.0;
+  spec.pair_contacts_mean = 4.0;
+  expect_validates(generate_trace(spec, 11).graph, "synthetic");
+}
+
+TEST(TraceValidate, AcceptsWlanGeneratorOutput) {
+  WlanTraceSpec spec;
+  spec.num_devices = 40;
+  spec.num_access_points = 12;
+  spec.duration = 2.0 * 86400.0;
+  expect_validates(generate_wlan_trace(spec, 5).graph, "wlan");
+}
+
+TEST(TraceValidate, FlagsDefectiveTraceNonZero) {
+  const std::string path = ::testing::TempDir() + "/odtn_validate_bad.trace";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# odtn-trace v1\n# nodes 2\n0 1 0 1\n0 1 zero 1\n", f);
+  std::fclose(f);
+  EXPECT_EQ(cli::run_cli({"validate", path}), 1);       // lenient: skip+flag
+  EXPECT_NE(cli::run_cli({"validate", path, "--strict"}), 0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceValidate, MissingFileFails) {
+  EXPECT_NE(cli::run_cli({"validate", "/no/such/trace.txt"}), 0);
+}
+
+}  // namespace
+}  // namespace odtn

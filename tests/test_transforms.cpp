@@ -87,6 +87,22 @@ TEST(TimeWindow, ClipsAndDrops) {
   EXPECT_EQ(r2.contacts()[0].v, 2u);
 }
 
+TEST(TimeWindow, KeepsZeroDurationContacts) {
+  // Instantaneous contacts (continuous-time random model, Section 3.1.2)
+  // are legal and must survive windowing; contacts touching the window
+  // edge clamp to zero duration rather than vanishing.
+  TemporalGraph g(4, {{0, 1, 10.0, 10.0},    // instantaneous, inside
+                      {1, 2, 0.0, 8.0},      // ends exactly at the edge
+                      {2, 3, 22.0, 22.0},    // instantaneous, at the edge
+                      {0, 3, 1.0, 2.0},      // fully before: dropped
+                      {0, 2, 3.0, 3.0}});    // instantaneous before: dropped
+  const auto r = restrict_time_window(g, 8.0, 22.0);
+  ASSERT_EQ(r.num_contacts(), 3u);
+  EXPECT_EQ(r.contacts()[0], (Contact{1, 2, 8.0, 8.0}));
+  EXPECT_EQ(r.contacts()[1], (Contact{0, 1, 10.0, 10.0}));
+  EXPECT_EQ(r.contacts()[2], (Contact{2, 3, 22.0, 22.0}));
+}
+
 TEST(TimeWindow, EmptyWindowThrows) {
   const auto g = sample_graph();
   EXPECT_THROW(restrict_time_window(g, 5.0, 5.0), std::invalid_argument);

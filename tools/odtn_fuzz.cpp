@@ -1,17 +1,37 @@
-// Differential fuzzer for the optimal-path engine.
+// Differential fuzzer for the optimal-path engine and the trace parser.
 //
-// Generates adversarial random traces (boundary coincidences, zero
-// durations, nested/overlapping intervals, heavy tails) and cross-checks
-// the Pareto-frontier engine against direct flooding at random and
-// boundary start times, for bounded and unbounded hop budgets. Any
-// mismatch prints a reproducer (the trace in odtn format) and exits 1.
+// Engine mode (default): generates adversarial random traces (boundary
+// coincidences, zero durations, nested/overlapping intervals, heavy
+// tails) and cross-checks the Pareto-frontier engine against direct
+// flooding at random and boundary start times, for bounded and
+// unbounded hop budgets. Any mismatch prints a reproducer (the trace in
+// odtn format) and exits 1.
 //
-// Usage: odtn_fuzz [trials] [base-seed]
+// Parser mode (--parser N): round-trips adversarial traces through
+// write_trace -> read_trace, cross-checks the streaming parser against
+// the seed line-stream parser (read_trace_reference) and the lenient /
+// canonicalize modes against their contracts, then mutates the trace
+// bytes and feeds the result to both parse modes — anything other than
+// a clean TraceError (crash, sanitizer report, wrong exception) fails.
+//
+// Corpus mode (--corpus DIR): parses every file under DIR in strict,
+// lenient, and canonicalize modes. Files named ok_* must parse strict
+// cleanly; every other file must raise TraceError in strict mode.
+// tools/verify.sh runs this under ASan+UBSan against tests/corpus.
+//
+// Usage: odtn_fuzz [--engine N] [--parser N] [--corpus DIR] [--seed S]
+//        odtn_fuzz [trials] [base-seed]        (legacy: engine mode)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/optimal_paths.hpp"
 #include "sim/flooding.hpp"
@@ -69,13 +89,7 @@ TemporalGraph adversarial_trace(Rng& rng) {
   std::exit(1);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const long trials = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 200;
-  const auto base_seed = static_cast<std::uint64_t>(
-      argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 1);
-
+int engine_trials(long trials, std::uint64_t base_seed) {
   for (long trial = 0; trial < trials; ++trial) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
     Rng rng(seed);
@@ -117,9 +131,221 @@ int main(int argc, char** argv) {
                        fr.best_arrival(dst), seed);
     }
   }
-  std::printf("odtn_fuzz: %ld trials passed (seeds %llu..%llu)\n", trials,
-              static_cast<unsigned long long>(base_seed),
+  std::printf("odtn_fuzz: %ld engine trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
               static_cast<unsigned long long>(
                   base_seed + static_cast<std::uint64_t>(trials) - 1));
   return 0;
+}
+
+bool graphs_identical(const TemporalGraph& a, const TemporalGraph& b) {
+  return a.num_nodes() == b.num_nodes() && a.directed() == b.directed() &&
+         a.contacts() == b.contacts();
+}
+
+[[noreturn]] void parser_failure(const char* what, std::uint64_t seed,
+                                 const std::string& text) {
+  std::fprintf(stderr, "PARSER MISMATCH seed=%llu: %s\ninput:\n%s\n",
+               static_cast<unsigned long long>(seed), what, text.c_str());
+  std::exit(1);
+}
+
+/// Random byte-level mutation: replace, insert, or delete, biased
+/// toward bytes the trace grammar cares about.
+std::string mutate(std::string text, Rng& rng) {
+  static const char kAlphabet[] = "0123456789 \t\n\r#.-+eEvinfa\0x";
+  const std::size_t edits = 1 + rng.below(8);
+  for (std::size_t i = 0; i < edits && !text.empty(); ++i) {
+    const std::size_t pos = rng.below(text.size());
+    const char byte = kAlphabet[rng.below(sizeof kAlphabet - 1)];
+    switch (rng.below(4)) {
+      case 0: text[pos] = byte; break;
+      case 1: text.insert(text.begin() + static_cast<long>(pos), byte); break;
+      case 2: text.erase(text.begin() + static_cast<long>(pos)); break;
+      default: text.resize(pos); break;  // truncate
+    }
+  }
+  return text;
+}
+
+int parser_trials(long trials, std::uint64_t base_seed) {
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    TemporalGraph original = adversarial_trace(rng);
+    if (rng.bernoulli(0.25))
+      original = TemporalGraph(original.num_nodes(), original.contacts(),
+                               /*directed=*/true);
+    std::ostringstream out;
+    write_trace(out, original);
+    const std::string text = out.str();
+
+    // Round trip: the streaming parser, the seed reference parser, and
+    // lenient mode must all reproduce the graph bit-identically.
+    {
+      std::istringstream in(text);
+      const TemporalGraph fast = read_trace(in);
+      if (!graphs_identical(fast, original))
+        parser_failure("strict round-trip diverged from original", seed, text);
+      std::istringstream in_ref(text);
+      const TemporalGraph ref = read_trace_reference(in_ref);
+      if (!graphs_identical(fast, ref))
+        parser_failure("streaming parser diverged from reference", seed,
+                       text);
+      std::istringstream in_len(text);
+      ParseReport report;
+      const TemporalGraph lenient =
+          read_trace(in_len, {ParseMode::kLenient, false, 64}, &report);
+      if (!graphs_identical(lenient, original) || report.skipped != 0)
+        parser_failure("lenient mode skipped records of a valid trace", seed,
+                       text);
+    }
+
+    // Canonicalize contract: equals merge_overlapping_contacts applied
+    // to the original contacts.
+    {
+      std::istringstream in(text);
+      ParseReport report;
+      const TemporalGraph canon =
+          read_trace(in, {ParseMode::kStrict, true, 64}, &report);
+      const TemporalGraph expected(
+          original.num_nodes(), merge_overlapping_contacts(original.contacts()),
+          original.directed());
+      if (!graphs_identical(canon, expected))
+        parser_failure("canonicalize diverged from merge_overlapping_contacts",
+                       seed, text);
+      if (report.contacts + report.merged != original.num_contacts())
+        parser_failure("canonicalize merge accounting is inconsistent", seed,
+                       text);
+    }
+
+    // Mutated input: both modes must either parse or raise TraceError —
+    // never crash, never leak another exception type. If strict
+    // succeeds, lenient must agree exactly and skip nothing.
+    const std::string broken = mutate(text, rng);
+    bool strict_ok = false;
+    TemporalGraph strict_graph(0, {});
+    try {
+      std::istringstream in(broken);
+      strict_graph = read_trace(in);
+      strict_ok = true;
+    } catch (const TraceError&) {
+    }
+    try {
+      std::istringstream in(broken);
+      ParseReport report;
+      const TemporalGraph lenient =
+          read_trace(in, {ParseMode::kLenient, rng.bernoulli(0.5), 64},
+                     &report);
+      if (strict_ok && !report.canonicalized &&
+          (!graphs_identical(lenient, strict_graph) || report.skipped != 0))
+        parser_failure("strict-accepted input but lenient diverged", seed,
+                       broken);
+    } catch (const TraceError&) {
+      if (strict_ok)
+        parser_failure("strict-accepted input but lenient threw", seed,
+                       broken);
+    }
+  }
+  std::printf("odtn_fuzz: %ld parser trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(
+                  base_seed + static_cast<std::uint64_t>(trials) - 1));
+  return 0;
+}
+
+/// Fixed-corpus smoke: ok_* files must parse strict cleanly, every
+/// other file must raise TraceError in strict mode; lenient and
+/// canonicalize runs must never crash on any of them.
+int corpus_pass(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "odtn_fuzz: empty corpus directory %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const fs::path& file : files) {
+    const std::string name = file.filename().string();
+    const bool expect_ok = name.rfind("ok_", 0) == 0;
+    const char* outcome = nullptr;
+    std::string detail;
+    try {
+      read_trace_file(file.string());
+      outcome = expect_ok ? "ok" : "UNEXPECTED ACCEPT";
+    } catch (const TraceError& e) {
+      outcome = expect_ok ? "UNEXPECTED REJECT" : "rejected";
+      detail = trace_error_name(e.code());
+      if (expect_ok) detail += std::string(": ") + e.what();
+    }
+    for (const bool canonicalize : {false, true}) {
+      try {
+        ParseReport report;
+        read_trace_file(file.string(),
+                        {ParseMode::kLenient, canonicalize, 64}, &report);
+      } catch (const TraceError&) {
+        // Fatal-in-both-modes defects are fine; crashes are not.
+      }
+    }
+    const bool ok = std::strncmp(outcome, "UNEXPECTED", 10) != 0;
+    std::printf("  [%s] %-32s %s%s%s\n", ok ? "PASS" : "FAIL", name.c_str(),
+                outcome, detail.empty() ? "" : " ", detail.c_str());
+    if (!ok) ++failures;
+  }
+  if (failures) {
+    std::fprintf(stderr, "odtn_fuzz: %d corpus expectation(s) FAILED\n",
+                 failures);
+    return 1;
+  }
+  std::printf("odtn_fuzz: corpus pass ok (%zu files)\n", files.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long engine_count = -1;
+  long parser_count = -1;
+  std::string corpus_dir;
+  std::uint64_t seed = 1;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "odtn_fuzz: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      engine_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--parser") {
+      parser_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--corpus") {
+      corpus_dir = next();
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoll(next(), nullptr, 10));
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+  // Legacy positional form: [engine-trials] [base-seed].
+  if (!positional.empty())
+    engine_count = std::strtol(positional[0].c_str(), nullptr, 10);
+  if (positional.size() > 1)
+    seed = static_cast<std::uint64_t>(
+        std::strtoll(positional[1].c_str(), nullptr, 10));
+  if (engine_count < 0 && parser_count < 0 && corpus_dir.empty())
+    engine_count = 200;
+
+  int rc = 0;
+  if (!corpus_dir.empty()) rc |= corpus_pass(corpus_dir);
+  if (parser_count > 0) rc |= parser_trials(parser_count, seed);
+  if (engine_count > 0) rc |= engine_trials(engine_count, seed);
+  return rc;
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Extended verify: a fast `quick`-labelled smoke pass, then the tier-1
 # recipe (Release build + full ctest), then a second ctest pass under
-# ASan + UBSan (the `sanitize` CMake preset) and a third pass of the
-# concurrency suites (thread pool, MC harness, empirical distribution,
-# phase transition) under ThreadSanitizer (the `tsan` preset). Run from
-# the repository root. Exits non-zero on the first failure.
+# ASan + UBSan (the `sanitize` CMake preset) plus a parser fuzz smoke
+# (malformed-trace corpus + randomized byte mutations) under the same
+# sanitizers, and a final pass of the concurrency suites (thread pool,
+# MC harness, empirical distribution, phase transition) under
+# ThreadSanitizer (the `tsan` preset). Run from the repository root.
+# Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,6 +23,10 @@ echo "== tier-2: ASan+UBSan build + ctest =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j
 ctest --preset sanitize
+
+echo "== tier-2b: parser fuzz smoke under ASan+UBSan =="
+./build-sanitize/tools/odtn_fuzz --corpus tests/corpus
+./build-sanitize/tools/odtn_fuzz --parser 300 --seed 1
 
 echo "== tier-3: TSan build + concurrency suites =="
 cmake --preset tsan
