@@ -67,8 +67,8 @@ int main() {
       engine.run_to_fixpoint();
       for (std::size_t i = 0; i < workload.size(); ++i)
         if (workload[i].src == src)
-          optimal[i] = engine.frontier(workload[i].dst).deliver_at(
-              workload[i].t0);
+          optimal[i] = engine.frontier_view(workload[i].dst)
+                           .deliver_at(workload[i].t0);
     }
     (void)order;
   }

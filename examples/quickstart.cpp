@@ -31,7 +31,8 @@ int main() {
   engine.run_to_fixpoint();
 
   std::printf("Delay-optimal paths from node 0 to node 3:\n");
-  for (const PathPair& p : engine.frontier(3).pairs()) {
+  const DeliveryFunction to3 = engine.frontier(3);
+  for (const PathPair& p : to3.pairs()) {
     std::printf("  depart by t=%-5.0f -> arrive at t=%-5.0f (%s)\n", p.ld,
                 p.ea,
                 p.ea <= p.ld ? "contemporaneous" : "store-and-forward");
@@ -39,7 +40,7 @@ int main() {
 
   // The delivery function answers point queries.
   for (double t : {0.0, 50.0, 105.0, 125.0}) {
-    const double arrival = engine.frontier(3).deliver_at(t);
+    const double arrival = to3.deliver_at(t);
     if (arrival < 1e300) {
       std::printf("message created at t=%-4.0f delivered at t=%-4.0f "
                   "(delay %.0f)\n",

@@ -176,6 +176,13 @@ int cmd_cdf(ArgList args) {
       static_cast<unsigned long long>(result.stats.cdf_pairs_integrated),
       static_cast<unsigned long long>(result.stats.workspace_allocations),
       static_cast<unsigned long long>(result.stats.workspace_reuses));
+  if (result.stats.merge_batches > 0)
+    std::printf(
+        "pool:   %llu merge batches, %llu pairs peak, %llu arena bytes "
+        "peak\n",
+        static_cast<unsigned long long>(result.stats.merge_batches),
+        static_cast<unsigned long long>(result.stats.pairs_peak),
+        static_cast<unsigned long long>(result.stats.arena_bytes_peak));
   return 0;
 }
 
@@ -352,7 +359,7 @@ int cmd_route(ArgList args) {
     const double t = parse_duration(*time, "time");
     SingleSourceEngine engine(g, src);
     engine.run_to_fixpoint();
-    const double arrival = engine.frontier(dst).deliver_at(t);
+    const double arrival = engine.frontier_view(dst).deliver_at(t);
     if (arrival < 1e300) {
       std::printf("message created at %s delivered at %s (delay %s)\n",
                   format_timestamp(t).c_str(),

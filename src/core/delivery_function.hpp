@@ -17,6 +17,63 @@
 
 namespace odtn {
 
+/// Non-owning read view of one Pareto frontier, over either layout the
+/// repository uses: the seed array-of-structs (DeliveryFunction's
+/// std::vector<PathPair>) or the pooled engine's structure-of-arrays
+/// arena spans. The layout branch inside each accessor is perfectly
+/// predicted (a given view never changes layout), so views are the
+/// uniform cheap accessor for engine consumers; the pooled hot kernels
+/// bypass views and touch the SoA lanes directly.
+class FrontierView {
+ public:
+  FrontierView() = default;
+
+  /// SoA view: parallel ld/ea arrays of length n, both ascending.
+  FrontierView(const double* ld, const double* ea, std::size_t n) noexcept
+      : ld_(ld), ea_(ea), n_(n) {}
+
+  /// AoS view over a (sorted, pruned) pair list.
+  explicit FrontierView(const std::vector<PathPair>& pairs) noexcept
+      : aos_(pairs.data()), n_(pairs.size()) {}
+
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  double ld(std::size_t i) const noexcept {
+    return aos_ ? aos_[i].ld : ld_[i];
+  }
+  double ea(std::size_t i) const noexcept {
+    return aos_ ? aos_[i].ea : ea_[i];
+  }
+
+  /// Raw SoA lanes, nullptr when the view wraps an AoS pair list. The
+  /// incremental CDF scheme uses these to diff two arena-resident
+  /// frontier versions without materializing either.
+  const double* soa_ld() const noexcept { return aos_ ? nullptr : ld_; }
+  const double* soa_ea() const noexcept { return aos_ ? nullptr : ea_; }
+  PathPair pair(std::size_t i) const noexcept { return {ld(i), ea(i)}; }
+
+  /// Optimal delivery time del(t); +infinity when no pair departs at or
+  /// after `t`. Same contract as DeliveryFunction::deliver_at.
+  double deliver_at(double t) const noexcept;
+
+  /// Latest useful departure time (-infinity when empty).
+  double last_departure() const noexcept;
+
+  /// Exact delay-distribution integration over start times uniform on
+  /// [t_lo, t_hi]; same contract as
+  /// DeliveryFunction::accumulate_delay_measure. SoA views stream both
+  /// lanes straight into MeasureCdfAccumulator::add_delivery_segments.
+  void accumulate_delay_measure(MeasureCdfAccumulator& acc, double t_lo,
+                                double t_hi, double weight = 1.0) const;
+
+ private:
+  const double* ld_ = nullptr;
+  const double* ea_ = nullptr;
+  const PathPair* aos_ = nullptr;
+  std::size_t n_ = 0;
+};
+
 /// Pareto frontier of (LD, EA) pairs for one source-destination pair.
 ///
 /// Invariant: pairs are sorted with strictly increasing ld AND strictly
@@ -50,7 +107,14 @@ class DeliveryFunction {
   /// Removes every pair (capacity is kept, for reusable scratch buffers).
   void clear() noexcept { pairs_.clear(); }
 
+  /// Ensures capacity for at least `n` pairs without changing contents.
+  void reserve(std::size_t n) { pairs_.reserve(n); }
+
   const std::vector<PathPair>& pairs() const noexcept { return pairs_; }
+
+  /// Read view over this frontier's pair list. Invalidated by any
+  /// mutation.
+  FrontierView view() const noexcept { return FrontierView(pairs_); }
 
   /// Integrates this function's delay distribution for start times
   /// uniform on [t_lo, t_hi] into `acc` (numerator only; the caller adds
@@ -71,8 +135,17 @@ class DeliveryFunction {
                          const DeliveryFunction&) = default;
 
  private:
+  /// First index whose ld is >= x -- the one binary search shared by
+  /// is_dominated / insert / deliver_at (the pair there has the minimal
+  /// ea among all pairs usable at departure x).
+  std::size_t lower_bound_ld(double x) const noexcept;
+
   std::vector<PathPair> pairs_;
 };
+
+/// Materializes a view (any layout) into an owning DeliveryFunction with
+/// identical pair list.
+DeliveryFunction materialize(const FrontierView& view);
 
 /// Reference implementation of del(t) straight from Eq. (3), evaluated
 /// over an arbitrary (unpruned) pair list. Used by tests to validate the

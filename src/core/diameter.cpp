@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -74,7 +75,7 @@ void process_source_direct(const TemporalGraph& graph, NodeId src,
   SingleSourceEngine engine(graph, src, mode);
   const double window_measure = total_measure(w);
   auto accumulate = [&](MeasureCdfAccumulator& acc, NodeId dst) {
-    const DeliveryFunction& f = engine.frontier(dst);
+    const FrontierView f = engine.frontier_view(dst);
     for (const auto& [lo, hi] : w) f.accumulate_delay_measure(acc, lo, hi);
     out.stats.cdf_pairs_integrated += f.size();
     acc.add_observation_measure(window_measure);
@@ -117,18 +118,79 @@ void process_source_incremental(const TemporalGraph& graph, NodeId src,
   // After each level, only destinations whose frontier changed move any
   // CDF: retract the pre-change frontier's integration and add the new
   // one. Everything else is carried over by the finalization prefix sum.
+  //
+  // Arena-resident frontiers (kPooled: both versions are SoA spans whose
+  // shared pairs are value-identical -- merge_frontier copies doubles
+  // verbatim) are first diffed: the common prefix and suffix would be
+  // retracted at -1 and re-added at +1 with identical segment arguments,
+  // so only the differing middle slice is integrated. Skipping a
+  // cancelling +/- pair never changes the exact sum, it only removes two
+  // rounding round-trips; the slices stay exact because the suffix is
+  // extended by one pair whenever its start boundary (the predecessor's
+  // ld) differs between the versions.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   auto apply_level_deltas = [&](MeasureCdfAccumulator& acc) {
     const std::vector<NodeId>& changed = engine.last_changed();
     for (std::size_t i = 0; i < changed.size(); ++i) {
       const NodeId dst = changed[i];
       if (dst == src || !is_endpoint[dst]) continue;
-      const DeliveryFunction& old_f = engine.previous_frontier(i);
-      const DeliveryFunction& new_f = engine.frontier(dst);
-      for (const auto& [lo, hi] : w) {
-        old_f.accumulate_delay_measure(acc, lo, hi, -1.0);
-        new_f.accumulate_delay_measure(acc, lo, hi, +1.0);
+      const FrontierView old_f = engine.previous_frontier_view(i);
+      const FrontierView new_f = engine.frontier_view(dst);
+      const double* o_ld = old_f.soa_ld();
+      const double* o_ea = old_f.soa_ea();
+      const double* n_ld = new_f.soa_ld();
+      const double* n_ea = new_f.soa_ea();
+      if (o_ld && n_ld) {
+        const std::size_t on = old_f.size(), nn = new_f.size();
+        const std::size_t match_max = std::min(on, nn);
+        // Bitwise-equal runs are found block-first (SIMD memcmp), then
+        // refined per pair. Bitwise equality is conservative versus
+        // operator== only at -0.0 vs +0.0, which merely shifts such a
+        // pair into the middle slice -- still exact, just not skipped.
+        constexpr std::size_t kBlk = 8;
+        auto blocks_equal = [](const double* a, const double* b,
+                               std::size_t k) {
+          return std::memcmp(a, b, k * sizeof(double)) == 0;
+        };
+        std::size_t p = 0;
+        while (p + kBlk <= match_max && blocks_equal(o_ld + p, n_ld + p, kBlk) &&
+               blocks_equal(o_ea + p, n_ea + p, kBlk))
+          p += kBlk;
+        while (p < match_max && o_ld[p] == n_ld[p] && o_ea[p] == n_ea[p])
+          ++p;
+        std::size_t s = 0;
+        while (s + kBlk <= match_max - p &&
+               blocks_equal(o_ld + on - s - kBlk, n_ld + nn - s - kBlk, kBlk) &&
+               blocks_equal(o_ea + on - s - kBlk, n_ea + nn - s - kBlk, kBlk))
+          s += kBlk;
+        while (s < match_max - p && o_ld[on - 1 - s] == n_ld[nn - 1 - s] &&
+               o_ea[on - 1 - s] == n_ea[nn - 1 - s])
+          ++s;
+        if (s > 0) {
+          // The first suffix pair's segment starts at its predecessor's
+          // ld; if the predecessors differ the pair belongs to the
+          // middle. One step suffices: the next suffix pair's
+          // predecessor is then itself a matched pair.
+          const double ob = on - s > 0 ? o_ld[on - s - 1] : kNegInf;
+          const double nb = nn - s > 0 ? n_ld[nn - s - 1] : kNegInf;
+          if (ob != nb) --s;
+        }
+        const double boundary = p > 0 ? o_ld[p - 1] : kNegInf;
+        const std::size_t om = on - p - s, nm = nn - p - s;
+        if (om + nm > 0) {
+          acc.add_delivery_segments(o_ld + p, o_ea + p, om, w.data(),
+                                    w.size(), -1.0, boundary);
+          acc.add_delivery_segments(n_ld + p, n_ea + p, nm, w.data(),
+                                    w.size(), +1.0, boundary);
+        }
+        out.stats.cdf_pairs_integrated += om + nm;
+      } else {
+        for (const auto& [lo, hi] : w) {
+          old_f.accumulate_delay_measure(acc, lo, hi, -1.0);
+          new_f.accumulate_delay_measure(acc, lo, hi, +1.0);
+        }
+        out.stats.cdf_pairs_integrated += old_f.size() + new_f.size();
       }
-      out.stats.cdf_pairs_integrated += old_f.size() + new_f.size();
     }
   };
   for (int k = 1; k <= max_hops; ++k) {
@@ -218,11 +280,11 @@ DelayCdfResult compute_delay_cdf(const TemporalGraph& graph,
   const bool incremental =
       options.accumulation == CdfAccumulation::kIncremental ||
       (options.accumulation == CdfAccumulation::kAuto &&
-       options.engine == EngineMode::kIndexed);
-  if (incremental && options.engine != EngineMode::kIndexed)
+       options.engine != EngineMode::kLevelSweep);
+  if (incremental && options.engine == EngineMode::kLevelSweep)
     throw std::invalid_argument(
-        "compute_delay_cdf: incremental accumulation requires the indexed "
-        "engine");
+        "compute_delay_cdf: incremental accumulation requires a delta "
+        "engine (kPooled or kIndexed)");
   std::vector<std::uint8_t> is_endpoint;
   if (incremental) {
     is_endpoint.assign(graph.num_nodes(), 0);

@@ -20,21 +20,24 @@ namespace odtn {
 
 /// How compute_delay_cdf turns per-source frontiers into per-hop CDFs.
 enum class CdfAccumulation {
-  /// kIncremental for the indexed engine, kDirect otherwise.
+  /// kIncremental for the delta engines (kPooled / kIndexed), kDirect
+  /// for the level sweep.
   kAuto,
   /// Reference semantics: after each of the max_hops levels (and once
   /// more at the fixpoint), re-integrate EVERY destination's full
   /// delivery function into that hop budget's accumulator, with a fresh
   /// engine per source. O(K * sum |frontier|) integration work.
   kDirect,
-  /// Hop-incremental scheme (requires EngineMode::kIndexed): each
-  /// accumulator k receives only the level-k delta -- for destinations
-  /// whose frontier changed at level k, the old frontier's segments are
-  /// retracted (weight -1) and the new one's added -- and the per-hop
-  /// CDFs are reconstructed by one prefix_merge at finalization.
-  /// Workers recycle a single engine workspace across sources via
-  /// SingleSourceEngine::reset, so steady state allocates nothing.
-  /// O(sum |changed frontier|) integration work, up to ~K x less.
+  /// Hop-incremental scheme (requires a delta engine, kPooled or
+  /// kIndexed): each accumulator k receives only the level-k delta --
+  /// for destinations whose frontier changed at level k, the old
+  /// frontier's segments are retracted (weight -1) and the new one's
+  /// added -- and the per-hop CDFs are reconstructed by one prefix_merge
+  /// at finalization. Workers recycle a single engine workspace across
+  /// sources via SingleSourceEngine::reset, so steady state allocates
+  /// nothing (with kPooled, the pre-change frontiers are free arena
+  /// spans rather than copies). O(sum |changed frontier|) integration
+  /// work, up to ~K x less.
   kIncremental,
 };
 
@@ -71,12 +74,15 @@ struct DelayCdfOptions {
   unsigned num_threads = 0;
 
   /// Propagation scheme for the per-source engines. kLevelSweep is the
-  /// reference (seed) semantics, kept for cross-checks and benches.
-  EngineMode engine = EngineMode::kIndexed;
+  /// reference (seed) semantics, kept for cross-checks and benches;
+  /// kIndexed is the per-pair-insert delta engine, kept as the perf
+  /// baseline for kPooled's batched kernels.
+  EngineMode engine = EngineMode::kPooled;
 
-  /// Accumulation scheme. kIncremental with a non-indexed engine throws;
-  /// both schemes agree within accumulated rounding (~1e-12 observed,
-  /// tests gate at 1e-9) and are cross-checked in bench_perf_engine.
+  /// Accumulation scheme. kIncremental with the level-sweep engine
+  /// throws; both schemes agree within accumulated rounding (~1e-12
+  /// observed, tests gate at 1e-9) and are cross-checked in
+  /// bench_perf_engine.
   CdfAccumulation accumulation = CdfAccumulation::kAuto;
 };
 

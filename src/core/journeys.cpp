@@ -17,7 +17,7 @@ std::vector<JourneyOptima> compute_journeys(const TemporalGraph& graph,
   // becomes reachable at all.
   while (engine.step()) {
     for (NodeId dst = 0; dst < graph.num_nodes(); ++dst) {
-      if (out[dst].shortest_hops < 0 && !engine.frontier(dst).empty())
+      if (out[dst].shortest_hops < 0 && !engine.frontier_view(dst).empty())
         out[dst].shortest_hops = engine.hops();
     }
     if (engine.hops() >= max_levels) break;
@@ -28,7 +28,9 @@ std::vector<JourneyOptima> compute_journeys(const TemporalGraph& graph,
   // so the frontier minimum is the global minimum.
   for (NodeId dst = 0; dst < graph.num_nodes(); ++dst) {
     if (dst == source) continue;
-    for (const PathPair& p : engine.frontier(dst).pairs()) {
+    const FrontierView f = engine.frontier_view(dst);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const PathPair p = f.pair(i);
       const double duration = std::max(0.0, p.ea - p.ld);
       if (duration < out[dst].fastest_duration) {
         out[dst].fastest_duration = duration;
@@ -44,7 +46,7 @@ double foremost_arrival(const TemporalGraph& graph, NodeId source,
                         int max_levels) {
   SingleSourceEngine engine(graph, source);
   engine.run_to_fixpoint(max_levels);
-  return engine.frontier(destination).deliver_at(start_time);
+  return engine.frontier_view(destination).deliver_at(start_time);
 }
 
 }  // namespace odtn

@@ -4,9 +4,13 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/frontier_kernels.hpp"
+
 namespace odtn {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Feeds every useful extension of `pairs` through the contact window
 /// [begin, end] to `offer(PathPair)`. Shared by extend_frontier and the
@@ -58,28 +62,53 @@ bool extend_frontier(const DeliveryFunction& from, double begin, double end,
 namespace {
 
 /// The empty sequence: the message is at the source at all times.
-constexpr PathPair identity_pair() noexcept {
-  return {std::numeric_limits<double>::infinity(),
-          -std::numeric_limits<double>::infinity()};
-}
+constexpr PathPair identity_pair() noexcept { return {kInf, -kInf}; }
 
 }  // namespace
 
 SingleSourceEngine::SingleSourceEngine(const TemporalGraph& graph,
                                        NodeId source, EngineMode mode)
-    : graph_(&graph), source_(source), mode_(mode),
-      frontiers_(graph.num_nodes()) {
+    : graph_(&graph), source_(source), mode_(mode) {
   if (source >= graph.num_nodes())
     throw std::out_of_range("SingleSourceEngine: source out of range");
-  frontiers_[source_].insert(identity_pair());
-  if (mode_ == EngineMode::kIndexed) {
-    cur_delta_.resize(graph.num_nodes());
-    next_delta_.resize(graph.num_nodes());
-    cur_delta_[source_] = frontiers_[source_];
-    active_.push_back(source_);
-    dirty_mark_.assign(graph.num_nodes(), 0);
+  const std::size_t n = graph.num_nodes();
+  if (mode_ == EngineMode::kPooled) {
+    fspan_.assign(n, PairSpan{});
+    last_pair_.assign(n, PathPair{-kInf, kInf});
+    dirty_mark_.assign(n, 0);
+    cand_count_.assign(n, 0);
+    grp_pos_.assign(n, 0);
+    seed_pooled();
+  } else {
+    frontiers_.resize(n);
+    frontiers_[source_].insert(identity_pair());
+    if (mode_ == EngineMode::kIndexed) {
+      cur_delta_.resize(n);
+      next_delta_.resize(n);
+      cur_delta_[source_] = frontiers_[source_];
+      active_.push_back(source_);
+      dirty_mark_.assign(n, 0);
+    }
   }
   ++stats_.workspace_allocations;
+}
+
+void SingleSourceEngine::seed_pooled() {
+  // The source's frontier and level-0 delta are both exactly the identity
+  // pair; the delta's successor EA is +infinity (it has no successor), so
+  // every wait candidate off the identity is offered.
+  const std::size_t off = arena_.allocate(1);
+  arena_.ld()[off] = kInf;
+  arena_.ea()[off] = -kInf;
+  fspan_[source_] = {static_cast<std::uint32_t>(off), 1};
+  last_pair_[source_] = identity_pair();
+  PairArena& da = delta_arena_[delta_parity_];
+  const std::size_t d = da.allocate(1);
+  da.ld()[d] = kInf;
+  da.ea()[d] = -kInf;
+  da.aux()[d] = kInf;
+  delta_spans_.assign(1, PairSpan{static_cast<std::uint32_t>(d), 1});
+  active_.assign(1, source_);
 }
 
 void SingleSourceEngine::reset(NodeId source) {
@@ -88,30 +117,64 @@ void SingleSourceEngine::reset(NodeId source) {
   source_ = source;
   level_ = 0;
   fixpoint_ = false;
-  for (DeliveryFunction& f : frontiers_) f.clear();
-  frontiers_[source_].insert(identity_pair());
-  if (mode_ == EngineMode::kIndexed) {
-    for (DeliveryFunction& d : cur_delta_) d.clear();
-    for (DeliveryFunction& d : next_delta_) d.clear();
-    active_.clear();
+  if (mode_ == EngineMode::kPooled) {
+    // Recycle every slab: spans are dropped wholesale, capacity stays.
+    // dirty_mark_ / cand_count_ / candidate buffers are already clean --
+    // step_pooled() restores them at the end of every level.
+    arena_.reset();
+    delta_arena_[0].reset();
+    delta_arena_[1].reset();
+    delta_parity_ = 0;
+    std::fill(fspan_.begin(), fspan_.end(), PairSpan{});
+    std::fill(last_pair_.begin(), last_pair_.end(), PathPair{-kInf, kInf});
     next_active_.clear();
-    std::fill(dirty_mark_.begin(), dirty_mark_.end(), 0);
-    cur_delta_[source_].insert(identity_pair());
-    active_.push_back(source_);
+    seed_pooled();
+  } else {
+    for (DeliveryFunction& f : frontiers_) f.clear();
+    frontiers_[source_].insert(identity_pair());
+    if (mode_ == EngineMode::kIndexed) {
+      for (DeliveryFunction& d : cur_delta_) d.clear();
+      for (DeliveryFunction& d : next_delta_) d.clear();
+      active_.clear();
+      next_active_.clear();
+      std::fill(dirty_mark_.begin(), dirty_mark_.end(), 0);
+      cur_delta_[source_].insert(identity_pair());
+      active_.push_back(source_);
+    }
   }
   ++stats_.workspace_reuses;
 }
 
 void SingleSourceEngine::track_changes(bool enable) {
-  if (enable && mode_ != EngineMode::kIndexed)
+  if (enable && mode_ == EngineMode::kLevelSweep)
     throw std::logic_error(
-        "SingleSourceEngine: change tracking requires EngineMode::kIndexed");
+        "SingleSourceEngine: change tracking requires a delta mode "
+        "(EngineMode::kPooled or kIndexed)");
+  // kPooled snapshots are free (the superseded arena spans stay
+  // addressable), so tracking there is always on and this is a no-op.
   track_changes_ = enable;
+}
+
+FrontierView SingleSourceEngine::previous_frontier_view(std::size_t i) const {
+  if (mode_ == EngineMode::kPooled) {
+    const PairSpan s = retired_spans_.at(i);
+    return FrontierView(arena_.ld() + s.offset, arena_.ea() + s.offset,
+                        s.length);
+  }
+  return retired_.at(i).view();
 }
 
 bool SingleSourceEngine::step() {
   if (fixpoint_) return false;
-  return mode_ == EngineMode::kIndexed ? step_indexed() : step_level_sweep();
+  switch (mode_) {
+    case EngineMode::kPooled:
+      return step_pooled();
+    case EngineMode::kIndexed:
+      return step_indexed();
+    case EngineMode::kLevelSweep:
+      return step_level_sweep();
+  }
+  return false;
 }
 
 void SingleSourceEngine::finish_level(bool changed) {
@@ -120,6 +183,190 @@ void SingleSourceEngine::finish_level(bool changed) {
     fixpoint_ = true;
     --level_;  // the budget did not actually grow anything new
   }
+}
+
+void SingleSourceEngine::record_arena_peaks() noexcept {
+  const std::size_t pairs = arena_.size() + delta_arena_[0].size() +
+                            delta_arena_[1].size();
+  if (pairs > stats_.pairs_peak) stats_.pairs_peak = pairs;
+  const std::size_t bytes = arena_.capacity_bytes() +
+                            delta_arena_[0].capacity_bytes() +
+                            delta_arena_[1].capacity_bytes();
+  if (bytes > stats_.arena_bytes_peak) stats_.arena_bytes_peak = bytes;
+}
+
+bool SingleSourceEngine::step_pooled() {
+  // Same delta propagation as step_indexed -- only pairs newly kept at
+  // the previous level generate candidates -- but pairs never leave the
+  // arenas and frontier maintenance is batched: candidates are collected
+  // raw into flat buffers, grouped by target with one counting sort,
+  // pruned per target, and merged against the target's frontier span by
+  // one two-way merge emitted into fresh arena space. The superseded
+  // span is the pre-change snapshot, untouched and for free.
+  stats_.frontier_copies_avoided +=
+      static_cast<std::uint64_t>(graph_->num_nodes() - active_.size());
+  next_active_.clear();
+
+  // Phase 1: extension. Nothing is allocated from arena_ or the current
+  // delta arena here, so their base pointers are stable for the phase.
+  const PairArena& da = delta_arena_[delta_parity_];
+  std::uint64_t dominated = 0;  // batched into stats_ after the loop
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    const NodeId u = active_[a];
+    const PairSpan ds = delta_spans_[a];
+    const double* dld = da.ld() + ds.offset;
+    const double* dea = da.ea() + ds.offset;
+    const double* dsucc = da.aux() + ds.offset;
+    const std::size_t dn = ds.length;
+    // No delta pair can ride a contact that ends before the delta's
+    // earliest arrival (both extension cases need ea <= end), so the
+    // whole prefix of the by-end index below min_ea is skipped at once.
+    const double min_ea = dea[0];
+    const auto nbrs = graph_->neighbors_by_end(u);
+    auto it = std::lower_bound(
+        nbrs.begin(), nbrs.end(), min_ea,
+        [](const NodeContact& nc, double t) { return nc.end < t; });
+    stats_.contacts_examined +=
+        static_cast<std::uint64_t>(nbrs.end() - it);
+    const double* const f_ld = arena_.ld();
+    const double* const f_ea = arena_.ea();
+    // Contacts ascend by end while deltas ascend by ea, so the count of
+    // delta pairs ridable within the current contact only grows. The
+    // arrival cursor (first delta pair arriving after the window opens)
+    // is not monotone -- begins are only roughly ordered by end -- but
+    // it drifts little, so a bidirectional cursor beats re-scanning the
+    // delta from the front on every contact.
+    std::size_t ride_hi = 0;
+    std::size_t arr = 0;
+    for (; it != nbrs.end(); ++it) {
+      const NodeId to = it->to;
+      const double wb = it->begin, we = it->end;
+      // Offer-time filter against the target's frontier -- still exactly
+      // L_k, publication is deferred to phase 2. Same-level dominance
+      // between candidates is handled by the batch prune at publish.
+      // last_pair_ keeps the probe's common outcomes (departs past the
+      // frontier -> kept; arrives at/after the frontier's max arrival ->
+      // dominated) inside one tiny L1-resident array; only candidates
+      // landing strictly inside the frontier hit the arena lanes.
+      auto offer = [&](double cld, double cea) {
+        const PathPair lp = last_pair_[to];
+        if (cld <= lp.ld) {
+          if (lp.ea <= cea) {
+            ++dominated;
+            return;
+          }
+          const PairSpan ts = fspan_[to];
+          if (frontier_dominates(f_ld + ts.offset, f_ea + ts.offset,
+                                 ts.length, cld, cea)) {
+            ++dominated;
+            return;
+          }
+        }
+        cand_.push_back({cld, cea, to});
+        ++cand_count_[to];
+        if (!dirty_mark_[to]) {
+          dirty_mark_[to] = 1;
+          next_active_.push_back(to);
+        }
+      };
+      // Same extension cases as for_each_extension, with a linear scan
+      // (deltas hold a handful of pairs) and wait-candidate suppression:
+      // a window whose begin reaches the delta pair's successor EA draws
+      // its wait candidate from the successor chain instead.
+      while (ride_hi < dn && dea[ride_hi] <= we) ++ride_hi;
+      while (arr < dn && dea[arr] <= wb) ++arr;
+      while (arr > 0 && dea[arr - 1] > wb) --arr;
+      std::size_t i = arr;
+      if (i > 0 && wb < dsucc[i - 1]) offer(std::min(dld[i - 1], we), wb);
+      for (; i < ride_hi; ++i) {
+        offer(std::min(dld[i], we), dea[i]);
+        if (dld[i] >= we) break;
+      }
+    }
+  }
+
+  stats_.pairs_dominated += dominated;
+
+  // Phase 2: publish. Counting-sort the flat candidate buffer into
+  // per-target groups, then prune + merge each group.
+  bool changed = false;
+  const std::size_t total = cand_.size();
+  if (total > 0) {
+    grp_begin_.resize(next_active_.size());
+    std::uint32_t running = 0;
+    for (std::size_t idx = 0; idx < next_active_.size(); ++idx) {
+      const NodeId v = next_active_[idx];
+      grp_begin_[idx] = running;
+      grp_pos_[v] = running;
+      running += cand_count_[v];
+    }
+    grp_pairs_.resize(total);
+    for (std::size_t k = 0; k < total; ++k) {
+      const RawCandidate& c = cand_[k];
+      grp_pairs_[grp_pos_[c.to]++] = {c.ld, c.ea};
+    }
+    PairArena& nda = delta_arena_[delta_parity_ ^ 1];
+    if (retired_spans_.size() < next_active_.size())
+      retired_spans_.resize(next_active_.size());
+    if (next_delta_spans_.size() < next_active_.size())
+      next_delta_spans_.resize(next_active_.size());
+    std::size_t w = 0;  // write cursor over the surviving changed list
+    for (std::size_t idx = 0; idx < next_active_.size(); ++idx) {
+      const NodeId v = next_active_[idx];
+      const std::size_t m0 = cand_count_[v];
+      cand_count_[v] = 0;
+      dirty_mark_[v] = 0;
+      // Each group is contiguous in grp_pairs_ and consumed exactly once,
+      // so the batch is pruned in place (survivors end up in the group's
+      // prefix; the tail becomes garbage, which is fine).
+      PathPair* const batch = grp_pairs_.data() + grp_begin_[idx];
+      const std::size_t m = prune_candidate_batch(batch, m0);
+      const PairSpan fs = fspan_[v];
+      // Worst-case output sizes; the unused prefixes below the merged
+      // results stay behind as arena slack until the next reset.
+      const std::size_t out_off = arena_.allocate(fs.length + m);
+      const std::size_t d_off = nda.allocate(m);
+      // allocate() may have grown either arena: base pointers re-fetched.
+      const FrontierMerge r = merge_frontier(
+          arena_.ld() + fs.offset, arena_.ea() + fs.offset, fs.length, batch,
+          m, arena_.ld() + out_off, arena_.ea() + out_off, nda.ld() + d_off,
+          nda.ea() + d_off, nda.aux() + d_off);
+      ++stats_.merge_batches;
+      stats_.pairs_inserted += r.kept_new;
+      stats_.pairs_dominated += m0 - r.kept_new;
+      if (r.kept_new == 0) {
+        // Defensive only: a batch that survived the offer-time dominance
+        // filter always contributes at least its minimum-EA candidate.
+        arena_.truncate(out_off);
+        nda.truncate(d_off);
+        continue;
+      }
+      changed = true;
+      retired_spans_[w] = fs;
+      fspan_[v] = {
+          static_cast<std::uint32_t>(out_off + fs.length + m - r.kept),
+          static_cast<std::uint32_t>(r.kept)};
+      const std::size_t last = out_off + fs.length + m - 1;
+      last_pair_[v] = {arena_.ld()[last], arena_.ea()[last]};
+      next_delta_spans_[w] = {
+          static_cast<std::uint32_t>(d_off + m - r.kept_new),
+          static_cast<std::uint32_t>(r.kept_new)};
+      next_active_[w] = v;
+      ++w;
+    }
+    next_active_.resize(w);
+  }
+
+  // Phase 3: rotate. The spent delta slab is recycled wholesale; the
+  // span lists swap along with the active lists they are aligned to.
+  cand_.clear();
+  delta_arena_[delta_parity_].reset();
+  delta_parity_ ^= 1;
+  delta_spans_.swap(next_delta_spans_);
+  active_.swap(next_active_);
+  record_arena_peaks();
+  finish_level(changed);
+  return changed;
 }
 
 bool SingleSourceEngine::step_indexed() {
@@ -239,7 +486,34 @@ int SingleSourceEngine::run_to_fixpoint(int max_levels) {
   return fixpoint_ ? level_ : max_levels + 1;
 }
 
+DeliveryFunction SingleSourceEngine::frontier(NodeId dst) const {
+  if (mode_ == EngineMode::kPooled) return materialize(frontier_view(dst));
+  return frontiers_[dst];
+}
+
+FrontierView SingleSourceEngine::frontier_view(NodeId dst) const {
+  if (mode_ == EngineMode::kPooled) {
+    const PairSpan s = fspan_[dst];
+    return FrontierView(arena_.ld() + s.offset, arena_.ea() + s.offset,
+                        s.length);
+  }
+  return frontiers_[dst].view();
+}
+
+std::vector<DeliveryFunction> SingleSourceEngine::frontiers() const {
+  if (mode_ != EngineMode::kPooled) return frontiers_;
+  std::vector<DeliveryFunction> out(graph_->num_nodes());
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v)
+    out[v] = materialize(frontier_view(v));
+  return out;
+}
+
 std::size_t SingleSourceEngine::total_pairs() const noexcept {
+  if (mode_ == EngineMode::kPooled) {
+    std::size_t total = 0;
+    for (const PairSpan& s : fspan_) total += s.length;
+    return total;
+  }
   std::size_t total = 0;
   for (const auto& f : frontiers_) total += f.size();
   return total;

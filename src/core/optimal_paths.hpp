@@ -16,19 +16,24 @@
 // iteration is L_infinity, and the level at which it is reached upper-
 // bounds the number of hops any delay-optimal path ever needs.
 //
-// The default (indexed) propagation scheme additionally exploits that
-// re-extending an OLD pair is redundant: a pair that entered L_{k-1}(s, w)
-// at some level j < k already had all its extensions offered at level j+1,
-// and frontiers only improve, so offering them again yields only dominated
-// candidates. Each level therefore extends, per node, only the *delta* --
-// the pairs newly kept at the previous level -- through that node's own
-// contacts (TemporalGraph::neighbors_by_end). Because every delta pair
-// arrives no earlier than the delta's minimum EA, contacts ending before
-// that instant cannot carry any of them and are skipped wholesale via one
-// binary search on the by-end index. Extension preserves dominance, so
-// keeping each delta pruned (dropping delta pairs dominated by later
-// same-level inserts) is lossless too. The original full-sweep scheme is
-// kept as a reference semantics under EngineMode::kLevelSweep.
+// Three propagation schemes compute IDENTICAL frontiers at every level:
+//
+//   kLevelSweep -- the seed reference semantics: full frontier snapshot +
+//       global contact rescan per level.
+//   kIndexed -- delta propagation over the per-node by-end contact index
+//       (only pairs newly kept at the previous level are re-extended,
+//       with by-end window pruning and wait-candidate suppression), with
+//       per-node heap-vector frontier storage and per-pair
+//       DeliveryFunction::insert maintenance. The PR 3 path, kept as the
+//       perf baseline for the pooled kernels.
+//   kPooled (default) -- the same delta propagation, but every pair of
+//       the engine lives in one arena (util/arena.hpp) in SoA form and
+//       the two hot kernels are batched: one level's candidates per
+//       destination are pruned and merged against the existing frontier
+//       by a single two-way sorted merge (core/frontier_kernels.hpp)
+//       emitted into fresh arena space -- no per-pair element shifting,
+//       no snapshot copies (the superseded span IS the pre-change
+//       snapshot), zero steady-state allocations across reset().
 //
 // Per contact and per source, the extension step touches
 // O(log F + #useful pairs) frontier entries thanks to the double-monotone
@@ -42,17 +47,17 @@
 
 #include "core/delivery_function.hpp"
 #include "core/temporal_graph.hpp"
+#include "util/arena.hpp"
 
 namespace odtn {
 
 /// Hop budget value meaning "unbounded" (compute the fixpoint).
 inline constexpr int kUnboundedHops = std::numeric_limits<int>::max();
 
-/// Propagation scheme of the hop-level DP. Both modes compute identical
-/// frontiers at every level; kLevelSweep is the original reference
-/// semantics (full frontier snapshot + global contact rescan per level),
-/// kept for cross-checking and as the baseline in perf benches.
+/// Propagation scheme of the hop-level DP. All modes compute identical
+/// frontiers at every level; see the file comment for the differences.
 enum class EngineMode {
+  kPooled,
   kIndexed,
   kLevelSweep,
 };
@@ -63,9 +68,10 @@ struct EngineStats {
   /// Contact-direction extensions attempted (one per usable (frontier,
   /// contact, direction) triple examined).
   std::uint64_t contacts_examined = 0;
-  /// Candidate pairs kept by DeliveryFunction::insert.
+  /// Candidate pairs kept by the frontier maintenance (insert or merge).
   std::uint64_t pairs_inserted = 0;
-  /// Candidate pairs rejected as dominated by an existing frontier pair.
+  /// Candidate pairs rejected as dominated (by the existing frontier at
+  /// offer time, or by a same-level candidate at publish time).
   std::uint64_t pairs_dominated = 0;
   /// Frontier snapshots skipped relative to the level-sweep scheme
   /// (num_nodes - |active set|, summed over levels). Zero in kLevelSweep.
@@ -82,6 +88,17 @@ struct EngineStats {
   /// retractions count too). The work the incremental scheme saves shows
   /// up here.
   std::uint64_t cdf_pairs_integrated = 0;
+  /// Batched frontier merges performed (one per destination whose
+  /// candidate batch reached publish). kPooled only.
+  std::uint64_t merge_batches = 0;
+  /// Peak pairs resident in the engine's arenas (frontier + delta slabs,
+  /// including per-merge slack). kPooled only. merge() takes the max, so
+  /// an aggregate reports the largest single-engine footprint -- flat
+  /// across sources once the first source warmed the slabs up.
+  std::uint64_t pairs_peak = 0;
+  /// Peak bytes committed to the engine's arenas. kPooled only; merged
+  /// by max, like pairs_peak.
+  std::uint64_t arena_bytes_peak = 0;
 
   void merge(const EngineStats& other) noexcept {
     contacts_examined += other.contacts_examined;
@@ -91,6 +108,10 @@ struct EngineStats {
     workspace_allocations += other.workspace_allocations;
     workspace_reuses += other.workspace_reuses;
     cdf_pairs_integrated += other.cdf_pairs_integrated;
+    merge_batches += other.merge_batches;
+    if (other.pairs_peak > pairs_peak) pairs_peak = other.pairs_peak;
+    if (other.arena_bytes_peak > arena_bytes_peak)
+      arena_bytes_peak = other.arena_bytes_peak;
   }
 };
 
@@ -105,44 +126,53 @@ bool extend_frontier(const DeliveryFunction& from, double begin, double end,
 /// Hop-level dynamic program from one source.
 ///
 /// After construction the engine is at hop budget 0 (only the source's
-/// identity frontier). Each step() raises the budget by one; frontiers()
-/// then describe all delay-optimal paths with at most hops() contacts.
+/// identity frontier). Each step() raises the budget by one; the
+/// frontier accessors then describe all delay-optimal paths with at most
+/// hops() contacts.
 class SingleSourceEngine {
  public:
   SingleSourceEngine(const TemporalGraph& graph, NodeId source,
-                     EngineMode mode = EngineMode::kIndexed);
+                     EngineMode mode = EngineMode::kPooled);
 
   /// Rebinds the engine to a new source on the same graph: hop budget
   /// back to 0, every frontier and delta emptied. All buffers keep their
-  /// capacity (DeliveryFunction::clear() preserves storage), so a worker
-  /// that processes many sources through one engine allocates its
-  /// workspace exactly once -- reset() itself never allocates. Counted
+  /// capacity (heap modes clear pair vectors in place; kPooled recycles
+  /// its arenas), so a worker that processes many sources through one
+  /// engine allocates its workspace exactly once -- reset() itself never
+  /// allocates once the slabs reached their high-water capacity. Counted
   /// in stats().workspace_reuses; change tracking (track_changes)
   /// survives the reset.
   void reset(NodeId source);
 
   /// Enables pre-change frontier snapshots: after each step() that
   /// changed something, last_changed() lists the nodes whose frontier
-  /// grew at that level and previous_frontier(i) is last_changed()[i]'s
-  /// frontier as it was before the level. The snapshot cost is one pair
-  /// list copy per changed node (capacity reused across levels), i.e.
-  /// proportional to the integration work the incremental all-pairs
-  /// scheme performs anyway. Indexed mode only: throws std::logic_error
-  /// in kLevelSweep.
+  /// grew at that level and previous_frontier_view(i) is
+  /// last_changed()[i]'s frontier as it was before the level. In
+  /// kIndexed the snapshot cost is one pair list copy per changed node
+  /// (capacity reused across levels); in kPooled snapshots are FREE --
+  /// the superseded arena span simply stays addressable until the next
+  /// reset, so tracking is always on and this call only validates the
+  /// mode. Throws std::logic_error in kLevelSweep.
   void track_changes(bool enable);
 
   /// Nodes whose frontier changed at the last completed level, in
-  /// publication order (empty once the fixpoint step ran). Indexed mode
-  /// only.
+  /// publication order (empty once the fixpoint step ran). Delta modes
+  /// (kPooled / kIndexed) only.
   const std::vector<NodeId>& last_changed() const noexcept {
     return active_;
   }
 
   /// Frontier of last_changed()[i] as it was BEFORE the last level.
-  /// Requires track_changes(true) before the step that produced it.
+  /// kIndexed only (requires track_changes(true) before the step that
+  /// produced it); kPooled callers use previous_frontier_view.
   const DeliveryFunction& previous_frontier(std::size_t i) const {
     return retired_.at(i);
   }
+
+  /// View of last_changed()[i]'s frontier as it was BEFORE the last
+  /// level. Works in kPooled (arena span, valid until the next reset)
+  /// and kIndexed (requires track_changes(true)).
+  FrontierView previous_frontier_view(std::size_t i) const;
 
   /// Advances the hop budget by one. Returns false (and does nothing)
   /// once the fixpoint has been reached.
@@ -159,14 +189,18 @@ class SingleSourceEngine {
   /// True iff the last step produced no change (frontiers == L_infinity).
   bool at_fixpoint() const noexcept { return fixpoint_; }
 
-  /// Frontier (delivery function) for `dst` at the current hop budget.
-  const DeliveryFunction& frontier(NodeId dst) const {
-    return frontiers_.at(dst);
-  }
+  /// Frontier (delivery function) for `dst` at the current hop budget,
+  /// BY VALUE: heap modes copy, kPooled materializes from its arena
+  /// span. Convenient and mode-agnostic; hot loops use frontier_view.
+  DeliveryFunction frontier(NodeId dst) const;
 
-  const std::vector<DeliveryFunction>& frontiers() const noexcept {
-    return frontiers_;
-  }
+  /// Zero-copy read view of `dst`'s frontier in any mode. Invalidated
+  /// by the next step() or reset().
+  FrontierView frontier_view(NodeId dst) const;
+
+  /// All frontiers at the current hop budget, by value (one delivery
+  /// function per node).
+  std::vector<DeliveryFunction> frontiers() const;
 
   NodeId source() const noexcept { return source_; }
 
@@ -182,7 +216,10 @@ class SingleSourceEngine {
  private:
   bool step_indexed();
   bool step_level_sweep();
+  bool step_pooled();
   void finish_level(bool changed);
+  void seed_pooled();
+  void record_arena_peaks() noexcept;
 
   const TemporalGraph* graph_;
   NodeId source_;
@@ -190,6 +227,7 @@ class SingleSourceEngine {
   int level_ = 0;
   bool fixpoint_ = false;
   EngineStats stats_;
+  // Heap modes (kIndexed / kLevelSweep): per-node frontier objects.
   std::vector<DeliveryFunction> frontiers_;
   // kLevelSweep: full snapshot of frontiers_ at the start of each level.
   std::vector<DeliveryFunction> scratch_;
@@ -201,14 +239,50 @@ class SingleSourceEngine {
   std::vector<NodeId> active_;
   std::vector<NodeId> next_active_;
   std::vector<std::uint8_t> dirty_mark_;
-  // Scratch: per delta pair, the ea of its successor in the node's full
-  // frontier (used to suppress provably redundant wait candidates).
+  // kIndexed scratch: per delta pair, the ea of its successor in the
+  // node's full frontier (used to suppress provably redundant wait
+  // candidates).
   std::vector<double> succ_ea_;
-  // Pre-change frontier snapshots, aligned with active_ (the nodes
-  // changed at the last level), populated only when track_changes_ is
-  // set. Never shrunk, so each slot's pair storage is recycled.
+  // kIndexed: pre-change frontier snapshots, aligned with active_ (the
+  // nodes changed at the last level), populated only when track_changes_
+  // is set. Never shrunk, so each slot's pair storage is recycled.
   std::vector<DeliveryFunction> retired_;
   bool track_changes_ = false;
+
+  // --- kPooled state ---------------------------------------------------
+  // All frontier pairs live in arena_ as SoA lanes; fspan_[v] addresses
+  // node v's current frontier. Superseded versions stay in the arena as
+  // free pre-change snapshots (retired_spans_, aligned with active_).
+  PairArena arena_;
+  std::vector<PairSpan> fspan_;
+  std::vector<PairSpan> retired_spans_;
+  // Deltas (pairs newly kept at the previous level) ping-pong between
+  // two arenas whose aux lane carries each pair's successor EA; spans
+  // are aligned with active_ / next_active_.
+  PairArena delta_arena_[2]{PairArena(true), PairArena(true)};
+  std::vector<PairSpan> delta_spans_;
+  std::vector<PairSpan> next_delta_spans_;
+  int delta_parity_ = 0;
+  // One level's raw candidates: flat (ld, ea, target) triples collected
+  // during extension, then counting-sorted by target and merged batch by
+  // batch at publish. One vector, so the hot offer path pays a single
+  // push_back.
+  struct RawCandidate {
+    double ld;
+    double ea;
+    NodeId to;
+  };
+  std::vector<RawCandidate> cand_;
+  std::vector<NodeId> dirty_;
+  std::vector<std::uint32_t> cand_count_;
+  std::vector<std::uint32_t> grp_begin_;
+  std::vector<std::uint32_t> grp_pos_;
+  std::vector<PathPair> grp_pairs_;
+  /// Per-node copy of the frontier's LAST pair ({-inf, +inf} while
+  /// empty): the offer-time dominance probe resolves its two common
+  /// outcomes from this one dense array without touching the (much
+  /// larger) arena lanes.
+  std::vector<PathPair> last_pair_;
 };
 
 /// Convenience: frontiers from `source` at each requested hop budget.

@@ -14,7 +14,7 @@ std::vector<OptimalRoute> enumerate_optimal_routes(const TemporalGraph& graph,
                                                    int max_hops) {
   SingleSourceEngine engine(graph, source);
   engine.run_to_fixpoint(max_hops);
-  const DeliveryFunction& frontier = engine.frontier(destination);
+  const DeliveryFunction frontier = engine.frontier(destination);
 
   std::vector<OptimalRoute> routes;
   routes.reserve(frontier.size());

@@ -19,7 +19,7 @@ std::vector<std::vector<double>> last_departure_matrix(
     SingleSourceEngine engine(graph, src);
     engine.run_to_fixpoint(max_levels);
     for (NodeId dst = 0; dst < n; ++dst)
-      matrix[src][dst] = engine.frontier(dst).last_departure();
+      matrix[src][dst] = engine.frontier_view(dst).last_departure();
   }
   return matrix;
 }
@@ -52,7 +52,8 @@ std::vector<std::size_t> out_component_sizes(const TemporalGraph& graph,
     engine.run_to_fixpoint(max_levels);
     for (NodeId dst = 0; dst < graph.num_nodes(); ++dst) {
       if (dst == src) continue;
-      if (start_time <= engine.frontier(dst).last_departure()) ++sizes[src];
+      if (start_time <= engine.frontier_view(dst).last_departure())
+        ++sizes[src];
     }
   }
   return sizes;

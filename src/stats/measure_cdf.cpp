@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace odtn {
@@ -15,6 +16,42 @@ MeasureCdfAccumulator::MeasureCdfAccumulator(std::vector<double> grid)
   for (std::size_t i = 0; i < grid_.size(); ++i) {
     if (grid_[i] < 0.0 || (i > 0 && grid_[i] <= grid_[i - 1]))
       throw std::invalid_argument("MeasureCdf: grid must be >= 0, increasing");
+  }
+}
+
+void MeasureCdfAccumulator::add_delivery_segments(const double* ld,
+                                                  const double* ea,
+                                                  std::size_t n, double t_lo,
+                                                  double t_hi, double weight,
+                                                  double prev_ld) {
+  assert(t_lo <= t_hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = std::max(prev_ld, t_lo);
+    const double b = std::min(ld[i], t_hi);
+    if (a < b) add_segment(a, b, ea[i], weight);
+    prev_ld = ld[i];
+    if (prev_ld >= t_hi) break;
+  }
+}
+
+void MeasureCdfAccumulator::add_delivery_segments(
+    const double* ld, const double* ea, std::size_t n,
+    const std::pair<double, double>* windows, std::size_t num_windows,
+    double weight, double prev_ld) {
+  // Pair segments (prev_ld, ld[i]] ascend, so the window cursor only
+  // moves forward; windows fully below the current segment are dropped
+  // for good, and the walk ends once every window is behind prev_ld.
+  std::size_t w0 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = prev_ld, hi = ld[i];
+    prev_ld = ld[i];
+    while (w0 < num_windows && windows[w0].second <= lo) ++w0;
+    if (w0 == num_windows) break;
+    for (std::size_t w = w0; w < num_windows && windows[w].first < hi; ++w) {
+      const double a = std::max(lo, windows[w].first);
+      const double b = std::min(hi, windows[w].second);
+      if (a < b) add_segment(a, b, ea[i], weight);
+    }
   }
 }
 

@@ -19,7 +19,17 @@
 // cleanly; every other file must raise TraceError in strict mode.
 // tools/verify.sh runs this under ASan+UBSan against tests/corpus.
 //
-// Usage: odtn_fuzz [--engine N] [--parser N] [--corpus DIR] [--seed S]
+// Kernel mode (--kernel N): differentials for the pooled engine's
+// batched frontier kernels. Each trial (a) feeds a random mutated pair
+// batch through prune_candidate_batch + merge_frontier and cross-checks
+// the result bit for bit against DeliveryFunction::insert, and (b) runs
+// the kPooled and kIndexed engines level by level over an adversarial
+// trace requiring identical frontiers (exercising arena growth, span
+// recycling via reset, and the free pre-change snapshots) -- under
+// ASan/UBSan this doubles as a bounds check on the arena spans.
+//
+// Usage: odtn_fuzz [--engine N] [--parser N] [--kernel N] [--corpus DIR]
+//                  [--seed S]
 //        odtn_fuzz [trials] [base-seed]        (legacy: engine mode)
 #include <algorithm>
 #include <cmath>
@@ -28,11 +38,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/frontier_kernels.hpp"
 #include "core/optimal_paths.hpp"
 #include "sim/flooding.hpp"
 #include "trace/trace_io.hpp"
@@ -254,6 +266,123 @@ int parser_trials(long trials, std::uint64_t base_seed) {
   return 0;
 }
 
+[[noreturn]] void kernel_failure(const char* what, std::uint64_t seed) {
+  std::fprintf(stderr, "KERNEL MISMATCH seed=%llu: %s\n",
+               static_cast<unsigned long long>(seed), what);
+  std::exit(1);
+}
+
+/// Random pair with quantized coordinates so exact duplicates, equal-LD
+/// ties, and long dominance chains all occur; occasionally infinite
+/// coordinates (the identity pair's regime).
+PathPair random_kernel_pair(Rng& rng) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (rng.bernoulli(0.02)) return {kInf, -kInf};
+  const double scale = rng.bernoulli(0.2) ? 1.0 : 4.0;
+  return {std::floor(rng.uniform(0.0, 20.0 * scale)) / scale,
+          std::floor(rng.uniform(-10.0, 20.0 * scale)) / scale};
+}
+
+int kernel_trials(long trials, std::uint64_t base_seed) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+
+    // (a) Kernel differential: prune + merge vs insert(), bit for bit.
+    DeliveryFunction base;
+    const std::size_t warm = rng.below(40);
+    for (std::size_t i = 0; i < warm; ++i)
+      base.insert(random_kernel_pair(rng));
+    std::vector<double> f_ld, f_ea;
+    for (const PathPair& p : base.pairs()) {
+      f_ld.push_back(p.ld);
+      f_ea.push_back(p.ea);
+    }
+    std::vector<PathPair> batch;
+    const std::size_t raw = rng.below(24);
+    for (std::size_t i = 0; i < raw; ++i) {
+      if (!base.empty() && rng.bernoulli(0.25))
+        batch.push_back(base.pairs()[rng.below(base.size())]);  // duplicate
+      else if (!batch.empty() && rng.bernoulli(0.2))
+        batch.push_back(batch[rng.below(batch.size())]);  // repeat candidate
+      else
+        batch.push_back(random_kernel_pair(rng));
+    }
+    const std::size_t m = prune_candidate_batch(batch.data(), batch.size());
+    batch.resize(m);
+    DeliveryFunction ref = base;
+    for (const PathPair& p : batch) ref.insert(p);
+
+    const std::size_t fn = base.size();
+    std::vector<double> out_ld(fn + m), out_ea(fn + m);
+    std::vector<double> d_ld(m), d_ea(m), d_succ(m);
+    const FrontierMerge r = merge_frontier(
+        f_ld.data(), f_ea.data(), fn, batch.data(), m, out_ld.data(),
+        out_ea.data(), d_ld.data(), d_ea.data(), d_succ.data());
+    if (r.kept != ref.size())
+      kernel_failure("merged frontier size diverged from insert()", seed);
+    const std::size_t off = fn + m - r.kept;
+    for (std::size_t i = 0; i < r.kept; ++i)
+      if (out_ld[off + i] != ref.pairs()[i].ld ||
+          out_ea[off + i] != ref.pairs()[i].ea)
+        kernel_failure("merged frontier pair diverged from insert()", seed);
+    const std::size_t doff = m - r.kept_new;
+    for (std::size_t i = 0; i < r.kept_new; ++i) {
+      const PathPair p{d_ld[doff + i], d_ea[doff + i]};
+      const auto it = std::find(ref.pairs().begin(), ref.pairs().end(), p);
+      if (it == ref.pairs().end())
+        kernel_failure("delta pair is not on the merged frontier", seed);
+      if (std::find(base.pairs().begin(), base.pairs().end(), p) !=
+          base.pairs().end())
+        kernel_failure("delta pair already existed in the base frontier",
+                       seed);
+      const double succ = (it + 1 == ref.pairs().end()) ? kInf : (it + 1)->ea;
+      if (d_succ[doff + i] != succ)
+        kernel_failure("delta successor EA diverged", seed);
+    }
+
+    // (b) Engine differential: kPooled vs kIndexed level by level on an
+    // adversarial trace, then once more after reset() onto a new source
+    // (exercising span recycling on warmed arenas).
+    TemporalGraph g = adversarial_trace(rng);
+    if (rng.bernoulli(0.3))
+      g = TemporalGraph(g.num_nodes(), g.contacts(), /*directed=*/true);
+    const auto src = static_cast<NodeId>(rng.below(g.num_nodes()));
+    SingleSourceEngine pooled(g, src, EngineMode::kPooled);
+    auto crosscheck_from = [&](NodeId s) {
+      SingleSourceEngine indexed(g, s, EngineMode::kIndexed);
+      for (int level = 1; level <= 64; ++level) {
+        const bool p_grew = pooled.step();
+        const bool i_grew = indexed.step();
+        if (p_grew != i_grew)
+          kernel_failure("pooled and indexed disagree on progress", seed);
+        for (NodeId dst = 0; dst < g.num_nodes(); ++dst)
+          if (pooled.frontier(dst) != indexed.frontier(dst)) {
+            report_failure(g, s, dst, 0.0, level,
+                           static_cast<double>(pooled.frontier(dst).size()),
+                           static_cast<double>(indexed.frontier(dst).size()),
+                           seed);
+          }
+        if (!p_grew) break;
+      }
+      if (!pooled.at_fixpoint())
+        kernel_failure("pooled engine did not reach its fixpoint", seed);
+    };
+    crosscheck_from(src);
+    const auto src2 = static_cast<NodeId>(rng.below(g.num_nodes()));
+    pooled.reset(src2);
+    crosscheck_from(src2);
+    if (pooled.stats().workspace_allocations != 1)
+      kernel_failure("pooled reset() re-allocated its workspace", seed);
+  }
+  std::printf("odtn_fuzz: %ld kernel trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(
+                  base_seed + static_cast<std::uint64_t>(trials) - 1));
+  return 0;
+}
+
 /// Fixed-corpus smoke: ok_* files must parse strict cleanly, every
 /// other file must raise TraceError in strict mode; lenient and
 /// canonicalize runs must never crash on any of them.
@@ -310,6 +439,7 @@ int corpus_pass(const std::string& dir) {
 int main(int argc, char** argv) {
   long engine_count = -1;
   long parser_count = -1;
+  long kernel_count = -1;
   std::string corpus_dir;
   std::uint64_t seed = 1;
   std::vector<std::string> positional;
@@ -326,6 +456,8 @@ int main(int argc, char** argv) {
       engine_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--parser") {
       parser_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--kernel") {
+      kernel_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--corpus") {
       corpus_dir = next();
     } else if (arg == "--seed") {
@@ -340,12 +472,14 @@ int main(int argc, char** argv) {
   if (positional.size() > 1)
     seed = static_cast<std::uint64_t>(
         std::strtoll(positional[1].c_str(), nullptr, 10));
-  if (engine_count < 0 && parser_count < 0 && corpus_dir.empty())
+  if (engine_count < 0 && parser_count < 0 && kernel_count < 0 &&
+      corpus_dir.empty())
     engine_count = 200;
 
   int rc = 0;
   if (!corpus_dir.empty()) rc |= corpus_pass(corpus_dir);
   if (parser_count > 0) rc |= parser_trials(parser_count, seed);
+  if (kernel_count > 0) rc |= kernel_trials(kernel_count, seed);
   if (engine_count > 0) rc |= engine_trials(engine_count, seed);
   return rc;
 }

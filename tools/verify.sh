@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Extended verify: a fast `quick`-labelled smoke pass, then the tier-1
 # recipe (Release build + full ctest), then a second ctest pass under
-# ASan + UBSan (the `sanitize` CMake preset) plus a parser fuzz smoke
-# (malformed-trace corpus + randomized byte mutations) under the same
-# sanitizers, and a final pass of the concurrency suites (thread pool,
+# ASan + UBSan (the `sanitize` CMake preset) plus fuzz smokes under the
+# same sanitizers -- parser (malformed-trace corpus + randomized byte
+# mutations) and kernel (batched frontier merge vs per-pair insert
+# differential, pooled-vs-indexed engine parity, arena span bounds) --
+# and a final pass of the concurrency suites (thread pool,
 # MC harness, empirical distribution, phase transition) under
 # ThreadSanitizer (the `tsan` preset). Run from the repository root.
 # Exits non-zero on the first failure.
@@ -24,9 +26,10 @@ cmake --preset sanitize
 cmake --build --preset sanitize -j
 ctest --preset sanitize
 
-echo "== tier-2b: parser fuzz smoke under ASan+UBSan =="
+echo "== tier-2b: parser + kernel fuzz smoke under ASan+UBSan =="
 ./build-sanitize/tools/odtn_fuzz --corpus tests/corpus
 ./build-sanitize/tools/odtn_fuzz --parser 300 --seed 1
+./build-sanitize/tools/odtn_fuzz --kernel 300 --seed 1
 
 echo "== tier-3: TSan build + concurrency suites =="
 cmake --preset tsan
