@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <cstring>
 #include <limits>
 #include <optional>
 #include <stdexcept>
 
 #include "stats/measure_cdf.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odtn {
@@ -143,29 +143,15 @@ void process_source_incremental(const TemporalGraph& graph, NodeId src,
       if (o_ld && n_ld) {
         const std::size_t on = old_f.size(), nn = new_f.size();
         const std::size_t match_max = std::min(on, nn);
-        // Bitwise-equal runs are found block-first (SIMD memcmp), then
-        // refined per pair. Bitwise equality is conservative versus
-        // operator== only at -0.0 vs +0.0, which merely shifts such a
-        // pair into the middle slice -- still exact, just not skipped.
-        constexpr std::size_t kBlk = 8;
-        auto blocks_equal = [](const double* a, const double* b,
-                               std::size_t k) {
-          return std::memcmp(a, b, k * sizeof(double)) == 0;
-        };
-        std::size_t p = 0;
-        while (p + kBlk <= match_max && blocks_equal(o_ld + p, n_ld + p, kBlk) &&
-               blocks_equal(o_ea + p, n_ea + p, kBlk))
-          p += kBlk;
-        while (p < match_max && o_ld[p] == n_ld[p] && o_ea[p] == n_ea[p])
-          ++p;
-        std::size_t s = 0;
-        while (s + kBlk <= match_max - p &&
-               blocks_equal(o_ld + on - s - kBlk, n_ld + nn - s - kBlk, kBlk) &&
-               blocks_equal(o_ea + on - s - kBlk, n_ea + nn - s - kBlk, kBlk))
-          s += kBlk;
-        while (s < match_max - p && o_ld[on - 1 - s] == n_ld[nn - 1 - s] &&
-               o_ea[on - 1 - s] == n_ea[nn - 1 - s])
-          ++s;
+        // Equal runs are trimmed by the dispatched prefix/suffix scans
+        // (util/simd.hpp): vector value-equality compares under AVX2 /
+        // SSE4.2, the original 8-wide memcmp block loop on the scalar
+        // level -- both return the identical maximal counts.
+        const simd::Ops& sops = simd::ops();
+        const std::size_t p =
+            sops.equal_prefix2(o_ld, o_ea, n_ld, n_ea, match_max);
+        std::size_t s =
+            sops.equal_suffix2(o_ld, o_ea, on, n_ld, n_ea, nn, match_max - p);
         if (s > 0) {
           // The first suffix pair's segment starts at its predecessor's
           // ld; if the predecessors differ the pair belongs to the

@@ -66,8 +66,23 @@ inline bool frontier_dominates(const double* f_ld, const double* f_ea,
 /// Sorts `batch[0, m)` in place and collapses it to its Pareto front
 /// (strictly increasing ld AND ea; at equal ld only the minimal ea
 /// survives). Returns the pruned length; the survivors occupy the
-/// prefix of `batch`.
+/// prefix of `batch`. Dispatched: the dominance-pop scan runs through
+/// the active util/simd level; results are bit-identical to the scalar
+/// reference at every level.
 std::size_t prune_candidate_batch(PathPair* batch, std::size_t m);
+
+/// The scalar reference for prune_candidate_batch (the pre-dispatch code
+/// kept verbatim). Exposed for the parity suite, the fuzzer's
+/// differential mode, and the per-kernel micro benches.
+std::size_t prune_candidate_batch_scalar(PathPair* batch, std::size_t m);
+
+/// The collapse half of prune_candidate_batch: `batch[0, m)` must
+/// already be sorted by (ld, ea); collapses it to its Pareto front in
+/// place and returns the pruned length. Dispatched / scalar reference
+/// pair, split out so the dominance tests can be benched without the
+/// sort dominating the measurement.
+std::size_t collapse_sorted_batch(PathPair* batch, std::size_t m);
+std::size_t collapse_sorted_batch_scalar(PathPair* batch, std::size_t m);
 
 /// Outcome of one merge_frontier call.
 struct FrontierMerge {
@@ -97,10 +112,24 @@ struct FrontierMerge {
 /// the EA of the pair's successor in the merged frontier (+infinity for
 /// the last pair) -- exactly the value the engine's wait-candidate
 /// suppression needs. Output regions must not alias the inputs.
+/// Dispatched: when a SIMD level is active the walk is restructured into
+/// per-candidate runs (binary search for the run boundary, a vector
+/// dominance-pop count, one bulk copy of the survivors) -- bit-identical
+/// output to the scalar walk, gated by the parity suite and the fuzzer.
 FrontierMerge merge_frontier(const double* f_ld, const double* f_ea,
                              std::size_t fn, const PathPair* cand,
                              std::size_t m, double* out_ld, double* out_ea,
                              double* delta_ld, double* delta_ea,
                              double* delta_succ) noexcept;
+
+/// The scalar reference for merge_frontier (the pre-dispatch descending
+/// element walk kept verbatim). Exposed for the parity suite, the
+/// fuzzer, and the per-kernel micro benches.
+FrontierMerge merge_frontier_scalar(const double* f_ld, const double* f_ea,
+                                    std::size_t fn, const PathPair* cand,
+                                    std::size_t m, double* out_ld,
+                                    double* out_ea, double* delta_ld,
+                                    double* delta_ea,
+                                    double* delta_succ) noexcept;
 
 }  // namespace odtn

@@ -57,18 +57,7 @@ class MeasureCdfAccumulator {
     const auto hi = static_cast<std::size_t>(
         std::lower_bound(grid_.begin(), grid_.end(), arrival - a) -
         grid_.begin());
-    // Partial coverage on [lo, hi): affine in x.
-    if (lo < hi) {
-      const_diff_[lo] += (b - arrival) * weight;
-      const_diff_[hi] -= (b - arrival) * weight;
-      slope_diff_[lo] += weight;
-      slope_diff_[hi] -= weight;
-    }
-    // Full coverage on [hi, end).
-    if (hi < grid_.size()) {
-      const_diff_[hi] += (b - a) * weight;
-      const_diff_[grid_.size()] -= (b - a) * weight;
-    }
+    add_segment_at(a, b, arrival, weight, lo, hi);
   }
 
   /// Batched form of accumulate_delay_measure for structure-of-arrays
@@ -133,6 +122,29 @@ class MeasureCdfAccumulator {
   std::vector<double> cdf() const;
 
  private:
+  /// The diff-array update half of add_segment: `lo`/`hi` must be the
+  /// std::lower_bound indices of the keys (arrival - b) and (arrival - a)
+  /// and the segment must be non-empty (a < b). Split out so the batched
+  /// SoA path can feed it indices computed four-at-a-time by the
+  /// dispatched simd::Ops::lower_bound4 -- the updates themselves run in
+  /// the exact per-segment order of the scalar path, keeping the
+  /// accumulator state bit-identical.
+  void add_segment_at(double a, double b, double arrival, double weight,
+                      std::size_t lo, std::size_t hi) {
+    // Partial coverage on [lo, hi): affine in x.
+    if (lo < hi) {
+      const_diff_[lo] += (b - arrival) * weight;
+      const_diff_[hi] -= (b - arrival) * weight;
+      slope_diff_[lo] += weight;
+      slope_diff_[hi] -= weight;
+    }
+    // Full coverage on [hi, end).
+    if (hi < grid_.size()) {
+      const_diff_[hi] += (b - a) * weight;
+      const_diff_[grid_.size()] -= (b - a) * weight;
+    }
+  }
+
   std::vector<double> grid_;
   // Contribution at grid index j is: prefix(const_diff_)[j]
   //                                  + prefix(slope_diff_)[j] * grid_[j].

@@ -1,0 +1,192 @@
+// AVX2 primitive table. This translation unit is compiled with -mavx2
+// (see src/CMakeLists.txt) and is only ever entered through the dispatch
+// table after a CPUID check, so no other TU needs arch flags.
+//
+// Every loop processes full 4-lane chunks strictly inside [0, n) and
+// finishes with scalar element steps -- no over-reads, so the variants
+// are clean under ASan. All comparisons are exact (ordered, quiet), so
+// results are bit-identical to the scalar reference on NaN-free input.
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "util/simd.hpp"
+
+namespace odtn::simd {
+
+namespace {
+
+// Count of consecutive set bits of the 4-bit mask m from bit 3 downward;
+// callers guarantee m != 0xF.
+inline std::size_t high_run4(int m) noexcept {
+  return static_cast<std::size_t>(
+      __builtin_clz(static_cast<unsigned>(m ^ 0xF)) - 28);
+}
+
+// Count of consecutive set bits of the 4-bit mask m from bit 0 upward;
+// callers guarantee m != 0xF.
+inline std::size_t low_run4(int m) noexcept {
+  return static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(m ^ 0xF)));
+}
+
+std::size_t count_tail_ge_avx2(const double* v, std::size_t n,
+                               double bound) noexcept {
+  const __m256d b = _mm256_set1_pd(bound);
+  std::size_t c = 0;
+  while (c + 4 <= n) {
+    const __m256d x = _mm256_loadu_pd(v + n - c - 4);
+    const int m = _mm256_movemask_pd(_mm256_cmp_pd(x, b, _CMP_GE_OQ));
+    if (m != 0xF) return c + high_run4(m);
+    c += 4;
+  }
+  while (c < n && v[n - 1 - c] >= bound) ++c;
+  return c;
+}
+
+std::size_t count_tail_ge_stride2_avx2(const double* v, std::size_t n,
+                                       double bound) noexcept {
+  const __m256d b = _mm256_set1_pd(bound);
+  std::size_t c = 0;
+  while (c + 4 <= n) {
+    // Elements k..k+3 live at v[2k], v[2k+2], v[2k+4], v[2k+6]. The last
+    // valid double of the strided buffer is v[2n-2], so the top chunk
+    // may not load two full 32-byte vectors (that would touch v[2n-1]);
+    // the even lanes are assembled from 16/8-byte loads that stop at
+    // base[6] exactly.
+    const double* base = v + 2 * (n - c - 4);
+    const __m128d p01 = _mm_shuffle_pd(_mm_loadu_pd(base),
+                                       _mm_loadu_pd(base + 2), 0x0);
+    const __m128d p23 = _mm_shuffle_pd(_mm_loadu_pd(base + 4),
+                                       _mm_load_sd(base + 6), 0x0);
+    const __m256d ev = _mm256_set_m128d(p23, p01);
+    const int m = _mm256_movemask_pd(_mm256_cmp_pd(ev, b, _CMP_GE_OQ));
+    if (m != 0xF) return c + high_run4(m);
+    c += 4;
+  }
+  while (c < n && v[2 * (n - 1 - c)] >= bound) ++c;
+  return c;
+}
+
+std::size_t equal_prefix2_avx2(const double* a0, const double* a1,
+                               const double* b0, const double* b1,
+                               std::size_t n) noexcept {
+  std::size_t p = 0;
+  while (p + 4 <= n) {
+    const __m256d e0 = _mm256_cmp_pd(_mm256_loadu_pd(a0 + p),
+                                     _mm256_loadu_pd(b0 + p), _CMP_EQ_OQ);
+    const __m256d e1 = _mm256_cmp_pd(_mm256_loadu_pd(a1 + p),
+                                     _mm256_loadu_pd(b1 + p), _CMP_EQ_OQ);
+    const int m = _mm256_movemask_pd(_mm256_and_pd(e0, e1));
+    if (m != 0xF) return p + low_run4(m);
+    p += 4;
+  }
+  while (p < n && a0[p] == b0[p] && a1[p] == b1[p]) ++p;
+  return p;
+}
+
+std::size_t equal_suffix2_avx2(const double* a0, const double* a1,
+                               std::size_t an, const double* b0,
+                               const double* b1, std::size_t bn,
+                               std::size_t max_n) noexcept {
+  std::size_t s = 0;
+  while (s + 4 <= max_n) {
+    const __m256d e0 =
+        _mm256_cmp_pd(_mm256_loadu_pd(a0 + an - s - 4),
+                      _mm256_loadu_pd(b0 + bn - s - 4), _CMP_EQ_OQ);
+    const __m256d e1 =
+        _mm256_cmp_pd(_mm256_loadu_pd(a1 + an - s - 4),
+                      _mm256_loadu_pd(b1 + bn - s - 4), _CMP_EQ_OQ);
+    const int m = _mm256_movemask_pd(_mm256_and_pd(e0, e1));
+    if (m != 0xF) return s + high_run4(m);
+    s += 4;
+  }
+  while (s < max_n && a0[an - 1 - s] == b0[bn - 1 - s] &&
+         a1[an - 1 - s] == b1[bn - 1 - s])
+    ++s;
+  return s;
+}
+
+void lower_bound4_avx2(const double* grid, std::size_t n, const double* keys,
+                       std::uint32_t* out) noexcept {
+  if (n <= 96) {
+    // Small grids -- the delay-CDF regime, a few dozen log-spaced bins:
+    // on an ascending grid the lower_bound index equals the count of
+    // elements strictly below the key. One sweep serves all four keys
+    // (each chunk is loaded once and compared against every key), and
+    // the sweep stops as soon as a chunk holds nothing below the LARGEST
+    // key -- on an ascending grid no later element can count either.
+    // Delay keys cluster at the low end of the log grid, so the early
+    // exit usually fires after a few chunks; this beats both the branchy
+    // binary search (one mispredict per level) and a gathered branchless
+    // one (gathers cost more than the whole sweep here).
+    const double kmax = std::max(std::max(keys[0], keys[1]),
+                                 std::max(keys[2], keys[3]));
+    const __m256d vmax = _mm256_set1_pd(kmax);
+    const __m256d k0 = _mm256_set1_pd(keys[0]);
+    const __m256d k1 = _mm256_set1_pd(keys[1]);
+    const __m256d k2 = _mm256_set1_pd(keys[2]);
+    const __m256d k3 = _mm256_set1_pd(keys[3]);
+    __m256i a0 = _mm256_setzero_si256(), a1 = a0, a2 = a0, a3 = a0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d g = _mm256_loadu_pd(grid + i);
+      a0 = _mm256_sub_epi64(a0,
+                            _mm256_castpd_si256(_mm256_cmp_pd(g, k0, _CMP_LT_OQ)));
+      a1 = _mm256_sub_epi64(a1,
+                            _mm256_castpd_si256(_mm256_cmp_pd(g, k1, _CMP_LT_OQ)));
+      a2 = _mm256_sub_epi64(a2,
+                            _mm256_castpd_si256(_mm256_cmp_pd(g, k2, _CMP_LT_OQ)));
+      a3 = _mm256_sub_epi64(a3,
+                            _mm256_castpd_si256(_mm256_cmp_pd(g, k3, _CMP_LT_OQ)));
+      if (_mm256_movemask_pd(_mm256_cmp_pd(g, vmax, _CMP_LT_OQ)) != 0xF) {
+        i = n;  // chunk reached the largest key: later elements count 0
+        break;
+      }
+    }
+    // Horizontal reduction of the four per-key lane counters into
+    // [c0, c1, c2, c3] with two unpack+add rounds and one lane swap.
+    const __m256i s01 = _mm256_add_epi64(_mm256_unpacklo_epi64(a0, a1),
+                                         _mm256_unpackhi_epi64(a0, a1));
+    const __m256i s23 = _mm256_add_epi64(_mm256_unpacklo_epi64(a2, a3),
+                                         _mm256_unpackhi_epi64(a2, a3));
+    const __m256i c = _mm256_add_epi64(_mm256_permute2x128_si256(s01, s23, 0x20),
+                                       _mm256_permute2x128_si256(s01, s23, 0x31));
+    alignas(32) long long cnt[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(cnt), c);
+    for (; i < n && grid[i] < kmax; ++i) {
+      cnt[0] += grid[i] < keys[0];
+      cnt[1] += grid[i] < keys[1];
+      cnt[2] += grid[i] < keys[2];
+      cnt[3] += grid[i] < keys[3];
+    }
+    out[0] = static_cast<std::uint32_t>(cnt[0]);
+    out[1] = static_cast<std::uint32_t>(cnt[1]);
+    out[2] = static_cast<std::uint32_t>(cnt[2]);
+    out[3] = static_cast<std::uint32_t>(cnt[3]);
+    return;
+  }
+  // Large grids: four independent branchless halving searches; their
+  // dependency chains overlap, and L1 loads beat gathers.
+  for (int k = 0; k < 4; ++k) {
+    std::size_t base = 0, len = n;
+    while (len > 1) {
+      const std::size_t half = len / 2;
+      if (grid[base + half] < keys[k]) base += half;
+      len -= half;
+    }
+    out[k] = static_cast<std::uint32_t>(base +
+                                        (grid[base] < keys[k] ? 1u : 0u));
+  }
+}
+
+}  // namespace
+
+extern const Ops kAvx2Ops;
+const Ops kAvx2Ops = {
+    count_tail_ge_avx2,    count_tail_ge_stride2_avx2,
+    equal_prefix2_avx2,    equal_suffix2_avx2,
+    lower_bound4_avx2,     "avx2",
+};
+
+}  // namespace odtn::simd

@@ -1,0 +1,154 @@
+// SSE4.2 primitive table (2-wide double lanes). Compiled with -msse4.2;
+// entered only through the dispatch table after a CPUID check. Same
+// no-over-read / exact-comparison guarantees as the AVX2 variants; the
+// grid search counts below-key elements with 2-wide compare sweeps on
+// small grids and falls back to branchless halving on large ones.
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "util/simd.hpp"
+
+namespace odtn::simd {
+
+namespace {
+
+std::size_t count_tail_ge_sse42(const double* v, std::size_t n,
+                                double bound) noexcept {
+  const __m128d b = _mm_set1_pd(bound);
+  std::size_t c = 0;
+  while (c + 2 <= n) {
+    const __m128d x = _mm_loadu_pd(v + n - c - 2);
+    const int m = _mm_movemask_pd(_mm_cmpge_pd(x, b));
+    if (m != 0x3) return c + static_cast<std::size_t>((m >> 1) & 1);
+    c += 2;
+  }
+  if (c < n && v[n - 1 - c] >= bound) ++c;
+  return c;
+}
+
+std::size_t count_tail_ge_stride2_sse42(const double* v, std::size_t n,
+                                        double bound) noexcept {
+  const __m128d b = _mm_set1_pd(bound);
+  std::size_t c = 0;
+  while (c + 2 <= n) {
+    // Elements k, k+1 live at v[2k], v[2k+2]; the last valid double of
+    // the strided buffer is v[2n-2], so the pair is assembled from two
+    // scalar loads instead of 16-byte loads that would read past it.
+    const double* base = v + 2 * (n - c - 2);
+    const __m128d ev = _mm_set_pd(base[2], base[0]);
+    const int m = _mm_movemask_pd(_mm_cmpge_pd(ev, b));
+    if (m != 0x3) return c + static_cast<std::size_t>((m >> 1) & 1);
+    c += 2;
+  }
+  if (c < n && v[2 * (n - 1 - c)] >= bound) ++c;
+  return c;
+}
+
+std::size_t equal_prefix2_sse42(const double* a0, const double* a1,
+                                const double* b0, const double* b1,
+                                std::size_t n) noexcept {
+  std::size_t p = 0;
+  while (p + 2 <= n) {
+    const __m128d e0 =
+        _mm_cmpeq_pd(_mm_loadu_pd(a0 + p), _mm_loadu_pd(b0 + p));
+    const __m128d e1 =
+        _mm_cmpeq_pd(_mm_loadu_pd(a1 + p), _mm_loadu_pd(b1 + p));
+    const int m = _mm_movemask_pd(_mm_and_pd(e0, e1));
+    if (m != 0x3) return p + static_cast<std::size_t>(m & 1);
+    p += 2;
+  }
+  if (p < n && a0[p] == b0[p] && a1[p] == b1[p]) ++p;
+  return p;
+}
+
+std::size_t equal_suffix2_sse42(const double* a0, const double* a1,
+                                std::size_t an, const double* b0,
+                                const double* b1, std::size_t bn,
+                                std::size_t max_n) noexcept {
+  std::size_t s = 0;
+  while (s + 2 <= max_n) {
+    const __m128d e0 = _mm_cmpeq_pd(_mm_loadu_pd(a0 + an - s - 2),
+                                    _mm_loadu_pd(b0 + bn - s - 2));
+    const __m128d e1 = _mm_cmpeq_pd(_mm_loadu_pd(a1 + an - s - 2),
+                                    _mm_loadu_pd(b1 + bn - s - 2));
+    const int m = _mm_movemask_pd(_mm_and_pd(e0, e1));
+    if (m != 0x3) return s + static_cast<std::size_t>((m >> 1) & 1);
+    s += 2;
+  }
+  if (s < max_n && a0[an - 1 - s] == b0[bn - 1 - s] &&
+      a1[an - 1 - s] == b1[bn - 1 - s])
+    ++s;
+  return s;
+}
+
+void lower_bound4_sse42(const double* grid, std::size_t n, const double* keys,
+                        std::uint32_t* out) noexcept {
+  if (n <= 96) {
+    // Small grids (the delay-CDF regime): the lower_bound index on an
+    // ascending grid is the count of elements strictly below the key.
+    // One sweep serves all four keys (each chunk loaded once, compared
+    // against every key) and stops at the first chunk with nothing below
+    // the largest key -- later elements cannot count for any key.
+    const double kmax = std::max(std::max(keys[0], keys[1]),
+                                 std::max(keys[2], keys[3]));
+    const __m128d vmax = _mm_set1_pd(kmax);
+    const __m128d k0 = _mm_set1_pd(keys[0]);
+    const __m128d k1 = _mm_set1_pd(keys[1]);
+    const __m128d k2 = _mm_set1_pd(keys[2]);
+    const __m128d k3 = _mm_set1_pd(keys[3]);
+    __m128i a0 = _mm_setzero_si128(), a1 = a0, a2 = a0, a3 = a0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m128d g = _mm_loadu_pd(grid + i);
+      a0 = _mm_sub_epi64(a0, _mm_castpd_si128(_mm_cmplt_pd(g, k0)));
+      a1 = _mm_sub_epi64(a1, _mm_castpd_si128(_mm_cmplt_pd(g, k1)));
+      a2 = _mm_sub_epi64(a2, _mm_castpd_si128(_mm_cmplt_pd(g, k2)));
+      a3 = _mm_sub_epi64(a3, _mm_castpd_si128(_mm_cmplt_pd(g, k3)));
+      if (_mm_movemask_pd(_mm_cmplt_pd(g, vmax)) != 0x3) {
+        i = n;  // chunk reached the largest key: later elements count 0
+        break;
+      }
+    }
+    alignas(16) long long l0[2], l1[2], l2[2], l3[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(l0), a0);
+    _mm_store_si128(reinterpret_cast<__m128i*>(l1), a1);
+    _mm_store_si128(reinterpret_cast<__m128i*>(l2), a2);
+    _mm_store_si128(reinterpret_cast<__m128i*>(l3), a3);
+    long long cnt[4] = {l0[0] + l0[1], l1[0] + l1[1], l2[0] + l2[1],
+                        l3[0] + l3[1]};
+    for (; i < n && grid[i] < kmax; ++i) {
+      cnt[0] += grid[i] < keys[0];
+      cnt[1] += grid[i] < keys[1];
+      cnt[2] += grid[i] < keys[2];
+      cnt[3] += grid[i] < keys[3];
+    }
+    out[0] = static_cast<std::uint32_t>(cnt[0]);
+    out[1] = static_cast<std::uint32_t>(cnt[1]);
+    out[2] = static_cast<std::uint32_t>(cnt[2]);
+    out[3] = static_cast<std::uint32_t>(cnt[3]);
+    return;
+  }
+  for (int k = 0; k < 4; ++k) {
+    const double key = keys[k];
+    std::size_t base = 0, len = n;
+    while (len > 1) {
+      const std::size_t half = len / 2;
+      if (grid[base + half] < key) base += half;
+      len -= half;
+    }
+    out[k] = static_cast<std::uint32_t>(base + (grid[base] < key ? 1 : 0));
+  }
+}
+
+}  // namespace
+
+extern const Ops kSse42Ops;
+const Ops kSse42Ops = {
+    count_tail_ge_sse42,    count_tail_ge_stride2_sse42,
+    equal_prefix2_sse42,    equal_suffix2_sse42,
+    lower_bound4_sse42,     "sse42",
+};
+
+}  // namespace odtn::simd

@@ -30,6 +30,10 @@ echo "== tier-2b: parser + kernel fuzz smoke under ASan+UBSan =="
 ./build-sanitize/tools/odtn_fuzz --corpus tests/corpus
 ./build-sanitize/tools/odtn_fuzz --parser 300 --seed 1
 ./build-sanitize/tools/odtn_fuzz --kernel 300 --seed 1
+# Forced-scalar pass: pins the dispatch layer to the mandatory fallback
+# so the scalar kernels stay exercised under the sanitizers even on
+# AVX2 hardware (the default run sweeps scalar..best-supported).
+ODTN_SIMD=scalar ./build-sanitize/tools/odtn_fuzz --kernel 300 --seed 1
 
 echo "== tier-3: TSan build + concurrency suites =="
 cmake --preset tsan
