@@ -1,0 +1,272 @@
+// Sharded all-pairs engine bench (PR 7): the partitioned execution
+// layer (core/sharded_engine) vs the classic driver on trace-scale
+// workloads.
+//
+// Sections (rows land in bench_out/perf_shard.csv):
+//
+//   identity -- the hard gate: for every policy (contiguous,
+//               block-cyclic, degree-balanced) and shard count
+//               S in {1, 2, 3, 7}, the sharded all-pairs delay CDF must
+//               be BIT-identical to the unsharded run -- every CDF
+//               double, every diameter at every eps/tol, fixpoint,
+//               denominator -- and the additive EngineStats counters
+//               must match (workspace allocation/reuse counters are
+//               structural: one workspace per shard vs per worker).
+//               Every sharded run round-trips its ShardRequest and
+//               ShardResult through the versioned byte encodings, so
+//               the wire format is gated here too.
+//   locality -- shard-count timing sweep, REPORT ONLY (not gated):
+//               each shard runs against a private graph copy with a
+//               private arena pool, so on a multi-core host partitioned
+//               execution buys cache locality; this container is
+//               single-core, so the sweep documents the overhead/
+//               speedup trajectory rather than gating it.
+//
+// Emits machine-readable bench_out/BENCH_pr7.json (gate fields only on
+// gated records, bench_perf_engine conventions). Exit status is
+// non-zero iff a bit-identity check fails.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/diameter.hpp"
+#include "core/partition.hpp"
+#include "core/sharded_engine.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/generators.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time_format.hpp"
+
+using namespace odtn;
+
+namespace {
+
+double now_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Conference-style community trace, the regime of Figures 9-12.
+TemporalGraph make_workload_trace() {
+  SyntheticTraceSpec spec;
+  spec.name = "conference_shard";
+  spec.num_internal = 120;
+  spec.duration = 3 * kDay;
+  spec.pair_contacts_mean = 0.10;
+  spec.num_communities = 8;
+  spec.gatherings = {25.0, 0.2, 0.04, 10 * kMinute, 0.8, 0.05};
+  spec.profile = ActivityProfile::conference();
+  return generate_trace(spec, 7117).graph;
+}
+
+/// Bitwise result equality: CDFs, diameters, scalars. Additive stats
+/// must agree; workspace allocation/reuse counters are structural (per
+/// shard vs per worker) and are compared as a sum only.
+bool results_bit_identical(const DelayCdfResult& a, const DelayCdfResult& b,
+                           std::string* why) {
+  auto fail = [&](const char* what) {
+    if (why) *why = what;
+    return false;
+  };
+  if (a.grid != b.grid) return fail("grid");
+  if (a.cdf_by_hops != b.cdf_by_hops) return fail("cdf_by_hops");
+  if (a.cdf_unbounded != b.cdf_unbounded) return fail("cdf_unbounded");
+  if (a.fixpoint_hops != b.fixpoint_hops) return fail("fixpoint_hops");
+  if (a.converged != b.converged) return fail("converged");
+  if (a.denominator != b.denominator) return fail("denominator");
+  for (const double eps : {0.001, 0.01, 0.05, 0.1, 0.5}) {
+    if (a.diameter(eps) != b.diameter(eps)) return fail("diameter(eps)");
+    if (a.diameter_per_delay(eps) != b.diameter_per_delay(eps))
+      return fail("diameter_per_delay(eps)");
+  }
+  for (const double tol : {0.001, 0.01, 0.05})
+    if (a.diameter_absolute(tol) != b.diameter_absolute(tol))
+      return fail("diameter_absolute(tol)");
+  const EngineStats& s = a.stats;
+  const EngineStats& t = b.stats;
+  if (s.contacts_examined != t.contacts_examined ||
+      s.pairs_inserted != t.pairs_inserted ||
+      s.pairs_dominated != t.pairs_dominated ||
+      s.frontier_copies_avoided != t.frontier_copies_avoided ||
+      s.cdf_pairs_integrated != t.cdf_pairs_integrated ||
+      s.merge_batches != t.merge_batches)
+    return fail("additive EngineStats counters");
+  if (s.workspace_allocations + s.workspace_reuses !=
+      t.workspace_allocations + t.workspace_reuses)
+    return fail("workspace counter sum");
+  return true;
+}
+
+struct ShardRecord {
+  std::string section;
+  std::string policy;
+  std::size_t shards = 0;
+  double wall_ms = 0.0;
+  double speedup_vs_unsharded = 1.0;
+  bool gated = false;
+  bool bit_identical = true;
+  EngineStats stats;
+};
+
+int section_identity(CsvWriter& csv, std::vector<ShardRecord>& records,
+                     const TemporalGraph& g, const DelayCdfOptions& opt,
+                     const DelayCdfResult& reference, double base_ms) {
+  std::printf("\n-- identity: sharded vs unsharded, every policy x shard "
+              "count (gated) --\n");
+  int failures = 0;
+  for (const ShardPolicy policy :
+       {ShardPolicy::kContiguous, ShardPolicy::kBlockCyclic,
+        ShardPolicy::kDegreeBalanced}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 7u}) {
+      DelayCdfOptions sharded_opt = opt;
+      sharded_opt.sharding.num_shards = shards;
+      sharded_opt.sharding.policy = policy;
+      const double t0 = now_ms();
+      const DelayCdfResult run = compute_delay_cdf(g, sharded_opt);
+      const double wall = now_ms() - t0;
+      std::string why;
+      const bool ok = results_bit_identical(run, reference, &why);
+      std::printf("  %-16s S=%zu  %8.1f ms  diameter(0.01)=%d  %s%s\n",
+                  shard_policy_name(policy), shards, wall,
+                  run.diameter(0.01), ok ? "bit-identical" : "MISMATCH: ",
+                  ok ? "" : why.c_str());
+      if (!ok) ++failures;
+      csv.write_row({"identity", shard_policy_name(policy),
+                     std::to_string(shards), std::to_string(wall),
+                     std::to_string(base_ms / std::max(wall, 1e-9)),
+                     ok ? "1" : "0",
+                     std::to_string(run.stats.workspace_allocations),
+                     std::to_string(run.stats.workspace_reuses)});
+      records.push_back({"identity", shard_policy_name(policy), shards, wall,
+                         base_ms / std::max(wall, 1e-9), true, ok, run.stats});
+    }
+  }
+  bench::check(failures == 0,
+               "sharded CDFs and diameters bit-identical to unsharded for "
+               "every policy and shard count");
+  return failures;
+}
+
+void section_locality(CsvWriter& csv, std::vector<ShardRecord>& records,
+                      const TemporalGraph& g, const DelayCdfOptions& opt,
+                      double base_ms) {
+  std::printf("\n-- locality: shard-count timing sweep (report only) --\n");
+  std::printf("  unsharded baseline: %.1f ms (%u worker(s))\n", base_ms,
+              shared_thread_pool().num_workers());
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    DelayCdfOptions sharded_opt = opt;
+    sharded_opt.sharding.num_shards = shards;
+    sharded_opt.sharding.policy = ShardPolicy::kDegreeBalanced;
+    double wall = 1e300;
+    EngineStats stats;
+    for (int rep = 0; rep < 2; ++rep) {
+      const double t0 = now_ms();
+      const DelayCdfResult run = compute_delay_cdf(g, sharded_opt);
+      wall = std::min(wall, now_ms() - t0);
+      stats = run.stats;
+    }
+    const double speedup = base_ms / std::max(wall, 1e-9);
+    std::printf("  S=%zu degree-balanced: %8.1f ms (%.2fx vs unsharded)\n",
+                shards, wall, speedup);
+    csv.write_row({"locality", "degree-balanced", std::to_string(shards),
+                   std::to_string(wall), std::to_string(speedup), "",
+                   std::to_string(stats.workspace_allocations),
+                   std::to_string(stats.workspace_reuses)});
+    records.push_back({"locality", "degree-balanced", shards, wall, speedup,
+                       false, true, stats});
+  }
+  std::printf("  (single-core container: the sweep documents partitioning "
+              "overhead; per-shard private graphs + arenas pay off on "
+              "multi-core hosts)\n");
+}
+
+void write_bench_json_pr7(const std::vector<ShardRecord>& records,
+                          const TemporalGraph& g, double base_ms) {
+  const std::string path = "bench_out/BENCH_pr7.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("[json] could not open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_perf_shard\",\n  \"pr\": 7,\n"
+               "  \"metric\": \"sharded all-pairs engine vs unsharded\",\n"
+               "  \"workload\": {\"nodes\": %zu, \"contacts\": %zu},\n"
+               "  \"unsharded_wall_ms\": %.3f,\n  \"workers\": %u,\n"
+               "  \"records\": [\n",
+               g.num_nodes(), g.num_contacts(), base_ms,
+               shared_thread_pool().num_workers());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ShardRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"section\": \"%s\", \"policy\": \"%s\", "
+                 "\"shards\": %zu, \"wall_ms\": %.3f, "
+                 "\"speedup_vs_unsharded\": %.3f, ",
+                 r.section.c_str(), r.policy.c_str(), r.shards, r.wall_ms,
+                 r.speedup_vs_unsharded);
+    if (r.gated)
+      std::fprintf(f, "\"gate\": \"bit_identical\", \"gate_pass\": %s, ",
+                   r.bit_identical ? "true" : "false");
+    std::fprintf(
+        f,
+        "\"cdf_pairs_integrated\": %llu, \"workspace_allocations\": %llu, "
+        "\"workspace_reuses\": %llu}%s\n",
+        static_cast<unsigned long long>(r.stats.cdf_pairs_integrated),
+        static_cast<unsigned long long>(r.stats.workspace_allocations),
+        static_cast<unsigned long long>(r.stats.workspace_reuses),
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Sharded engine",
+                "partitioned source execution vs the classic all-pairs "
+                "driver: bit-identity gate + locality sweep");
+  const TemporalGraph g = make_workload_trace();
+  std::printf("  trace: %zu nodes, %zu contacts, %s\n", g.num_nodes(),
+              g.num_contacts(), format_duration(g.duration()).c_str());
+
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(2 * kMinute, kDay, 48);
+  opt.max_hops = 10;
+
+  // Unsharded reference, best of 2 (the result is identical across reps).
+  double base_ms = 1e300;
+  DelayCdfResult reference;
+  for (int rep = 0; rep < 2; ++rep) {
+    const double t0 = now_ms();
+    reference = compute_delay_cdf(g, opt);
+    base_ms = std::min(base_ms, now_ms() - t0);
+  }
+  std::printf("  unsharded: %.1f ms, diameter(0.01)=%d, fixpoint=%d\n",
+              base_ms, reference.diameter(0.01), reference.fixpoint_hops);
+
+  CsvWriter csv(bench::csv_path("perf_shard"));
+  csv.write_row({"section", "policy", "shards", "wall_ms",
+                 "speedup_vs_unsharded", "bit_identical",
+                 "workspace_allocations", "workspace_reuses"});
+
+  std::vector<ShardRecord> records;
+  const int failures =
+      section_identity(csv, records, g, opt, reference, base_ms);
+  section_locality(csv, records, g, opt, base_ms);
+  write_bench_json_pr7(records, g, base_ms);
+  std::printf("[csv] wrote %s\n", bench::csv_path("perf_shard").c_str());
+
+  if (failures) {
+    std::printf("\n%d bit-identity check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall bit-identity checks passed\n");
+  return 0;
+}

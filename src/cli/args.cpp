@@ -61,6 +61,13 @@ long parse_long(const std::string& text, std::string_view what) {
   return value;
 }
 
+unsigned long parse_count(const std::string& text, std::string_view what) {
+  const long value = parse_long(text, what);
+  if (value < 0)
+    throw CliError("--" + std::string(what) + " must be >= 0, got " + text);
+  return static_cast<unsigned long>(value);
+}
+
 double parse_duration(const std::string& text, std::string_view what) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);

@@ -48,6 +48,11 @@ class ArgList {
 double parse_double(const std::string& text, std::string_view what);
 long parse_long(const std::string& text, std::string_view what);
 
+/// parse_long for values stored unsigned (counts, node ids, seeds):
+/// rejects negatives with a clear CliError instead of letting a later
+/// static_cast silently wrap them into huge values.
+unsigned long parse_count(const std::string& text, std::string_view what);
+
 /// Parses durations like "90", "10min", "6h", "2d", "1wk" into seconds.
 double parse_duration(const std::string& text, std::string_view what);
 

@@ -1,10 +1,13 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <optional>
 
 #include "cli/args.hpp"
 #include "core/diameter.hpp"
+#include "core/partition.hpp"
 #include "core/path_enumeration.hpp"
 #include "core/reachability.hpp"
 #include "random/phase_transition.hpp"
@@ -51,14 +54,17 @@ int cmd_generate(ArgList args) {
   std::optional<DatasetPreset> preset;
   for (auto& d : all_datasets()) {
     std::string lower = d.spec.name;
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    // tolower on a plain char is UB for negative (non-ASCII) bytes;
+    // widen through unsigned char per the cctype contract.
+    for (char& c : lower)
+      c = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
     if (lower == preset_name || d.spec.name == preset_name) preset = d;
   }
   if (!preset)
     throw CliError("unknown preset '" + preset_name +
                    "' (try infocom05, infocom06, hong-kong, realitymining)");
-  if (seed) preset->seed = static_cast<std::uint64_t>(
-      parse_long(*seed, "seed"));
+  if (seed) preset->seed = parse_count(*seed, "seed");
   const auto trace = preset->generate();
   write_trace_file(out, trace.graph);
   std::printf("wrote %s: %zu nodes (%zu experimental), %zu contacts, %s\n",
@@ -105,6 +111,8 @@ int cmd_cdf(ArgList args) {
   const auto grid_lo = args.take_option("grid-lo");
   const auto grid_hi = args.take_option("grid-hi");
   const auto daytime = args.take_option("daytime");
+  const auto shards = args.take_option("shards");
+  const auto shard_policy = args.take_option("shard-policy");
   const unsigned num_threads = take_threads(args);
   args.expect_empty();
 
@@ -133,17 +141,31 @@ int cmd_cdf(ArgList args) {
   opt.grid = make_log_grid(lo, hi, 40);
   opt.max_hops =
       max_hops ? static_cast<int>(parse_long(*max_hops, "max-hops")) : 10;
+  if (opt.max_hops < 1) throw CliError("--max-hops must be >= 1");
   opt.num_threads = num_threads;
+  if (shards) opt.sharding.num_shards = parse_count(*shards, "shards");
+  if (shard_policy) {
+    const auto policy = parse_shard_policy(*shard_policy);
+    if (!policy)
+      throw CliError("unknown --shard-policy '" + *shard_policy +
+                     "' (contiguous, block-cyclic or degree-balanced)");
+    opt.sharding.policy = *policy;
+  }
   const double epsilon = eps ? parse_double(*eps, "eps") : 0.01;
 
   const auto result = compute_delay_cdf(g, opt);
+  // Hop columns are driven by what the engine actually produced, never
+  // past cdf_by_hops.size() -- a result truncated below the requested
+  // budget must not turn into an out-of-range read.
+  const int hop_columns =
+      std::min<int>(opt.max_hops, static_cast<int>(result.cdf_by_hops.size()));
   std::printf("%-12s", "delay");
-  for (int k = 1; k <= opt.max_hops; k += (k < 4 ? 1 : 2))
+  for (int k = 1; k <= hop_columns; k += (k < 4 ? 1 : 2))
     std::printf(" %6d", k);
   std::printf(" %6s\n", "inf");
   for (std::size_t j = 0; j < result.grid.size(); j += 3) {
     std::printf("%-12s", format_duration(result.grid[j]).c_str());
-    for (int k = 1; k <= opt.max_hops; k += (k < 4 ? 1 : 2))
+    for (int k = 1; k <= hop_columns; k += (k < 4 ? 1 : 2))
       std::printf(" %6.4f", result.cdf_by_hops[k - 1][j]);
     std::printf(" %6.4f\n", result.cdf_unbounded[j]);
   }
@@ -183,6 +205,10 @@ int cmd_cdf(ArgList args) {
         static_cast<unsigned long long>(result.stats.merge_batches),
         static_cast<unsigned long long>(result.stats.pairs_peak),
         static_cast<unsigned long long>(result.stats.arena_bytes_peak));
+  if (opt.sharding.num_shards > 0)
+    std::printf("shard:  %zu shard(s), %s policy\n",
+                opt.sharding.num_shards,
+                shard_policy_name(opt.sharding.policy));
   return 0;
 }
 
@@ -233,8 +259,7 @@ int cmd_filter(ArgList args) {
                              parse_duration(*window_hi, "window-hi"));
   }
   if (internal)
-    g = keep_internal_contacts(
-        g, static_cast<std::size_t>(parse_long(*internal, "internal")));
+    g = keep_internal_contacts(g, parse_count(*internal, "internal"));
   if (min_duration)
     g = remove_contacts_shorter_than(
         g, parse_duration(*min_duration, "min-duration"));
@@ -242,7 +267,7 @@ int cmd_filter(ArgList args) {
     const double keep = parse_double(*keep_prob, "keep-prob");
     if (keep < 0.0 || keep > 1.0)
       throw CliError("--keep-prob must be in [0, 1]");
-    Rng rng(seed ? static_cast<std::uint64_t>(parse_long(*seed, "seed")) : 1);
+    Rng rng(seed ? parse_count(*seed, "seed") : 1);
     g = remove_contacts_random(g, 1.0 - keep, rng);
   }
   write_trace_file(out, g);
@@ -276,8 +301,7 @@ int cmd_mc(ArgList args) {
   // (§3.2), driven by the deterministic parallel harness: the estimate
   // depends on --seed and --trials only, never on --threads.
   const std::string contact_case = required_option(args, "case");
-  const auto n = static_cast<std::size_t>(
-      parse_long(required_option(args, "n"), "n"));
+  const std::size_t n = parse_count(required_option(args, "n"), "n");
   const double lambda = parse_double(required_option(args, "lambda"), "lambda");
   const auto tau_opt = args.take_option("tau");
   const auto gamma_opt = args.take_option("gamma");
@@ -306,11 +330,10 @@ int cmd_mc(ArgList args) {
       tau_opt ? parse_double(*tau_opt, "tau")
               : (mode == ContactCase::kShort ? delay_constant_short(lambda)
                                              : delay_constant_long(lambda));
-  const auto trials = static_cast<std::size_t>(
-      trials_opt ? parse_long(*trials_opt, "trials") : 200);
+  const std::size_t trials =
+      trials_opt ? parse_count(*trials_opt, "trials") : 200;
   if (trials == 0) throw CliError("--trials must be >= 1");
-  const auto seed = static_cast<std::uint64_t>(
-      seed_opt ? parse_long(*seed_opt, "seed") : 1);
+  const std::uint64_t seed = seed_opt ? parse_count(*seed_opt, "seed") : 1;
 
   const auto probe = probe_path_probability(n, lambda, tau, gamma, mode,
                                             trials, {seed, num_threads});
@@ -328,9 +351,9 @@ int cmd_mc(ArgList args) {
 int cmd_route(ArgList args) {
   const std::string path = required_positional(args, "trace file");
   const auto src = static_cast<NodeId>(
-      parse_long(required_option(args, "src"), "src"));
+      parse_count(required_option(args, "src"), "src"));
   const auto dst = static_cast<NodeId>(
-      parse_long(required_option(args, "dst"), "dst"));
+      parse_count(required_option(args, "dst"), "dst"));
   const auto time = args.take_option("time");
   args.expect_empty();
 
@@ -388,7 +411,8 @@ std::string usage_text() {
          "                                      report, canonicalization +\n"
          "                                      node-count cross-check\n"
          "  cdf <trace> [--max-hops K] [--eps E] [--daytime H-H]\n"
-         "      [--grid-lo D --grid-hi D] [--threads W]\n"
+         "      [--grid-lo D --grid-hi D] [--threads W] [--shards S\n"
+         "      [--shard-policy contiguous|block-cyclic|degree-balanced]]\n"
          "                                      delay CDFs + diameter\n"
          "  mc --case <short|long> --n N --lambda L [--tau T] [--gamma G]\n"
          "     [--trials K] [--seed S] [--threads W]\n"

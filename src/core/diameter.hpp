@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/optimal_paths.hpp"
+#include "core/partition.hpp"
 #include "core/temporal_graph.hpp"
 
 namespace odtn {
@@ -84,6 +85,12 @@ struct DelayCdfOptions {
   /// observed, tests gate at 1e-9) and are cross-checked in
   /// bench_perf_engine.
   CdfAccumulation accumulation = CdfAccumulation::kAuto;
+
+  /// Opt-in sharded execution (num_shards >= 1 routes through
+  /// core/sharded_engine; 0, the default, keeps the classic driver).
+  /// Results are bit-identical either way: both drivers fold the same
+  /// per-source partials in canonical endpoint-index order.
+  ShardingOptions sharding;
 };
 
 /// All-pairs/all-start-times delay CDFs per hop budget.

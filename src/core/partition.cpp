@@ -1,0 +1,98 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace odtn {
+
+const char* shard_policy_name(ShardPolicy policy) noexcept {
+  switch (policy) {
+    case ShardPolicy::kContiguous:
+      return "contiguous";
+    case ShardPolicy::kBlockCyclic:
+      return "block-cyclic";
+    case ShardPolicy::kDegreeBalanced:
+      return "degree-balanced";
+  }
+  return "unknown";
+}
+
+std::optional<ShardPolicy> parse_shard_policy(std::string_view name) noexcept {
+  if (name == "contiguous") return ShardPolicy::kContiguous;
+  if (name == "block-cyclic") return ShardPolicy::kBlockCyclic;
+  if (name == "degree-balanced") return ShardPolicy::kDegreeBalanced;
+  return std::nullopt;
+}
+
+SourcePartition partition_sources(const TemporalGraph& graph,
+                                  const std::vector<NodeId>& endpoints,
+                                  std::size_t num_shards, ShardPolicy policy,
+                                  std::size_t block_size) {
+  if (num_shards == 0)
+    throw std::invalid_argument("partition_sources: num_shards must be >= 1");
+  if (block_size == 0)
+    throw std::invalid_argument("partition_sources: block_size must be >= 1");
+  for (NodeId n : endpoints) {
+    if (n >= graph.num_nodes())
+      throw std::invalid_argument("partition_sources: endpoint out of range");
+  }
+  const std::size_t count = endpoints.size();
+  SourcePartition part;
+  part.num_shards = num_shards;
+  part.shard_of.assign(count, 0);
+
+  switch (policy) {
+    case ShardPolicy::kContiguous: {
+      // base per shard, the first `extra` shards take one more.
+      const std::size_t base = count / num_shards;
+      const std::size_t extra = count % num_shards;
+      std::size_t next = 0;
+      for (std::size_t s = 0; s < num_shards && next < count; ++s) {
+        const std::size_t take = base + (s < extra ? 1 : 0);
+        for (std::size_t i = 0; i < take; ++i)
+          part.shard_of[next++] = static_cast<std::uint32_t>(s);
+      }
+      break;
+    }
+    case ShardPolicy::kBlockCyclic: {
+      for (std::size_t i = 0; i < count; ++i)
+        part.shard_of[i] =
+            static_cast<std::uint32_t>((i / block_size) % num_shards);
+      break;
+    }
+    case ShardPolicy::kDegreeBalanced: {
+      // Longest processing time first: heaviest sources placed while
+      // every shard is still light. Weights are contact counts + 1 so
+      // isolated nodes still spread instead of piling on shard 0.
+      std::vector<std::uint32_t> order(count);
+      for (std::size_t i = 0; i < count; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+      std::vector<std::uint64_t> weight(count);
+      for (std::size_t i = 0; i < count; ++i)
+        weight[i] = graph.contacts_of(endpoints[i]).size() + 1;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         if (weight[a] != weight[b])
+                           return weight[a] > weight[b];
+                         return a < b;
+                       });
+      std::vector<std::uint64_t> load(num_shards, 0);
+      for (const std::uint32_t i : order) {
+        std::size_t lightest = 0;
+        for (std::size_t s = 1; s < num_shards; ++s)
+          if (load[s] < load[lightest]) lightest = s;
+        part.shard_of[i] = static_cast<std::uint32_t>(lightest);
+        load[lightest] += weight[i];
+      }
+      break;
+    }
+  }
+
+  part.members.resize(num_shards);
+  for (std::size_t i = 0; i < count; ++i)
+    part.members[part.shard_of[i]].push_back(static_cast<std::uint32_t>(i));
+  return part;
+}
+
+}  // namespace odtn

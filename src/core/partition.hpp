@@ -1,0 +1,98 @@
+// Source-set partitioning for the sharded all-pairs engine.
+//
+// The all-pairs delay-CDF computation is embarrassingly parallel over
+// SOURCES: each single-source DP reads the whole contact set but writes
+// only its own accumulators. A shard therefore owns a subset of the
+// source positions while relays and destinations stay global -- the
+// "graph slice" each shard works on is a private copy of the full
+// contact array (cache/NUMA locality on one host, a per-process load in
+// a future multi-process backend), and the partition proper is the
+// explicit source->shard assignment plus the local/global index maps
+// built here.
+//
+// Index vocabulary (used consistently across partition / sharded_engine):
+//   endpoint index  -- position in the caller's endpoint list, the
+//                      CANONICAL merge position: the all-pairs total is
+//                      always folded in ascending endpoint index, so any
+//                      shard count and any policy reproduce the exact
+//                      rounding of the unsharded run.
+//   local index     -- position within one shard's owned list.
+//   global node id  -- NodeId in the TemporalGraph.
+// `SourcePartition::members[s]` maps local -> endpoint index;
+// `SourcePartition::shard_of` maps endpoint index -> shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// How source positions are dealt across shards. Every policy is
+/// deterministic: the same (graph, endpoints, num_shards) input always
+/// yields the same assignment.
+enum class ShardPolicy : std::uint8_t {
+  /// Nearly-equal contiguous ranges of the endpoint list (the first
+  /// `count % num_shards` shards take one extra). Best spatial locality
+  /// when neighboring ids correlate with mobility communities.
+  kContiguous = 0,
+  /// Fixed-size blocks dealt round-robin. Spreads id-correlated hot
+  /// regions across shards at block granularity.
+  kBlockCyclic = 1,
+  /// Greedy longest-processing-time balance on per-source contact
+  /// counts: sources are assigned in descending contact-count order
+  /// (ties by ascending endpoint index) to the currently lightest shard
+  /// (ties by lowest shard id). Evens out heterogeneous per-source DP
+  /// cost that the blind policies can concentrate in one shard.
+  kDegreeBalanced = 2,
+};
+
+/// Stable lower-case name ("contiguous", "block-cyclic",
+/// "degree-balanced"); used by the CLI, benches and fuzzer.
+const char* shard_policy_name(ShardPolicy policy) noexcept;
+
+/// Inverse of shard_policy_name; nullopt for unknown names.
+std::optional<ShardPolicy> parse_shard_policy(std::string_view name) noexcept;
+
+/// Opt-in sharded execution of compute_delay_cdf: split the source set
+/// across `num_shards` shards, each running shard-local all-pairs on a
+/// private graph copy with its own engine arena, results merged through
+/// the versioned shard message interface (core/sharded_engine.hpp).
+/// num_shards == 0 selects the classic unsharded driver; any value >= 1
+/// routes through the sharded one (S == 1 exercises the full message
+/// round-trip and is bit-identical to unsharded, like every other S).
+struct ShardingOptions {
+  std::size_t num_shards = 0;
+  ShardPolicy policy = ShardPolicy::kContiguous;
+  /// kBlockCyclic deal granularity (sources per block).
+  std::size_t block_size = 8;
+};
+
+/// An explicit source->shard assignment over `count` endpoint positions.
+struct SourcePartition {
+  std::size_t num_shards = 0;
+  /// endpoint index -> owning shard.
+  std::vector<std::uint32_t> shard_of;
+  /// members[s] = endpoint indices owned by shard s, ascending (the
+  /// shard's local->global position map; ascending order keeps each
+  /// shard's result partials pre-sorted for the canonical merge).
+  std::vector<std::vector<std::uint32_t>> members;
+};
+
+/// Partitions the endpoint positions [0, endpoints.size()) across
+/// `num_shards` shards under `policy`. `graph` supplies the per-source
+/// weights of kDegreeBalanced (contact counts); `block_size` is the
+/// kBlockCyclic deal granularity. Shards may end up empty when
+/// num_shards exceeds the endpoint count. Throws std::invalid_argument
+/// when num_shards or block_size is zero, or an endpoint id is out of
+/// range.
+SourcePartition partition_sources(const TemporalGraph& graph,
+                                  const std::vector<NodeId>& endpoints,
+                                  std::size_t num_shards, ShardPolicy policy,
+                                  std::size_t block_size = 8);
+
+}  // namespace odtn

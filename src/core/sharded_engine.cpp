@@ -1,0 +1,416 @@
+#include "core/sharded_engine.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace odtn {
+namespace {
+
+/// Little-endian append-only writer. Doubles are copied by bit pattern
+/// (memcpy), so every value -- including signed zeros and infinities --
+/// round-trips exactly.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_raw(&v, sizeof v); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_i32(std::int32_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+  void put_bytes(const void* data, std::size_t n) { put_raw(data, n); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void put_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over one message buffer. Every overrun --
+/// truncated buffer, lying length prefix -- throws std::runtime_error;
+/// finish() rejects trailing garbage so decode(encode()) is exact.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size, const char* what)
+      : data_(data), size_(size), what_(what) {}
+
+  std::uint8_t take_u8() { return take<std::uint8_t>(); }
+  std::uint16_t take_u16() { return take<std::uint16_t>(); }
+  std::uint32_t take_u32() { return take<std::uint32_t>(); }
+  std::uint64_t take_u64() { return take<std::uint64_t>(); }
+  std::int32_t take_i32() { return take<std::int32_t>(); }
+  double take_f64() { return take<double>(); }
+
+  /// Length-prefix sanity: a count of fixed-size records must fit in the
+  /// remaining bytes, otherwise a lying prefix would drive a giant
+  /// allocation before the per-element reads hit the bounds check.
+  std::size_t take_count(std::size_t element_size) {
+    const std::uint64_t n = take_u64();
+    if (element_size > 0 && n > (size_ - pos_) / element_size) fail();
+    return static_cast<std::size_t>(n);
+  }
+
+  void take_bytes(void* out, std::size_t n) {
+    if (size_ - pos_ < n) fail();
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  void finish() const {
+    if (pos_ != size_)
+      throw std::runtime_error(std::string(what_) +
+                               ": trailing bytes after message");
+  }
+
+ private:
+  template <typename T>
+  T take() {
+    T v;
+    take_bytes(&v, sizeof v);
+    return v;
+  }
+  [[noreturn]] void fail() const {
+    throw std::runtime_error(std::string(what_) + ": truncated buffer");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+void put_accumulator(ByteWriter& w, const MeasureCdfAccumulator& acc) {
+  for (const double v : acc.const_diff()) w.put_f64(v);
+  for (const double v : acc.slope_diff()) w.put_f64(v);
+  w.put_f64(acc.denominator());
+}
+
+void take_accumulator(ByteReader& r, std::size_t grid_size,
+                      MeasureCdfAccumulator& acc) {
+  std::vector<double> const_diff(grid_size + 1), slope_diff(grid_size + 1);
+  for (double& v : const_diff) v = r.take_f64();
+  for (double& v : slope_diff) v = r.take_f64();
+  acc.restore_raw(const_diff, slope_diff, r.take_f64());
+}
+
+void put_stats(ByteWriter& w, const EngineStats& s) {
+  w.put_u64(s.contacts_examined);
+  w.put_u64(s.pairs_inserted);
+  w.put_u64(s.pairs_dominated);
+  w.put_u64(s.frontier_copies_avoided);
+  w.put_u64(s.workspace_allocations);
+  w.put_u64(s.workspace_reuses);
+  w.put_u64(s.cdf_pairs_integrated);
+  w.put_u64(s.merge_batches);
+  w.put_u64(s.pairs_peak);
+  w.put_u64(s.arena_bytes_peak);
+}
+
+EngineStats take_stats(ByteReader& r) {
+  EngineStats s;
+  s.contacts_examined = r.take_u64();
+  s.pairs_inserted = r.take_u64();
+  s.pairs_dominated = r.take_u64();
+  s.frontier_copies_avoided = r.take_u64();
+  s.workspace_allocations = r.take_u64();
+  s.workspace_reuses = r.take_u64();
+  s.cdf_pairs_integrated = r.take_u64();
+  s.merge_batches = r.take_u64();
+  s.pairs_peak = r.take_u64();
+  s.arena_bytes_peak = r.take_u64();
+  return s;
+}
+
+void check_header(ByteReader& r, std::uint32_t magic, std::uint16_t version,
+                  const char* what) {
+  if (r.take_u32() != magic)
+    throw std::runtime_error(std::string(what) + ": bad magic");
+  if (r.take_u16() != version)
+    throw std::runtime_error(std::string(what) + ": unsupported version");
+}
+
+}  // namespace
+
+std::string graph_transform_key(const TemporalGraph& graph) {
+  // num_nodes/num_contacts/directedness plus the bit patterns of the
+  // span endpoints: cheap, stable across copies, and any trace transform
+  // (filter, window restriction, import) perturbs at least one field.
+  std::uint64_t start_bits = 0, end_bits = 0;
+  const double start = graph.start_time(), end = graph.end_time();
+  std::memcpy(&start_bits, &start, sizeof start_bits);
+  std::memcpy(&end_bits, &end, sizeof end_bits);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "trace:n%zu:c%zu:d%d:s%016llx:e%016llx",
+                graph.num_nodes(), graph.num_contacts(),
+                graph.directed() ? 1 : 0,
+                static_cast<unsigned long long>(start_bits),
+                static_cast<unsigned long long>(end_bits));
+  return buf;
+}
+
+std::vector<std::uint8_t> ShardRequest::encode() const {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u16(kVersion);
+  w.put_u32(shard_id);
+  w.put_u32(num_shards);
+  w.put_u8(static_cast<std::uint8_t>(policy));
+  w.put_u8(static_cast<std::uint8_t>(engine));
+  w.put_u8(incremental ? 1 : 0);
+  w.put_i32(max_hops);
+  w.put_i32(max_levels);
+  w.put_u64(grid.size());
+  for (const double v : grid) w.put_f64(v);
+  w.put_u64(windows.size());
+  for (const auto& [lo, hi] : windows) {
+    w.put_f64(lo);
+    w.put_f64(hi);
+  }
+  w.put_u64(endpoints.size());
+  for (const NodeId n : endpoints) w.put_u32(n);
+  w.put_u64(sources.size());
+  for (const std::uint32_t s : sources) w.put_u32(s);
+  w.put_u64(transform_key.size());
+  w.put_bytes(transform_key.data(), transform_key.size());
+  return w.take();
+}
+
+ShardRequest ShardRequest::decode(const std::uint8_t* data,
+                                  std::size_t size) {
+  ByteReader r(data, size, "ShardRequest");
+  check_header(r, kMagic, kVersion, "ShardRequest");
+  ShardRequest req;
+  req.shard_id = r.take_u32();
+  req.num_shards = r.take_u32();
+  const std::uint8_t policy = r.take_u8();
+  if (policy > static_cast<std::uint8_t>(ShardPolicy::kDegreeBalanced))
+    throw std::runtime_error("ShardRequest: unknown shard policy");
+  req.policy = static_cast<ShardPolicy>(policy);
+  const std::uint8_t engine = r.take_u8();
+  if (engine > static_cast<std::uint8_t>(EngineMode::kLevelSweep))
+    throw std::runtime_error("ShardRequest: unknown engine mode");
+  req.engine = static_cast<EngineMode>(engine);
+  req.incremental = r.take_u8() != 0;
+  req.max_hops = r.take_i32();
+  req.max_levels = r.take_i32();
+  req.grid.resize(r.take_count(sizeof(double)));
+  for (double& v : req.grid) v = r.take_f64();
+  req.windows.resize(r.take_count(2 * sizeof(double)));
+  for (auto& [lo, hi] : req.windows) {
+    lo = r.take_f64();
+    hi = r.take_f64();
+  }
+  req.endpoints.resize(r.take_count(sizeof(std::uint32_t)));
+  for (NodeId& n : req.endpoints) n = r.take_u32();
+  req.sources.resize(r.take_count(sizeof(std::uint32_t)));
+  for (std::uint32_t& s : req.sources) s = r.take_u32();
+  req.transform_key.resize(r.take_count(1));
+  r.take_bytes(req.transform_key.data(), req.transform_key.size());
+  r.finish();
+  return req;
+}
+
+std::vector<std::uint8_t> ShardResult::encode() const {
+  // Grid and hop-budget count ride in the header (taken from the first
+  // partial) so the message is self-describing even to a decoder that
+  // never saw the request.
+  const std::vector<double>* grid = nullptr;
+  std::size_t max_hops = 0;
+  if (!partials.empty()) {
+    grid = &partials.front().second.unbounded.grid();
+    max_hops = partials.front().second.by_hops.size();
+  }
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u16(kVersion);
+  w.put_u32(shard_id);
+  w.put_u8(converged ? 1 : 0);
+  w.put_i32(fixpoint_hops);
+  put_stats(w, stats);
+  w.put_u64(grid ? grid->size() : 0);
+  if (grid)
+    for (const double v : *grid) w.put_f64(v);
+  w.put_u32(static_cast<std::uint32_t>(max_hops));
+  w.put_u64(partials.size());
+  for (const auto& [index, partial] : partials) {
+    w.put_u32(index);
+    w.put_i32(partial.fixpoint_hops);
+    w.put_u8(partial.converged ? 1 : 0);
+    for (const MeasureCdfAccumulator& acc : partial.by_hops)
+      put_accumulator(w, acc);
+    put_accumulator(w, partial.unbounded);
+  }
+  return w.take();
+}
+
+ShardResult ShardResult::decode(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, "ShardResult");
+  check_header(r, kMagic, kVersion, "ShardResult");
+  ShardResult res;
+  res.shard_id = r.take_u32();
+  res.converged = r.take_u8() != 0;
+  res.fixpoint_hops = r.take_i32();
+  res.stats = take_stats(r);
+  std::vector<double> grid(r.take_count(sizeof(double)));
+  for (double& v : grid) v = r.take_f64();
+  const std::uint32_t max_hops = r.take_u32();
+  // Each partial carries (max_hops + 1) accumulators of 2*(M+1)+1
+  // doubles plus its 9-byte header.
+  const std::size_t partial_bytes =
+      (static_cast<std::size_t>(max_hops) + 1) *
+          (2 * (grid.size() + 1) + 1) * sizeof(double) +
+      9;
+  const std::size_t count = r.take_count(partial_bytes);
+  if (count > 0 && (grid.empty() || max_hops == 0))
+    throw std::runtime_error("ShardResult: partials without grid/hops");
+  res.partials.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t index = r.take_u32();
+    SourceCdfPartial partial(grid, static_cast<int>(max_hops));
+    partial.fixpoint_hops = r.take_i32();
+    partial.converged = r.take_u8() != 0;
+    for (MeasureCdfAccumulator& acc : partial.by_hops)
+      take_accumulator(r, grid.size(), acc);
+    take_accumulator(r, grid.size(), partial.unbounded);
+    res.partials.emplace_back(index, std::move(partial));
+  }
+  r.finish();
+  return res;
+}
+
+ShardResult run_shard(const TemporalGraph& slice,
+                      const ShardRequest& request) {
+  if (request.grid.empty())
+    throw std::invalid_argument("run_shard: empty grid");
+  if (request.max_hops < 1)
+    throw std::invalid_argument("run_shard: max_hops must be >= 1");
+  if (request.incremental && request.engine == EngineMode::kLevelSweep)
+    throw std::invalid_argument(
+        "run_shard: incremental accumulation requires a delta engine");
+  if (!request.transform_key.empty() &&
+      request.transform_key != graph_transform_key(slice))
+    throw std::invalid_argument(
+        "run_shard: transform key mismatch (request targets a different "
+        "graph slice)");
+  for (const NodeId n : request.endpoints) {
+    if (n >= slice.num_nodes())
+      throw std::invalid_argument("run_shard: endpoint out of range");
+  }
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < request.sources.size(); ++i) {
+    const std::uint32_t s = request.sources[i];
+    if (s >= request.endpoints.size())
+      throw std::invalid_argument("run_shard: source index out of range");
+    if (i > 0 && s <= prev)
+      throw std::invalid_argument("run_shard: sources must be ascending");
+    prev = s;
+  }
+
+  std::vector<std::uint8_t> is_endpoint(slice.num_nodes(), 0);
+  for (const NodeId n : request.endpoints) is_endpoint[n] = 1;
+
+  // One recycled engine workspace per shard (the shard's private
+  // PairArena pool under kPooled); sources run serially in ascending
+  // order -- shard-level parallelism comes from running shards
+  // concurrently, not from threading inside one shard.
+  SourceCdfWorker worker;
+  SourceCdfPartial scratch(request.grid, request.max_hops);
+  ShardResult out;
+  out.shard_id = request.shard_id;
+  out.partials.reserve(request.sources.size());
+  for (const std::uint32_t index : request.sources) {
+    scratch.clear();
+    process_source(slice, request.endpoints[index], request.endpoints,
+                   is_endpoint, request.windows, request.max_hops,
+                   request.max_levels, request.engine, request.incremental,
+                   worker, scratch);
+    out.fixpoint_hops = std::max(out.fixpoint_hops, scratch.fixpoint_hops);
+    out.converged = out.converged && scratch.converged;
+    out.partials.emplace_back(index, scratch);
+  }
+  out.stats = worker.take_stats();
+  return out;
+}
+
+DelayCdfResult compute_delay_cdf_sharded(const TemporalGraph& graph,
+                                         const DelayCdfOptions& options,
+                                         const ShardingOptions& sharding) {
+  if (options.grid.empty())
+    throw std::invalid_argument("compute_delay_cdf: empty grid");
+  if (options.max_hops < 1)
+    throw std::invalid_argument("compute_delay_cdf: max_hops must be >= 1");
+  if (sharding.num_shards == 0)
+    throw std::invalid_argument(
+        "compute_delay_cdf_sharded: num_shards must be >= 1");
+
+  const TimeWindows w = resolve_cdf_windows(graph, options);
+  const std::vector<NodeId> endpoints = resolve_cdf_endpoints(graph, options);
+  const bool incremental = use_incremental_accumulation(options);
+  const SourcePartition part =
+      partition_sources(graph, endpoints, sharding.num_shards,
+                        sharding.policy, sharding.block_size);
+
+  ShardRequest base;
+  base.num_shards = static_cast<std::uint32_t>(sharding.num_shards);
+  base.policy = sharding.policy;
+  base.engine = options.engine;
+  base.incremental = incremental;
+  base.max_hops = options.max_hops;
+  base.max_levels = options.max_levels;
+  base.grid = options.grid;
+  base.windows = w;
+  base.endpoints = endpoints;
+  base.transform_key = graph_transform_key(graph);
+
+  std::optional<ThreadPool> local_pool;
+  if (options.num_threads != 0) local_pool.emplace(options.num_threads);
+  ThreadPool& pool = local_pool ? *local_pool : shared_thread_pool();
+
+  // Every shard boundary crossing goes through the byte encoding, both
+  // directions, even in-process: the wire format is load-bearing on
+  // every run, not just in its unit tests.
+  std::vector<std::optional<ShardResult>> results(sharding.num_shards);
+  pool.parallel_for(sharding.num_shards, [&](std::size_t s, unsigned) {
+    ShardRequest req = base;
+    req.shard_id = static_cast<std::uint32_t>(s);
+    req.sources = part.members[s];
+    const std::vector<std::uint8_t> req_bytes = req.encode();
+    const ShardRequest wire_req =
+        ShardRequest::decode(req_bytes.data(), req_bytes.size());
+    const TemporalGraph slice(graph);  // the shard's private graph copy
+    const ShardResult res = run_shard(slice, wire_req);
+    const std::vector<std::uint8_t> res_bytes = res.encode();
+    results[s] = ShardResult::decode(res_bytes.data(), res_bytes.size());
+  });
+
+  // Coverage check, then the canonical fold: ascending endpoint index
+  // across all shards -- the same left chain as the unsharded driver,
+  // which is what makes the two paths bit-identical.
+  std::vector<const SourceCdfPartial*> by_index(endpoints.size(), nullptr);
+  EngineStats stats;
+  for (const std::optional<ShardResult>& res : results) {
+    stats.merge(res->stats);
+    for (const auto& [index, partial] : res->partials) {
+      if (index >= by_index.size() || by_index[index] != nullptr)
+        throw std::logic_error(
+            "compute_delay_cdf_sharded: shard coverage is not a partition");
+      by_index[index] = &partial;
+    }
+  }
+  SourceCdfPartial total(options.grid, options.max_hops);
+  for (std::size_t i = 0; i < by_index.size(); ++i) {
+    if (by_index[i] == nullptr)
+      throw std::logic_error(
+          "compute_delay_cdf_sharded: source missing from every shard");
+    total.merge_from(*by_index[i]);
+  }
+  return finalize_delay_cdf(total, stats, options, incremental);
+}
+
+}  // namespace odtn

@@ -1,0 +1,116 @@
+// Sharded all-pairs delay-CDF engine (the partitioned execution layer).
+//
+// The source set is split across S shards by core/partition; each shard
+// runs shard-local all-pairs over a PRIVATE graph copy with its own
+// engine arena (cache/NUMA locality on one host), and returns its
+// sources' CDF partials. The coordinator folds the partials in
+// canonical endpoint-index order -- the same left chain the unsharded
+// driver uses -- so every shard count and policy reproduces the
+// unsharded result BIT-IDENTICALLY (see core/source_cdf.hpp for why the
+// fold order is the determinism contract).
+//
+// The shard boundary is a serializable message interface: ShardRequest
+// (source range, window, hop budget, transform key) and ShardResult
+// (per-source CDF partials + EngineStats) with versioned little-endian
+// byte encodings. The in-process backend ALWAYS round-trips both
+// messages through encode()/decode(), so the wire format is exercised
+// on every sharded run and a later multi-process or RPC backend drops
+// in without touching the engine: ship the bytes, run run_shard() in
+// the worker process, ship the bytes back.
+//
+// Per-source (rather than pre-merged per-shard) partials are the price
+// of bit-identity: floating-point addition is not associative, so a
+// shard cannot pre-fold its sources without fixing one grouping per
+// partition. Shipping the raw per-source difference arrays keeps the
+// coordinator free to fold in canonical order for ANY assignment. The
+// payload is O(sources * max_hops * grid) doubles -- the same order as
+// the result the coordinator must materialize anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/diameter.hpp"
+#include "core/partition.hpp"
+#include "core/source_cdf.hpp"
+#include "core/temporal_graph.hpp"
+
+namespace odtn {
+
+/// Cheap fingerprint of the graph a shard must load ("transform key"):
+/// identifies the trace and the transform chain that produced it, so a
+/// future multi-process backend can cache slices and a worker can
+/// refuse a request aimed at different data. run_shard validates it.
+std::string graph_transform_key(const TemporalGraph& graph);
+
+/// Work order for one shard. `sources` lists the endpoint INDICES
+/// (positions in `endpoints`) this shard owns, ascending; `endpoints`
+/// is the full destination set as global node ids.
+struct ShardRequest {
+  static constexpr std::uint32_t kMagic = 0x4F445251;  // "ODRQ"
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint32_t shard_id = 0;
+  std::uint32_t num_shards = 1;
+  ShardPolicy policy = ShardPolicy::kContiguous;
+  EngineMode engine = EngineMode::kPooled;
+  bool incremental = true;
+  std::int32_t max_hops = 1;
+  std::int32_t max_levels = 64;
+  std::vector<double> grid;
+  TimeWindows windows;
+  std::vector<NodeId> endpoints;
+  std::vector<std::uint32_t> sources;
+  std::string transform_key;
+
+  /// Versioned little-endian byte encoding. Doubles are copied by bit
+  /// pattern, so decode(encode()) reproduces every field exactly.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Throws std::runtime_error on a truncated/trailing-garbage buffer,
+  /// bad magic, or unsupported version.
+  static ShardRequest decode(const std::uint8_t* data, std::size_t size);
+};
+
+/// One shard's answer: per-source CDF partials (ascending endpoint
+/// index) plus the shard's aggregate engine counters and fixpoint fold.
+struct ShardResult {
+  static constexpr std::uint32_t kMagic = 0x4F445253;  // "ODRS"
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint32_t shard_id = 0;
+  bool converged = true;
+  std::int32_t fixpoint_hops = 0;
+  EngineStats stats;
+  /// (endpoint index, that source's partial), ascending by index.
+  std::vector<std::pair<std::uint32_t, SourceCdfPartial>> partials;
+
+  std::vector<std::uint8_t> encode() const;
+
+  /// Throws std::runtime_error on a truncated/trailing-garbage buffer,
+  /// bad magic, unsupported version, or inconsistent lane sizes.
+  static ShardResult decode(const std::uint8_t* data, std::size_t size);
+};
+
+/// Executes one shard's work order against `slice` (the shard's private
+/// graph copy; must match request.transform_key). Pure shard-local
+/// computation -- this is the function a multi-process backend runs in
+/// the worker process. Throws std::invalid_argument on a malformed
+/// request or a transform-key mismatch.
+ShardResult run_shard(const TemporalGraph& slice, const ShardRequest& request);
+
+/// The sharded all-pairs driver: partitions the sources per `sharding`,
+/// round-trips every shard's request and result through the byte
+/// encodings, runs shards via run_shard on private graph copies, and
+/// folds the partials in canonical order. Bit-identical to
+/// compute_delay_cdf with sharding disabled, for every shard count and
+/// policy. `options.sharding` is ignored in favor of the explicit
+/// `sharding` argument (compute_delay_cdf passes its own field through).
+DelayCdfResult compute_delay_cdf_sharded(const TemporalGraph& graph,
+                                         const DelayCdfOptions& options,
+                                         const ShardingOptions& sharding);
+
+}  // namespace odtn

@@ -1,0 +1,311 @@
+#include "core/source_cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/simd.hpp"
+
+namespace odtn {
+namespace {
+
+void record_fixpoint(SourceCdfPartial& out, int fixpoint, int max_levels) {
+  if (fixpoint > max_levels) out.converged = false;
+  out.fixpoint_hops = std::max(out.fixpoint_hops, fixpoint);
+}
+
+void process_source_direct(const TemporalGraph& graph, NodeId src,
+                           const std::vector<NodeId>& endpoints,
+                           const TimeWindows& w, int max_hops, int max_levels,
+                           EngineMode mode, SourceCdfWorker& worker,
+                           SourceCdfPartial& out) {
+  SingleSourceEngine engine(graph, src, mode);
+  const double window_measure = total_window_measure(w);
+  auto accumulate = [&](MeasureCdfAccumulator& acc, NodeId dst) {
+    const FrontierView f = engine.frontier_view(dst);
+    for (const auto& [lo, hi] : w) f.accumulate_delay_measure(acc, lo, hi);
+    worker.stats.cdf_pairs_integrated += f.size();
+    acc.add_observation_measure(window_measure);
+  };
+  for (int k = 1; k <= max_hops; ++k) {
+    engine.step();  // no-op once at fixpoint; frontiers stay L_inf
+    for (NodeId dst : endpoints) {
+      if (dst == src) continue;
+      accumulate(out.by_hops[k - 1], dst);
+    }
+  }
+  record_fixpoint(out, engine.run_to_fixpoint(max_levels), max_levels);
+  for (NodeId dst : endpoints) {
+    if (dst == src) continue;
+    accumulate(out.unbounded, dst);
+  }
+  worker.stats.merge(engine.stats());
+}
+
+void process_source_incremental(const TemporalGraph& graph, NodeId src,
+                                const std::vector<NodeId>& endpoints,
+                                const std::vector<std::uint8_t>& is_endpoint,
+                                const TimeWindows& w, int max_hops,
+                                int max_levels, EngineMode mode,
+                                SourceCdfWorker& worker,
+                                SourceCdfPartial& out) {
+  if (!worker.engine) {
+    worker.engine.emplace(graph, src, mode);
+    worker.engine->track_changes(true);
+  } else {
+    worker.engine->reset(src);
+  }
+  SingleSourceEngine& engine = *worker.engine;
+
+  // Observation measure for every (src, dst) pair of this source parks
+  // in the hop-1 accumulator; prefix_merge propagates it to every hop
+  // budget and to `unbounded`.
+  out.by_hops[0].add_observation_measure(
+      total_window_measure(w) * static_cast<double>(endpoints.size() - 1));
+
+  // After each level, only destinations whose frontier changed move any
+  // CDF: retract the pre-change frontier's integration and add the new
+  // one. Everything else is carried over by the finalization prefix sum.
+  //
+  // Arena-resident frontiers (kPooled: both versions are SoA spans whose
+  // shared pairs are value-identical -- merge_frontier copies doubles
+  // verbatim) are first diffed: the common prefix and suffix would be
+  // retracted at -1 and re-added at +1 with identical segment arguments,
+  // so only the differing middle slice is integrated. Skipping a
+  // cancelling +/- pair never changes the exact sum, it only removes two
+  // rounding round-trips; the slices stay exact because the suffix is
+  // extended by one pair whenever its start boundary (the predecessor's
+  // ld) differs between the versions.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  auto apply_level_deltas = [&](MeasureCdfAccumulator& acc) {
+    const std::vector<NodeId>& changed = engine.last_changed();
+    for (std::size_t i = 0; i < changed.size(); ++i) {
+      const NodeId dst = changed[i];
+      if (dst == src || !is_endpoint[dst]) continue;
+      const FrontierView old_f = engine.previous_frontier_view(i);
+      const FrontierView new_f = engine.frontier_view(dst);
+      const double* o_ld = old_f.soa_ld();
+      const double* o_ea = old_f.soa_ea();
+      const double* n_ld = new_f.soa_ld();
+      const double* n_ea = new_f.soa_ea();
+      if (o_ld && n_ld) {
+        const std::size_t on = old_f.size(), nn = new_f.size();
+        const std::size_t match_max = std::min(on, nn);
+        // Equal runs are trimmed by the dispatched prefix/suffix scans
+        // (util/simd.hpp): vector value-equality compares under AVX2 /
+        // SSE4.2, the original 8-wide memcmp block loop on the scalar
+        // level -- both return the identical maximal counts.
+        const simd::Ops& sops = simd::ops();
+        const std::size_t p =
+            sops.equal_prefix2(o_ld, o_ea, n_ld, n_ea, match_max);
+        std::size_t s =
+            sops.equal_suffix2(o_ld, o_ea, on, n_ld, n_ea, nn, match_max - p);
+        if (s > 0) {
+          // The first suffix pair's segment starts at its predecessor's
+          // ld; if the predecessors differ the pair belongs to the
+          // middle. One step suffices: the next suffix pair's
+          // predecessor is then itself a matched pair.
+          const double ob = on - s > 0 ? o_ld[on - s - 1] : kNegInf;
+          const double nb = nn - s > 0 ? n_ld[nn - s - 1] : kNegInf;
+          if (ob != nb) --s;
+        }
+        const double boundary = p > 0 ? o_ld[p - 1] : kNegInf;
+        const std::size_t om = on - p - s, nm = nn - p - s;
+        if (om + nm > 0) {
+          acc.add_delivery_segments(o_ld + p, o_ea + p, om, w.data(),
+                                    w.size(), -1.0, boundary);
+          acc.add_delivery_segments(n_ld + p, n_ea + p, nm, w.data(),
+                                    w.size(), +1.0, boundary);
+        }
+        worker.stats.cdf_pairs_integrated += om + nm;
+      } else {
+        for (const auto& [lo, hi] : w) {
+          old_f.accumulate_delay_measure(acc, lo, hi, -1.0);
+          new_f.accumulate_delay_measure(acc, lo, hi, +1.0);
+        }
+        worker.stats.cdf_pairs_integrated += old_f.size() + new_f.size();
+      }
+    }
+  };
+  for (int k = 1; k <= max_hops; ++k) {
+    engine.step();  // no-op once at fixpoint: last_changed() is empty
+    apply_level_deltas(out.by_hops[k - 1]);
+  }
+  // Levels past the last budget feed the unbounded accumulator, which
+  // finalization chains onto by_hops[max_hops - 1] -- reaching the
+  // fixpoint costs only the residual deltas, never a full re-pass.
+  while (!engine.at_fixpoint() && engine.hops() < max_levels) {
+    engine.step();
+    apply_level_deltas(out.unbounded);
+  }
+  record_fixpoint(out, engine.at_fixpoint() ? engine.hops() : max_levels + 1,
+                  max_levels);
+}
+
+}  // namespace
+
+TimeWindows resolve_cdf_windows(const TemporalGraph& graph,
+                                const DelayCdfOptions& options) {
+  if (!options.windows.empty()) {
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const auto& [lo, hi] : options.windows) {
+      if (!(lo <= hi) || lo < prev)
+        throw std::invalid_argument(
+            "compute_delay_cdf: windows must be disjoint and increasing");
+      prev = hi;
+    }
+    return options.windows;
+  }
+  double lo = options.t_lo, hi = options.t_hi;
+  if (std::isnan(lo)) lo = graph.start_time();
+  if (std::isnan(hi)) hi = graph.end_time();
+  if (!(lo <= hi))
+    throw std::invalid_argument("compute_delay_cdf: empty start-time window");
+  return {{lo, hi}};
+}
+
+double total_window_measure(const TimeWindows& windows) {
+  double total = 0.0;
+  for (const auto& [lo, hi] : windows) total += hi - lo;
+  return total;
+}
+
+std::vector<NodeId> resolve_cdf_endpoints(const TemporalGraph& graph,
+                                          const DelayCdfOptions& options) {
+  std::vector<NodeId> endpoints = options.endpoints;
+  if (endpoints.empty()) {
+    endpoints.resize(graph.num_nodes());
+    for (std::size_t i = 0; i < endpoints.size(); ++i)
+      endpoints[i] = static_cast<NodeId>(i);
+  }
+  for (NodeId n : endpoints) {
+    if (n >= graph.num_nodes())
+      throw std::invalid_argument("compute_delay_cdf: endpoint out of range");
+  }
+  return endpoints;
+}
+
+bool use_incremental_accumulation(const DelayCdfOptions& options) {
+  const bool incremental =
+      options.accumulation == CdfAccumulation::kIncremental ||
+      (options.accumulation == CdfAccumulation::kAuto &&
+       options.engine != EngineMode::kLevelSweep);
+  if (incremental && options.engine == EngineMode::kLevelSweep)
+    throw std::invalid_argument(
+        "compute_delay_cdf: incremental accumulation requires a delta "
+        "engine (kPooled or kIndexed)");
+  return incremental;
+}
+
+SourceCdfPartial::SourceCdfPartial(const std::vector<double>& grid,
+                                   int max_hops)
+    : unbounded(grid) {
+  by_hops.reserve(max_hops);
+  for (int k = 0; k < max_hops; ++k) by_hops.emplace_back(grid);
+}
+
+void SourceCdfPartial::clear() {
+  for (MeasureCdfAccumulator& acc : by_hops) acc.clear();
+  unbounded.clear();
+  fixpoint_hops = 0;
+  converged = true;
+}
+
+void SourceCdfPartial::merge_from(const SourceCdfPartial& other) {
+  for (std::size_t k = 0; k < by_hops.size(); ++k)
+    by_hops[k].merge(other.by_hops[k]);
+  unbounded.merge(other.unbounded);
+  fixpoint_hops = std::max(fixpoint_hops, other.fixpoint_hops);
+  converged = converged && other.converged;
+}
+
+EngineStats SourceCdfWorker::take_stats() const {
+  EngineStats out = stats;
+  if (engine) out.merge(engine->stats());
+  return out;
+}
+
+void process_source(const TemporalGraph& graph, NodeId src,
+                    const std::vector<NodeId>& endpoints,
+                    const std::vector<std::uint8_t>& is_endpoint,
+                    const TimeWindows& w, int max_hops, int max_levels,
+                    EngineMode mode, bool incremental,
+                    SourceCdfWorker& worker, SourceCdfPartial& out) {
+  if (incremental)
+    process_source_incremental(graph, src, endpoints, is_endpoint, w,
+                               max_hops, max_levels, mode, worker, out);
+  else
+    process_source_direct(graph, src, endpoints, w, max_hops, max_levels,
+                          mode, worker, out);
+}
+
+OrderedCdfFolder::OrderedCdfFolder(const std::vector<double>& grid,
+                                   int max_hops, std::size_t count)
+    : total_(grid, max_hops), count_(count) {}
+
+void OrderedCdfFolder::submit(std::size_t index,
+                              const SourceCdfPartial& partial) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index != next_) {
+    pending_.emplace(index, partial);
+    return;
+  }
+  total_.merge_from(partial);
+  ++next_;
+  // Drain buffered successors now contiguous with the fold front.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == next_) {
+    total_.merge_from(it->second);
+    ++next_;
+    it = pending_.erase(it);
+  }
+}
+
+SourceCdfPartial& OrderedCdfFolder::total() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (next_ != count_ || !pending_.empty())
+    throw std::logic_error("OrderedCdfFolder: fold incomplete");
+  return total_;
+}
+
+DelayCdfResult finalize_delay_cdf(SourceCdfPartial& total,
+                                  const EngineStats& stats,
+                                  const DelayCdfOptions& options,
+                                  bool incremental) {
+  if (incremental) {
+    // Reconstruct CDF_k = CDF_{k-1} + delta_k across the hop budgets and
+    // chain the past-max_hops deltas onto the last budget for the
+    // unbounded CDF. Folding the per-source partials first is equivalent
+    // (both are sums over the same segment set).
+    MeasureCdfAccumulator::prefix_merge(total.by_hops);
+    total.unbounded.merge(total.by_hops.back());
+  }
+
+  DelayCdfResult result;
+  result.grid = options.grid;
+  result.cdf_by_hops.reserve(options.max_hops);
+  for (int k = 0; k < options.max_hops; ++k)
+    result.cdf_by_hops.push_back(total.by_hops[k].cdf());
+  result.cdf_unbounded = total.unbounded.cdf();
+  if (incremental) {
+    // The prefix-reconstructed CDFs are mathematically monotone in the
+    // hop budget, but each budget's numerator carries its own rounding,
+    // so adjacent budgets can invert by ~1 ulp where the delta is zero.
+    // Clamp to restore the exact invariant consumers rely on.
+    for (int k = 1; k < options.max_hops; ++k)
+      for (std::size_t j = 0; j < result.grid.size(); ++j)
+        result.cdf_by_hops[k][j] =
+            std::max(result.cdf_by_hops[k][j], result.cdf_by_hops[k - 1][j]);
+    for (std::size_t j = 0; j < result.grid.size(); ++j)
+      result.cdf_unbounded[j] =
+          std::max(result.cdf_unbounded[j], result.cdf_by_hops.back()[j]);
+  }
+  result.fixpoint_hops = total.fixpoint_hops;
+  result.converged = total.converged;
+  result.stats = stats;
+  result.denominator = total.unbounded.denominator();
+  return result;
+}
+
+}  // namespace odtn

@@ -49,6 +49,21 @@ TEST(Parse, Numbers) {
   EXPECT_THROW(parse_long("", "x"), CliError);
 }
 
+TEST(Parse, CountsRejectNegatives) {
+  EXPECT_EQ(parse_count("42", "trials"), 42ul);
+  EXPECT_EQ(parse_count("0", "trials"), 0ul);
+  EXPECT_THROW(parse_count("-1", "trials"), CliError);
+  EXPECT_THROW(parse_count("abc", "trials"), CliError);
+  try {
+    parse_count("-3", "n");
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    // The message must name the flag and the rejected value.
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
 TEST(Parse, Durations) {
   EXPECT_DOUBLE_EQ(parse_duration("90", "x"), 90.0);
   EXPECT_DOUBLE_EQ(parse_duration("90s", "x"), 90.0);
@@ -143,6 +158,59 @@ TEST_F(CliCommands, CdfOnTinyTrace) {
             0);
 }
 
+TEST_F(CliCommands, CdfHopBudgetPastFixpointSucceeds) {
+  // Two contacts => the DP fixpoint is at 2 hops; asking for more hop
+  // columns than the result materializes must print, not crash
+  // (regression: the hop-column loop indexed cdf_by_hops[k-1] blindly).
+  const std::string trace = track(path("tiny_fix.trace"));
+  write_trace_file(
+      trace, TemporalGraph(3, {{0, 1, 0.0, 600.0}, {1, 2, 900.0, 1800.0}}));
+  EXPECT_EQ(run_cli({"cdf", trace, "--max-hops", "12", "--grid-lo", "60",
+                     "--grid-hi", "1h"}),
+            0);
+}
+
+TEST_F(CliCommands, CdfValidatesMaxHops) {
+  const std::string trace = track(path("tiny_hops.trace"));
+  write_trace_file(trace, TemporalGraph(2, {{0, 1, 0.0, 1.0}}));
+  EXPECT_EQ(run_cli({"cdf", trace, "--max-hops", "0"}), 2);
+  EXPECT_EQ(run_cli({"cdf", trace, "--max-hops", "-4"}), 2);
+}
+
+TEST_F(CliCommands, CdfShardedMatchesUsage) {
+  const std::string trace = track(path("tiny_shard.trace"));
+  write_trace_file(
+      trace, TemporalGraph(3, {{0, 1, 0.0, 600.0}, {1, 2, 900.0, 1800.0}}));
+  EXPECT_EQ(run_cli({"cdf", trace, "--max-hops", "3", "--grid-lo", "60",
+                     "--grid-hi", "1h", "--shards", "2"}),
+            0);
+  EXPECT_EQ(run_cli({"cdf", trace, "--shards", "2", "--shard-policy",
+                     "degree-balanced"}),
+            0);
+  EXPECT_EQ(run_cli({"cdf", trace, "--shards", "-2"}), 2);
+  EXPECT_EQ(run_cli({"cdf", trace, "--shards", "2", "--shard-policy",
+                     "round-robin"}),
+            2);
+}
+
+TEST_F(CliCommands, GenerateRejectsNegativeSeed) {
+  EXPECT_EQ(run_cli({"generate", "--preset", "hong-kong", "--seed", "-1",
+                     "--out", track(path("neg.trace"))}),
+            2);
+}
+
+TEST_F(CliCommands, PresetNamesAreCaseFoldedSafely) {
+  // Mixed case must resolve; non-ASCII bytes (negative chars) must be
+  // rejected cleanly, not hit UB in std::tolower.
+  const std::string trace = track(path("case.trace"));
+  EXPECT_EQ(run_cli({"generate", "--preset", "Hong-Kong", "--seed", "7",
+                     "--out", trace}),
+            0);
+  EXPECT_EQ(run_cli({"generate", "--preset", "caf\xC3\xA9", "--out",
+                     track(path("utf8.trace"))}),
+            2);
+}
+
 TEST_F(CliCommands, CdfDaytimeWindows) {
   const std::string trace = track(path("tiny_day.trace"));
   // Contacts around 10:00 and 11:00 of day 0.
@@ -174,6 +242,26 @@ TEST_F(CliCommands, McRunsAndValidates) {
   EXPECT_EQ(run_cli({"mc", "--case", "short", "--n", "150", "--lambda",
                      "0.5", "--threads", "-1"}),
             2);
+}
+
+TEST_F(CliCommands, NegativeCountsAreUsageErrors) {
+  // Regression: these used to static_cast negative longs to unsigned,
+  // silently wrapping into astronomically large values.
+  EXPECT_EQ(run_cli({"mc", "--case", "short", "--n", "150", "--lambda",
+                     "0.5", "--trials", "-1"}),
+            2);
+  EXPECT_EQ(run_cli({"mc", "--case", "short", "--n", "-3", "--lambda",
+                     "0.5"}),
+            2);
+  EXPECT_EQ(run_cli({"mc", "--case", "short", "--n", "150", "--lambda",
+                     "0.5", "--seed", "-1"}),
+            2);
+  const std::string trace = track(path("neg_counts.trace"));
+  write_trace_file(trace, TemporalGraph(2, {{0, 1, 0.0, 1.0}}));
+  EXPECT_EQ(run_cli({"filter", trace, "--out", track(path("neg_out.trace")),
+                     "--internal", "-2"}),
+            2);
+  EXPECT_EQ(run_cli({"route", trace, "--src", "-1", "--dst", "1"}), 2);
 }
 
 TEST_F(CliCommands, RouteRejectsBadNodes) {

@@ -1,0 +1,312 @@
+// Tests of the sharded all-pairs engine (core/sharded_engine.hpp):
+// bit-identity of sharded vs unsharded results for every policy and
+// shard count, and the versioned wire format of the shard messages.
+#include "core/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/diameter.hpp"
+#include "core/partition.hpp"
+#include "stats/log_grid.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+TemporalGraph random_graph(std::uint64_t seed, std::size_t nodes,
+                           int contacts, bool directed = false,
+                           double t0 = 0.0) {
+  Rng rng(seed);
+  std::vector<Contact> cs;
+  for (int i = 0; i < contacts; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    const double b = t0 + rng.uniform(0, 100);
+    cs.push_back({u, v, b, b + rng.uniform(0, 5)});
+  }
+  return TemporalGraph(nodes, std::move(cs), directed);
+}
+
+DelayCdfOptions base_options() {
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(0.1, 200.0, 24);
+  opt.max_hops = 5;
+  opt.num_threads = 1;
+  return opt;
+}
+
+// Additive counters and peaks must agree; workspace_allocations/reuses
+// are excluded BY DESIGN: the sharded driver allocates one engine
+// workspace per shard while the unsharded driver allocates one per
+// worker, so those two counters describe execution structure, not work
+// done (their sum still equals the source count either way).
+void expect_equivalent_stats(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.contacts_examined, b.contacts_examined);
+  EXPECT_EQ(a.pairs_inserted, b.pairs_inserted);
+  EXPECT_EQ(a.pairs_dominated, b.pairs_dominated);
+  EXPECT_EQ(a.frontier_copies_avoided, b.frontier_copies_avoided);
+  EXPECT_EQ(a.cdf_pairs_integrated, b.cdf_pairs_integrated);
+  EXPECT_EQ(a.merge_batches, b.merge_batches);
+  EXPECT_EQ(a.workspace_allocations + a.workspace_reuses,
+            b.workspace_allocations + b.workspace_reuses);
+}
+
+// ASSERT_EQ on doubles is exact comparison: the contract is
+// bit-identity, not tolerance.
+void expect_bit_identical(const DelayCdfResult& a, const DelayCdfResult& b) {
+  ASSERT_EQ(a.grid, b.grid);
+  ASSERT_EQ(a.cdf_by_hops.size(), b.cdf_by_hops.size());
+  for (std::size_t k = 0; k < a.cdf_by_hops.size(); ++k)
+    ASSERT_EQ(a.cdf_by_hops[k], b.cdf_by_hops[k]) << "hop budget " << k + 1;
+  ASSERT_EQ(a.cdf_unbounded, b.cdf_unbounded);
+  EXPECT_EQ(a.fixpoint_hops, b.fixpoint_hops);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.denominator, b.denominator);
+  for (const double eps : {0.25, 0.05, 0.01, 0.001})
+    EXPECT_EQ(a.diameter(eps), b.diameter(eps)) << "eps " << eps;
+  EXPECT_EQ(a.diameter_absolute(0.01), b.diameter_absolute(0.01));
+  expect_equivalent_stats(a.stats, b.stats);
+}
+
+void expect_sharding_invariant(const TemporalGraph& g,
+                               const DelayCdfOptions& opt) {
+  const DelayCdfResult reference = compute_delay_cdf(g, opt);
+  for (const ShardPolicy policy :
+       {ShardPolicy::kContiguous, ShardPolicy::kBlockCyclic,
+        ShardPolicy::kDegreeBalanced}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 7u}) {
+      DelayCdfOptions sharded = opt;
+      sharded.sharding.num_shards = shards;
+      sharded.sharding.policy = policy;
+      SCOPED_TRACE(std::string(shard_policy_name(policy)) + " x " +
+                   std::to_string(shards));
+      expect_bit_identical(compute_delay_cdf(g, sharded), reference);
+    }
+  }
+}
+
+TEST(ShardedEngine, BitIdenticalAcrossPoliciesAndShardCounts) {
+  const auto g = random_graph(7, 10, 160);
+  expect_sharding_invariant(g, base_options());
+}
+
+TEST(ShardedEngine, BitIdenticalOnDirectedTrace) {
+  const auto g = random_graph(11, 9, 120, /*directed=*/true);
+  expect_sharding_invariant(g, base_options());
+}
+
+TEST(ShardedEngine, BitIdenticalOnNegativeTimeTrace) {
+  const auto g = random_graph(13, 8, 100, /*directed=*/false, /*t0=*/-500.0);
+  expect_sharding_invariant(g, base_options());
+}
+
+TEST(ShardedEngine, BitIdenticalWithWindowsAndEndpointSubset) {
+  const auto g = random_graph(17, 12, 180);
+  auto opt = base_options();
+  opt.endpoints = {1, 3, 5, 7, 9};
+  opt.windows = {{5.0, 30.0}, {60.0, 95.0}};
+  expect_sharding_invariant(g, opt);
+}
+
+TEST(ShardedEngine, BitIdenticalUnderDirectAccumulation) {
+  const auto g = random_graph(19, 8, 90);
+  auto opt = base_options();
+  opt.accumulation = CdfAccumulation::kDirect;
+  expect_sharding_invariant(g, opt);
+}
+
+TEST(ShardedEngine, BitIdenticalWithLevelSweepEngine) {
+  const auto g = random_graph(23, 7, 80);
+  auto opt = base_options();
+  opt.engine = EngineMode::kLevelSweep;
+  opt.accumulation = CdfAccumulation::kDirect;
+  expect_sharding_invariant(g, opt);
+}
+
+TEST(ShardedEngine, BitIdenticalWithMultipleThreads) {
+  // Shards run under the pool; the canonical fold must survive
+  // any worker interleaving.
+  const auto g = random_graph(29, 10, 150);
+  auto opt = base_options();
+  opt.num_threads = 3;
+  expect_sharding_invariant(g, opt);
+}
+
+TEST(ShardedEngine, MoreShardsThanSourcesStillCorrect) {
+  const auto g = random_graph(31, 4, 40);
+  auto opt = base_options();
+  const DelayCdfResult reference = compute_delay_cdf(g, opt);
+  opt.sharding.num_shards = 9;  // empty shards must be harmless
+  expect_bit_identical(compute_delay_cdf(g, opt), reference);
+}
+
+TEST(ShardedEngine, WorkspaceAccountingIsPerShard) {
+  const auto g = random_graph(37, 8, 80);
+  auto opt = base_options();
+  opt.sharding.num_shards = 4;
+  const auto result = compute_delay_cdf(g, opt);
+  // One recycled engine workspace per shard; every remaining source is
+  // a reset() of its shard's workspace.
+  EXPECT_EQ(result.stats.workspace_allocations, 4u);
+  EXPECT_EQ(result.stats.workspace_reuses, 8u - 4u);
+}
+
+ShardRequest sample_request() {
+  ShardRequest req;
+  req.shard_id = 3;
+  req.num_shards = 5;
+  req.policy = ShardPolicy::kBlockCyclic;
+  req.engine = EngineMode::kPooled;
+  req.incremental = true;
+  req.max_hops = 6;
+  req.max_levels = 32;
+  req.grid = {0.5, 1.0, 2.5, 10.0};
+  req.windows = {{-10.0, 0.0}, {5.5, 42.0}};
+  req.endpoints = {0, 2, 5, 6};
+  req.sources = {1, 3};
+  req.transform_key = "trace:n7:c19:d0:s0000000000000000:e4045000000000000";
+  return req;
+}
+
+TEST(ShardedEngine, RequestEncodeDecodeRoundTrip) {
+  const ShardRequest req = sample_request();
+  const auto bytes = req.encode();
+  const ShardRequest back = ShardRequest::decode(bytes.data(), bytes.size());
+  EXPECT_EQ(back.shard_id, req.shard_id);
+  EXPECT_EQ(back.num_shards, req.num_shards);
+  EXPECT_EQ(back.policy, req.policy);
+  EXPECT_EQ(back.engine, req.engine);
+  EXPECT_EQ(back.incremental, req.incremental);
+  EXPECT_EQ(back.max_hops, req.max_hops);
+  EXPECT_EQ(back.max_levels, req.max_levels);
+  EXPECT_EQ(back.grid, req.grid);
+  EXPECT_EQ(back.windows, req.windows);
+  EXPECT_EQ(back.endpoints, req.endpoints);
+  EXPECT_EQ(back.sources, req.sources);
+  EXPECT_EQ(back.transform_key, req.transform_key);
+}
+
+TEST(ShardedEngine, ResultEncodeDecodeRoundTripFromRealRun) {
+  const auto g = random_graph(41, 6, 60);
+  auto opt = base_options();
+  ShardRequest req;
+  req.shard_id = 0;
+  req.num_shards = 1;
+  req.max_hops = opt.max_hops;
+  req.max_levels = opt.max_levels;
+  req.grid = opt.grid;
+  req.windows = {{g.start_time(), g.end_time()}};
+  for (NodeId n = 0; n < 6; ++n) req.endpoints.push_back(n);
+  req.sources = {0, 1, 2, 3, 4, 5};
+  req.transform_key = graph_transform_key(g);
+
+  const ShardResult result = run_shard(g, req);
+  ASSERT_EQ(result.partials.size(), 6u);
+
+  const auto bytes = result.encode();
+  const ShardResult back = ShardResult::decode(bytes.data(), bytes.size());
+  EXPECT_EQ(back.shard_id, result.shard_id);
+  EXPECT_EQ(back.converged, result.converged);
+  EXPECT_EQ(back.fixpoint_hops, result.fixpoint_hops);
+  EXPECT_EQ(back.stats.contacts_examined, result.stats.contacts_examined);
+  EXPECT_EQ(back.stats.pairs_inserted, result.stats.pairs_inserted);
+  EXPECT_EQ(back.stats.cdf_pairs_integrated,
+            result.stats.cdf_pairs_integrated);
+  ASSERT_EQ(back.partials.size(), result.partials.size());
+  for (std::size_t i = 0; i < result.partials.size(); ++i) {
+    EXPECT_EQ(back.partials[i].first, result.partials[i].first);
+    const auto& orig = result.partials[i].second;
+    const auto& copy = back.partials[i].second;
+    EXPECT_EQ(copy.fixpoint_hops, orig.fixpoint_hops);
+    EXPECT_EQ(copy.converged, orig.converged);
+    ASSERT_EQ(copy.by_hops.size(), orig.by_hops.size());
+    for (std::size_t k = 0; k < orig.by_hops.size(); ++k) {
+      // Raw difference-array lanes: the bit-exactness the canonical
+      // fold depends on.
+      ASSERT_EQ(copy.by_hops[k].const_diff(), orig.by_hops[k].const_diff());
+      ASSERT_EQ(copy.by_hops[k].slope_diff(), orig.by_hops[k].slope_diff());
+      ASSERT_EQ(copy.by_hops[k].denominator(), orig.by_hops[k].denominator());
+    }
+    ASSERT_EQ(copy.unbounded.const_diff(), orig.unbounded.const_diff());
+    ASSERT_EQ(copy.unbounded.slope_diff(), orig.unbounded.slope_diff());
+    ASSERT_EQ(copy.unbounded.denominator(), orig.unbounded.denominator());
+  }
+}
+
+TEST(ShardedEngine, RequestDecodeRejectsEveryTruncation) {
+  const auto bytes = sample_request().encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_THROW(ShardRequest::decode(bytes.data(), len), std::runtime_error)
+        << "prefix length " << len;
+  EXPECT_NO_THROW(ShardRequest::decode(bytes.data(), bytes.size()));
+}
+
+TEST(ShardedEngine, ResultDecodeRejectsEveryTruncation) {
+  const auto g = random_graph(43, 4, 30);
+  ShardRequest req;
+  req.max_hops = 2;
+  req.grid = {1.0, 10.0};
+  req.windows = {{g.start_time(), g.end_time()}};
+  for (NodeId n = 0; n < 4; ++n) req.endpoints.push_back(n);
+  req.sources = {0, 1, 2, 3};
+  req.transform_key = graph_transform_key(g);
+  const auto bytes = run_shard(g, req).encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_THROW(ShardResult::decode(bytes.data(), len), std::runtime_error)
+        << "prefix length " << len;
+  EXPECT_NO_THROW(ShardResult::decode(bytes.data(), bytes.size()));
+}
+
+TEST(ShardedEngine, DecodeRejectsTrailingBytesBadMagicAndBadVersion) {
+  auto bytes = sample_request().encode();
+
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(ShardRequest::decode(trailing.data(), trailing.size()),
+               std::runtime_error);
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(ShardRequest::decode(bad_magic.data(), bad_magic.size()),
+               std::runtime_error);
+
+  auto bad_version = bytes;
+  bad_version[4] = 0xEE;  // version u16 follows the magic u32
+  EXPECT_THROW(ShardRequest::decode(bad_version.data(), bad_version.size()),
+               std::runtime_error);
+}
+
+TEST(ShardedEngine, RunShardValidatesRequest) {
+  const auto g = random_graph(47, 5, 40);
+  ShardRequest good;
+  good.max_hops = 3;
+  good.grid = {1.0, 10.0};
+  good.windows = {{g.start_time(), g.end_time()}};
+  for (NodeId n = 0; n < 5; ++n) good.endpoints.push_back(n);
+  good.sources = {0, 2, 4};
+  good.transform_key = graph_transform_key(g);
+  EXPECT_NO_THROW(run_shard(g, good));
+
+  auto bad_key = good;
+  bad_key.transform_key = "trace:n999:c0:d0:s0:e0";
+  EXPECT_THROW(run_shard(g, bad_key), std::invalid_argument);
+
+  auto bad_endpoint = good;
+  bad_endpoint.endpoints.push_back(99);
+  EXPECT_THROW(run_shard(g, bad_endpoint), std::invalid_argument);
+
+  auto bad_sources = good;
+  bad_sources.sources = {2, 0};  // not ascending
+  EXPECT_THROW(run_shard(g, bad_sources), std::invalid_argument);
+
+  auto bad_source_range = good;
+  bad_source_range.sources = {0, 7};  // index past endpoints.size()
+  EXPECT_THROW(run_shard(g, bad_source_range), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

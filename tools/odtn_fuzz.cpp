@@ -33,8 +33,15 @@
 // dispatch level per trial; under ASan/UBSan this doubles as a bounds
 // check on the arena spans and the vector loops.
 //
-// Usage: odtn_fuzz [--engine N] [--parser N] [--kernel N] [--corpus DIR]
-//                  [--seed S]
+// Shard mode (--shard N): differential of the sharded all-pairs driver
+// (core/sharded_engine) against the classic compute_delay_cdf on
+// adversarial traces with random shard counts, policies, hop budgets,
+// grids, accumulation schemes and endpoint subsets. The comparison is
+// bitwise (the canonical-fold contract), and every sharded run
+// round-trips the ShardRequest / ShardResult byte encodings.
+//
+// Usage: odtn_fuzz [--engine N] [--parser N] [--kernel N] [--shard N]
+//                  [--corpus DIR] [--seed S]
 //        odtn_fuzz [trials] [base-seed]        (legacy: engine mode)
 #include <algorithm>
 #include <cmath>
@@ -49,9 +56,12 @@
 #include <string_view>
 #include <vector>
 
+#include "core/diameter.hpp"
 #include "core/frontier_kernels.hpp"
 #include "core/optimal_paths.hpp"
+#include "core/partition.hpp"
 #include "sim/flooding.hpp"
+#include "stats/log_grid.hpp"
 #include "trace/trace_io.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
@@ -512,6 +522,86 @@ int kernel_trials(long trials, std::uint64_t base_seed) {
   return 0;
 }
 
+[[noreturn]] void shard_failure(const char* what, const TemporalGraph& g,
+                                std::size_t shards, int policy,
+                                std::uint64_t seed) {
+  std::fprintf(stderr,
+               "SHARD MISMATCH seed=%llu shards=%zu policy=%d: %s\n"
+               "reproducer trace:\n",
+               static_cast<unsigned long long>(seed), shards, policy, what);
+  std::ostringstream out;
+  write_trace(out, g);
+  std::fputs(out.str().c_str(), stderr);
+  std::exit(1);
+}
+
+/// Shard mode (--shard N): differential of the sharded all-pairs driver
+/// against the classic one on adversarial traces -- random shard count,
+/// policy, directedness, hop budget, grid, accumulation scheme and
+/// endpoint subset per trial. The contract is BIT-identity (the
+/// canonical fold), so every comparison is ==, never a tolerance; each
+/// sharded run also round-trips the ShardRequest/ShardResult byte
+/// encodings, fuzzing the wire format with real payloads.
+int shard_trials(long trials, std::uint64_t base_seed) {
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    TemporalGraph g = adversarial_trace(rng);
+    if (rng.bernoulli(0.3))
+      g = TemporalGraph(g.num_nodes(), g.contacts(), /*directed=*/true);
+
+    DelayCdfOptions opt;
+    opt.grid = make_log_grid(0.5, 400.0, 8 + rng.below(17));
+    opt.max_hops = 1 + static_cast<int>(rng.below(6));
+    opt.num_threads = 1;
+    if (rng.bernoulli(0.25))
+      opt.accumulation = CdfAccumulation::kDirect;
+    if (rng.bernoulli(0.3)) {
+      // Random endpoint subset of >= 2 nodes.
+      for (NodeId n = 0; n < g.num_nodes(); ++n)
+        if (rng.bernoulli(0.6)) opt.endpoints.push_back(n);
+      while (opt.endpoints.size() < 2) {
+        const auto n = static_cast<NodeId>(rng.below(g.num_nodes()));
+        if (std::find(opt.endpoints.begin(), opt.endpoints.end(), n) ==
+            opt.endpoints.end())
+          opt.endpoints.push_back(n);
+      }
+      std::sort(opt.endpoints.begin(), opt.endpoints.end());
+    }
+
+    const std::size_t shards = 1 + rng.below(6);
+    const auto policy = static_cast<ShardPolicy>(rng.below(3));
+    const DelayCdfResult a = compute_delay_cdf(g, opt);
+    opt.sharding.num_shards = shards;
+    opt.sharding.policy = policy;
+    const DelayCdfResult b = compute_delay_cdf(g, opt);
+
+    const int p = static_cast<int>(policy);
+    if (a.cdf_by_hops != b.cdf_by_hops)
+      shard_failure("cdf_by_hops diverged", g, shards, p, seed);
+    if (a.cdf_unbounded != b.cdf_unbounded)
+      shard_failure("cdf_unbounded diverged", g, shards, p, seed);
+    if (a.fixpoint_hops != b.fixpoint_hops)
+      shard_failure("fixpoint_hops diverged", g, shards, p, seed);
+    if (a.converged != b.converged)
+      shard_failure("converged flag diverged", g, shards, p, seed);
+    if (a.denominator != b.denominator)
+      shard_failure("denominator diverged", g, shards, p, seed);
+    if (a.diameter(0.01) != b.diameter(0.01) ||
+        a.diameter_absolute(0.01) != b.diameter_absolute(0.01))
+      shard_failure("diameter diverged", g, shards, p, seed);
+    if (a.stats.cdf_pairs_integrated != b.stats.cdf_pairs_integrated ||
+        a.stats.contacts_examined != b.stats.contacts_examined ||
+        a.stats.pairs_inserted != b.stats.pairs_inserted)
+      shard_failure("additive engine counters diverged", g, shards, p, seed);
+  }
+  std::printf("odtn_fuzz: %ld shard trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(
+                  base_seed + static_cast<std::uint64_t>(trials) - 1));
+  return 0;
+}
+
 /// Fixed-corpus smoke: ok_* files must parse strict cleanly, every
 /// other file must raise TraceError in strict mode; lenient and
 /// canonicalize runs must never crash on any of them.
@@ -569,6 +659,7 @@ int main(int argc, char** argv) {
   long engine_count = -1;
   long parser_count = -1;
   long kernel_count = -1;
+  long shard_count = -1;
   std::string corpus_dir;
   std::uint64_t seed = 1;
   std::vector<std::string> positional;
@@ -587,6 +678,8 @@ int main(int argc, char** argv) {
       parser_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--kernel") {
       kernel_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--shard") {
+      shard_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--corpus") {
       corpus_dir = next();
     } else if (arg == "--seed") {
@@ -602,13 +695,14 @@ int main(int argc, char** argv) {
     seed = static_cast<std::uint64_t>(
         std::strtoll(positional[1].c_str(), nullptr, 10));
   if (engine_count < 0 && parser_count < 0 && kernel_count < 0 &&
-      corpus_dir.empty())
+      shard_count < 0 && corpus_dir.empty())
     engine_count = 200;
 
   int rc = 0;
   if (!corpus_dir.empty()) rc |= corpus_pass(corpus_dir);
   if (parser_count > 0) rc |= parser_trials(parser_count, seed);
   if (kernel_count > 0) rc |= kernel_trials(kernel_count, seed);
+  if (shard_count > 0) rc |= shard_trials(shard_count, seed);
   if (engine_count > 0) rc |= engine_trials(engine_count, seed);
   return rc;
 }

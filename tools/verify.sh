@@ -26,10 +26,14 @@ cmake --preset sanitize
 cmake --build --preset sanitize -j
 ctest --preset sanitize
 
-echo "== tier-2b: parser + kernel fuzz smoke under ASan+UBSan =="
+echo "== tier-2b: parser + kernel + shard fuzz smoke under ASan+UBSan =="
 ./build-sanitize/tools/odtn_fuzz --corpus tests/corpus
 ./build-sanitize/tools/odtn_fuzz --parser 300 --seed 1
 ./build-sanitize/tools/odtn_fuzz --kernel 300 --seed 1
+# Sharded-vs-unsharded differential: random shard counts and policies
+# must reproduce the classic driver bit for bit, and every run
+# round-trips the ShardRequest/ShardResult wire encodings.
+./build-sanitize/tools/odtn_fuzz --shard 60 --seed 1
 # Forced-scalar pass: pins the dispatch layer to the mandatory fallback
 # so the scalar kernels stay exercised under the sanitizers even on
 # AVX2 hardware (the default run sweeps scalar..best-supported).
