@@ -1,0 +1,398 @@
+// Serve-path perf bench (PR 8): mmap-able graph snapshots and the
+// LRU-cached batched query engine behind `odtn serve`.
+//
+// Sections (rows land in bench_out/perf_serve.csv):
+//
+//   snapshot_load -- a ~1M-contact synthetic trace written both as
+//                    canonical trace text and as a .odtns snapshot;
+//                    hard gates: load_snapshot_file is >= 5x faster
+//                    than read_trace_file + index construction, and
+//                    the loaded view is bit-identical to the parsed
+//                    graph (contacts, re-encoded bytes, and an engine
+//                    run over both).
+//   warm_cache    -- conference-trace all-pairs batch through
+//                    QueryEngine; hard gates: a warm repeat of the
+//                    same batch is >= 10x faster than the cold run,
+//                    cold == compute_delay_cdf bit-identical, warm ==
+//                    cold bit-identical, and a snapshot-loaded graph
+//                    answers bit-identically to the parsed one.
+//
+// Emits machine-readable bench_out/BENCH_pr8.json (gate fields only on
+// gated records, bench_perf_engine conventions). Exit status is
+// non-zero iff any hard gate fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/diameter.hpp"
+#include "core/query_engine.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/generators.hpp"
+#include "trace/snapshot.hpp"
+#include "trace/trace_io.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time_format.hpp"
+
+using namespace odtn;
+
+namespace {
+
+double now_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Random trace in the shape of a week-long campus data set, the same
+/// regime as bench_perf_trace_io: ~1M contacts so startup cost is
+/// dominated by parse/index work rather than noise.
+TemporalGraph synthetic_trace(std::size_t nodes, std::size_t contacts,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Contact> all;
+  all.reserve(contacts);
+  const double horizon = 7.0 * 86400.0;
+  for (std::size_t i = 0; i < contacts; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    const double begin = rng.uniform(0.0, horizon);
+    const double length = rng.uniform(0.0, 3600.0);
+    all.push_back({u, v, begin, begin + length});
+  }
+  return TemporalGraph(nodes, std::move(all));
+}
+
+/// Conference-style community trace, the regime of Figures 9-12.
+TemporalGraph make_workload_trace() {
+  SyntheticTraceSpec spec;
+  spec.name = "conference_serve";
+  spec.num_internal = 120;
+  spec.duration = 3 * kDay;
+  spec.pair_contacts_mean = 0.10;
+  spec.num_communities = 8;
+  spec.gatherings = {25.0, 0.2, 0.04, 10 * kMinute, 0.8, 0.05};
+  spec.profile = ActivityProfile::conference();
+  return generate_trace(spec, 7117).graph;
+}
+
+/// Bitwise result equality over everything a serve client can observe:
+/// CDFs, diameters, scalars. Instrumentation counters are deliberately
+/// excluded -- a warm run examines zero contacts by design.
+bool results_bit_identical(const DelayCdfResult& a, const DelayCdfResult& b,
+                           std::string* why) {
+  auto fail = [&](const char* what) {
+    if (why) *why = what;
+    return false;
+  };
+  if (a.grid != b.grid) return fail("grid");
+  if (a.cdf_by_hops != b.cdf_by_hops) return fail("cdf_by_hops");
+  if (a.cdf_unbounded != b.cdf_unbounded) return fail("cdf_unbounded");
+  if (a.fixpoint_hops != b.fixpoint_hops) return fail("fixpoint_hops");
+  if (a.converged != b.converged) return fail("converged");
+  if (a.denominator != b.denominator) return fail("denominator");
+  for (const double eps : {0.001, 0.01, 0.05, 0.1, 0.5}) {
+    if (a.diameter(eps) != b.diameter(eps)) return fail("diameter(eps)");
+    if (a.diameter_per_delay(eps) != b.diameter_per_delay(eps))
+      return fail("diameter_per_delay(eps)");
+  }
+  for (const double tol : {0.001, 0.01, 0.05})
+    if (a.diameter_absolute(tol) != b.diameter_absolute(tol))
+      return fail("diameter_absolute(tol)");
+  return true;
+}
+
+bool graphs_identical(const TemporalGraph& a, const TemporalGraph& b) {
+  return a.num_nodes() == b.num_nodes() && a.directed() == b.directed() &&
+         a.start_time() == b.start_time() && a.end_time() == b.end_time() &&
+         std::ranges::equal(a.contacts(), b.contacts());
+}
+
+struct ServeRecord {
+  std::string section;
+  std::string variant;
+  double wall_ms = 0.0;
+  double speedup = 0.0;
+  bool gated = false;
+  std::string gate;
+  bool gate_pass = true;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+ServeRecord make_record(std::string section, std::string variant,
+                        double wall_ms, double speedup) {
+  ServeRecord r;
+  r.section = std::move(section);
+  r.variant = std::move(variant);
+  r.wall_ms = wall_ms;
+  r.speedup = speedup;
+  return r;
+}
+
+void emit(CsvWriter& csv, std::vector<ServeRecord>& records, ServeRecord r) {
+  csv.write_row({r.section, r.variant, std::to_string(r.wall_ms),
+                 std::to_string(r.speedup), r.gated ? r.gate : "",
+                 r.gated ? (r.gate_pass ? "1" : "0") : "",
+                 std::to_string(r.cache_hits), std::to_string(r.cache_misses),
+                 std::to_string(r.cache_evictions)});
+  records.push_back(std::move(r));
+}
+
+int section_snapshot_load(CsvWriter& csv, std::vector<ServeRecord>& records) {
+  const TemporalGraph original = synthetic_trace(500, 1000000, 42);
+  const std::string trace_path = "bench_out/perf_serve_workload.trace";
+  const std::string snap_path = "bench_out/perf_serve_workload.odtns";
+  write_trace_file(trace_path, original);
+  write_snapshot_file(snap_path, original);
+
+  std::printf("\n-- snapshot_load: %zu contacts, parse+index vs mmap "
+              "(gated) --\n",
+              original.num_contacts());
+  int failures = 0;
+
+  // Parse + index: what `odtn serve --trace` pays at startup. Touching
+  // the per-node indexes forces the lazy CSR build the engines need.
+  double parse_ms = 1e300;
+  TemporalGraph parsed(0, {});
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_ms();
+    TemporalGraph g = read_trace_file(trace_path);
+    const std::size_t touched =
+        g.neighbor_records().size() + g.node_offsets().size();
+    const double wall = now_ms() - t0;
+    if (touched == 0) std::printf("  (unexpected empty index)\n");
+    if (wall < parse_ms) {
+      parse_ms = wall;
+      parsed = std::move(g);
+    }
+  }
+
+  // Snapshot: mmap + bounds/invariant sweep, indexes ride along in the
+  // mapping -- nothing is rebuilt.
+  double load_ms = 1e300;
+  TemporalGraph loaded(0, {});
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_ms();
+    TemporalGraph g = load_snapshot_file(snap_path);
+    const std::size_t touched =
+        g.neighbor_records().size() + g.node_offsets().size();
+    const double wall = now_ms() - t0;
+    if (touched == 0) std::printf("  (unexpected empty index)\n");
+    if (wall < load_ms) {
+      load_ms = wall;
+      loaded = std::move(g);
+    }
+  }
+  const double speedup = parse_ms / std::max(load_ms, 1e-9);
+
+  std::printf("  parse+index : %8.1f ms\n", parse_ms);
+  std::printf("  mmap load   : %8.1f ms\n", load_ms);
+  std::printf("  speedup     : %.2fx\n", speedup);
+
+  const bool identical = graphs_identical(parsed, loaded) &&
+                         encode_snapshot(loaded) == encode_snapshot(parsed);
+  if (!bench::check(identical,
+                    "snapshot view bit-identical to the parsed graph "
+                    "(contacts + re-encoded bytes)"))
+    ++failures;
+  if (!bench::check(loaded.is_view(), "snapshot load is zero-copy"))
+    ++failures;
+  if (!bench::check(speedup >= 5.0, "snapshot load >= 5x parse+index"))
+    ++failures;
+
+  ServeRecord parse_rec = make_record("snapshot_load", "parse+index", parse_ms, 1.0);
+  emit(csv, records, parse_rec);
+  ServeRecord load_rec = make_record("snapshot_load", "mmap", load_ms, speedup);
+  load_rec.gated = true;
+  load_rec.gate = "load_5x_and_bit_identical";
+  load_rec.gate_pass = identical && loaded.is_view() && speedup >= 5.0;
+  emit(csv, records, load_rec);
+
+  std::remove(trace_path.c_str());
+  std::remove(snap_path.c_str());
+  return failures;
+}
+
+int section_warm_cache(CsvWriter& csv, std::vector<ServeRecord>& records) {
+  const TemporalGraph g = make_workload_trace();
+  std::printf("\n-- warm_cache: all-pairs batch, %zu nodes, %zu contacts "
+              "(gated) --\n",
+              g.num_nodes(), g.num_contacts());
+  int failures = 0;
+
+  QueryEngineOptions qo;
+  qo.grid = make_log_grid(2 * kMinute, kDay, 48);
+  qo.max_hops = 10;
+
+  DelayCdfOptions ref_opt;
+  ref_opt.grid = qo.grid;
+  ref_opt.max_hops = qo.max_hops;
+  ref_opt.max_levels = qo.max_levels;
+  const DelayCdfResult reference = compute_delay_cdf(g, ref_opt);
+
+  // Cold: fresh engine per rep so the cache really starts empty.
+  double cold_ms = 1e300;
+  DelayCdfResult cold;
+  EngineStats cold_stats;
+  QueryEngine engine(g, qo);
+  for (int rep = 0; rep < 2; ++rep) {
+    QueryEngine fresh(g, qo);
+    const double t0 = now_ms();
+    DelayCdfResult run = fresh.all_pairs();
+    const double wall = now_ms() - t0;
+    if (wall < cold_ms) cold_ms = wall;
+    if (rep == 0) {
+      cold = std::move(run);
+      cold_stats = cold.stats;
+    }
+  }
+  (void)engine.all_pairs();  // prime the timed engine's cache
+
+  // Warm: the identical batch against the primed cache.
+  double warm_ms = 1e300;
+  DelayCdfResult warm;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_ms();
+    DelayCdfResult run = engine.all_pairs();
+    const double wall = now_ms() - t0;
+    if (wall < warm_ms) {
+      warm_ms = wall;
+      warm = std::move(run);
+    }
+  }
+  const double speedup = cold_ms / std::max(warm_ms, 1e-9);
+
+  std::printf("  reference   : diameter(0.01)=%d, fixpoint=%d\n",
+              reference.diameter(0.01), reference.fixpoint_hops);
+  std::printf("  cold batch  : %8.1f ms  (%llu misses, %llu evictions)\n",
+              cold_ms,
+              static_cast<unsigned long long>(cold_stats.cache_misses),
+              static_cast<unsigned long long>(cold_stats.cache_evictions));
+  std::printf("  warm batch  : %8.1f ms  (%llu hits)\n", warm_ms,
+              static_cast<unsigned long long>(warm.stats.cache_hits));
+  std::printf("  speedup     : %.2fx\n", speedup);
+
+  std::string why;
+  const bool cold_ok = results_bit_identical(cold, reference, &why);
+  if (!bench::check(cold_ok, "cold QueryEngine batch == compute_delay_cdf "
+                             "bit-identical" +
+                                 (cold_ok ? "" : " (" + why + ")")))
+    ++failures;
+  const bool warm_ok = results_bit_identical(warm, cold, &why);
+  if (!bench::check(warm_ok,
+                    "warm batch == cold batch bit-identical" +
+                        (warm_ok ? "" : " (" + why + ")")))
+    ++failures;
+  const bool all_hits = warm.stats.cache_misses == 0 &&
+                        warm.stats.cache_hits == g.num_nodes();
+  if (!bench::check(all_hits, "warm batch answered entirely from cache"))
+    ++failures;
+  if (!bench::check(speedup >= 10.0, "warm batch >= 10x cold batch"))
+    ++failures;
+
+  // Snapshot-loaded graphs must answer exactly like parsed ones.
+  const TemporalGraph view = decode_snapshot(
+      std::make_shared<const std::vector<std::uint8_t>>(encode_snapshot(g)));
+  QueryEngine mapped(view, qo);
+  const DelayCdfResult via_snapshot = mapped.all_pairs();
+  const bool snap_ok = results_bit_identical(via_snapshot, cold, &why);
+  if (!bench::check(snap_ok,
+                    "snapshot-loaded batch == parsed batch bit-identical" +
+                        (snap_ok ? "" : " (" + why + ")")))
+    ++failures;
+
+  ServeRecord cold_rec = make_record("warm_cache", "cold", cold_ms, 1.0);
+  cold_rec.gated = true;
+  cold_rec.gate = "cold_matches_compute_delay_cdf";
+  cold_rec.gate_pass = cold_ok;
+  cold_rec.cache_hits = cold_stats.cache_hits;
+  cold_rec.cache_misses = cold_stats.cache_misses;
+  cold_rec.cache_evictions = cold_stats.cache_evictions;
+  emit(csv, records, cold_rec);
+
+  ServeRecord warm_rec = make_record("warm_cache", "warm", warm_ms, speedup);
+  warm_rec.gated = true;
+  warm_rec.gate = "warm_10x_and_bit_identical";
+  warm_rec.gate_pass = warm_ok && all_hits && speedup >= 10.0;
+  warm_rec.cache_hits = warm.stats.cache_hits;
+  warm_rec.cache_misses = warm.stats.cache_misses;
+  warm_rec.cache_evictions = warm.stats.cache_evictions;
+  emit(csv, records, warm_rec);
+
+  ServeRecord snap_rec = make_record("warm_cache", "snapshot_view", 0.0, 0.0);
+  snap_rec.gated = true;
+  snap_rec.gate = "snapshot_view_bit_identical";
+  snap_rec.gate_pass = snap_ok;
+  snap_rec.cache_hits = via_snapshot.stats.cache_hits;
+  snap_rec.cache_misses = via_snapshot.stats.cache_misses;
+  snap_rec.cache_evictions = via_snapshot.stats.cache_evictions;
+  emit(csv, records, snap_rec);
+  return failures;
+}
+
+void write_bench_json_pr8(const std::vector<ServeRecord>& records) {
+  const std::string path = "bench_out/BENCH_pr8.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("[json] could not open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_perf_serve\",\n  \"pr\": 8,\n"
+               "  \"metric\": \"snapshot startup + cached batch queries\",\n"
+               "  \"workers\": %u,\n  \"records\": [\n",
+               shared_thread_pool().num_workers());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ServeRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"section\": \"%s\", \"variant\": \"%s\", "
+                 "\"wall_ms\": %.3f, \"speedup\": %.3f, ",
+                 r.section.c_str(), r.variant.c_str(), r.wall_ms, r.speedup);
+    if (r.gated)
+      std::fprintf(f, "\"gate\": \"%s\", \"gate_pass\": %s, ",
+                   r.gate.c_str(), r.gate_pass ? "true" : "false");
+    std::fprintf(f,
+                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"cache_evictions\": %llu}%s\n",
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses),
+                 static_cast<unsigned long long>(r.cache_evictions),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Serve path",
+                "mmap snapshot startup vs parse+index, and warm vs cold "
+                "cached query batches: speedup + bit-identity gates");
+  CsvWriter csv(bench::csv_path("perf_serve"));
+  csv.write_row({"section", "variant", "wall_ms", "speedup", "gate",
+                 "gate_pass", "cache_hits", "cache_misses",
+                 "cache_evictions"});
+
+  std::vector<ServeRecord> records;
+  int failures = 0;
+  failures += section_snapshot_load(csv, records);
+  failures += section_warm_cache(csv, records);
+  write_bench_json_pr8(records);
+  std::printf("[csv] wrote %s\n", bench::csv_path("perf_serve").c_str());
+
+  if (failures) {
+    std::printf("\n%d serve gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall serve gates passed\n");
+  return 0;
+}

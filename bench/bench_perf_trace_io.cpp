@@ -15,6 +15,7 @@
 // Output: bench_out/perf_trace_io.csv (one row per timed run) and
 // machine-readable bench_out/BENCH_pr4.json. Exit code is non-zero when
 // any hard gate fails.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -115,8 +116,9 @@ int section_parse(CsvWriter& csv, std::vector<SectionRecord>& records,
 
   const bool identical = fast.graph.num_nodes() == original.num_nodes() &&
                          fast.graph.directed() == original.directed() &&
-                         fast.graph.contacts() == original.contacts();
-  const bool ref_identical = ref.graph.contacts() == original.contacts();
+                         std::ranges::equal(fast.graph.contacts(), original.contacts());
+  const bool ref_identical =
+      std::ranges::equal(ref.graph.contacts(), original.contacts());
   if (!check(identical,
              "streaming parse is bit-identical to the written graph"))
     ++failures;
@@ -224,7 +226,7 @@ int section_canonicalize(CsvWriter& csv,
               wall, report.merged, report.out_of_order);
 
   const TemporalGraph expected(nodes, merge_overlapping_contacts(contacts));
-  if (!check(g.contacts() == expected.contacts(),
+  if (!check(std::ranges::equal(g.contacts(), expected.contacts()),
              "parse-time canonicalization == merge_overlapping_contacts"))
     ++failures;
   if (!check(report.merged == kCount - g.num_contacts(),

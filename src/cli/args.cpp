@@ -27,6 +27,18 @@ bool ArgList::take_flag(std::string_view name) {
   return true;
 }
 
+std::string required_positional(ArgList& args, std::string_view what) {
+  auto value = args.take_positional();
+  if (!value) throw CliError("missing " + std::string(what));
+  return *value;
+}
+
+std::string required_option(ArgList& args, std::string_view name) {
+  auto value = args.take_option(name);
+  if (!value) throw CliError("missing required option --" + std::string(name));
+  return *value;
+}
+
 std::optional<std::string> ArgList::take_positional() {
   const auto it = std::find_if(args_.begin(), args_.end(),
                                [](const std::string& a) {

@@ -44,6 +44,11 @@ class ArgList {
   std::vector<std::string> args_;
 };
 
+/// Next positional / `--name value`, throwing a user-facing CliError
+/// naming the missing argument when absent.
+std::string required_positional(ArgList& args, std::string_view what);
+std::string required_option(ArgList& args, std::string_view name);
+
 /// Strict numeric parsing with user-facing errors.
 double parse_double(const std::string& text, std::string_view what);
 long parse_long(const std::string& text, std::string_view what);

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "cli/args.hpp"
+#include "cli/serve.hpp"
 #include "core/diameter.hpp"
 #include "core/partition.hpp"
 #include "core/path_enumeration.hpp"
@@ -31,18 +32,6 @@ unsigned take_threads(ArgList& args) {
   const long value = parse_long(*threads, "threads");
   if (value < 0) throw CliError("--threads must be >= 0");
   return static_cast<unsigned>(value);
-}
-
-std::string required_positional(ArgList& args, std::string_view what) {
-  auto value = args.take_positional();
-  if (!value) throw CliError("missing " + std::string(what));
-  return *value;
-}
-
-std::string required_option(ArgList& args, std::string_view name) {
-  auto value = args.take_option(name);
-  if (!value) throw CliError("missing required option --" + std::string(name));
-  return *value;
 }
 
 int cmd_generate(ArgList args) {
@@ -424,6 +413,14 @@ std::string usage_text() {
          "                                      enumerate optimal routes\n"
          "  import <file> --format <crawdad|one> --out <trace>\n"
          "                                      convert published formats\n"
+         "  snapshot <trace> <out.odtns>        write the mmap-able binary\n"
+         "                                      snapshot (parse + index once)\n"
+         "  serve --snapshot <file> | --trace <file>\n"
+         "      [--input <file>] [--socket <path> [--once]] [--max-hops K]\n"
+         "      [--grid-lo D --grid-hi D] [--cache-mb M] [--cache-shards S]\n"
+         "                                      answer line-delimited query\n"
+         "                                      batches (cdf, diameter,\n"
+         "                                      reach, journey, stats, quit)\n"
          "  help                                this text\n"
          "\n"
          "durations accept suffixes: s, min, h, d, wk (e.g. --min-duration "
@@ -446,6 +443,8 @@ int run_cli(std::vector<std::string> args) {
     if (command == "route") return cmd_route(std::move(rest));
     if (command == "mc") return cmd_mc(std::move(rest));
     if (command == "import") return cmd_import(std::move(rest));
+    if (command == "snapshot") return cmd_snapshot(std::move(rest));
+    if (command == "serve") return cmd_serve(std::move(rest));
     if (command == "help" || command == "--help") {
       std::fputs(usage_text().c_str(), stdout);
       return 0;

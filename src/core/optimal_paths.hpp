@@ -99,6 +99,16 @@ struct EngineStats {
   /// Peak bytes committed to the engine's arenas. kPooled only; merged
   /// by max, like pairs_peak.
   std::uint64_t arena_bytes_peak = 0;
+  /// Serve-path result cache (core/query_engine.hpp): sources answered
+  /// from a cached CDF partial without touching a propagation engine.
+  std::uint64_t cache_hits = 0;
+  /// Sources computed fresh (and then offered to the cache). Zero when
+  /// no cache is in play, so batch runs satisfy
+  /// sources = cache_hits + cache_misses only on the serve path.
+  std::uint64_t cache_misses = 0;
+  /// Cache entries evicted to make room, attributed to the query whose
+  /// insert triggered them.
+  std::uint64_t cache_evictions = 0;
 
   void merge(const EngineStats& other) noexcept {
     contacts_examined += other.contacts_examined;
@@ -112,6 +122,9 @@ struct EngineStats {
     if (other.pairs_peak > pairs_peak) pairs_peak = other.pairs_peak;
     if (other.arena_bytes_peak > arena_bytes_peak)
       arena_bytes_peak = other.arena_bytes_peak;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
   }
 };
 

@@ -110,6 +110,9 @@ void put_stats(ByteWriter& w, const EngineStats& s) {
   w.put_u64(s.merge_batches);
   w.put_u64(s.pairs_peak);
   w.put_u64(s.arena_bytes_peak);
+  w.put_u64(s.cache_hits);
+  w.put_u64(s.cache_misses);
+  w.put_u64(s.cache_evictions);
 }
 
 EngineStats take_stats(ByteReader& r) {
@@ -124,6 +127,9 @@ EngineStats take_stats(ByteReader& r) {
   s.merge_batches = r.take_u64();
   s.pairs_peak = r.take_u64();
   s.arena_bytes_peak = r.take_u64();
+  s.cache_hits = r.take_u64();
+  s.cache_misses = r.take_u64();
+  s.cache_evictions = r.take_u64();
   return s;
 }
 

@@ -79,7 +79,10 @@ struct ShardRequest {
 /// index) plus the shard's aggregate engine counters and fixpoint fold.
 struct ShardResult {
   static constexpr std::uint32_t kMagic = 0x4F445253;  // "ODRS"
-  static constexpr std::uint16_t kVersion = 1;
+  /// v2: EngineStats gained the serve-cache counters (cache_hits /
+  /// cache_misses / cache_evictions), widening the stats block from 10
+  /// to 13 u64 fields.
+  static constexpr std::uint16_t kVersion = 2;
 
   std::uint32_t shard_id = 0;
   bool converged = true;

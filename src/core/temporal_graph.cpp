@@ -25,6 +25,7 @@ TemporalGraph::TemporalGraph(std::size_t num_nodes,
   // Traces read back from write_trace (and most generators) are already
   // canonical; skipping the sort keeps ingestion one pass per array.
   if (!sorted) std::sort(contacts_.begin(), contacts_.end(), contact_less);
+  contacts_view_ = contacts_;
 
   if (!contacts_.empty()) {
     // Seed from the first contact, NOT from 0.0: a trace whose timestamps
@@ -36,12 +37,47 @@ TemporalGraph::TemporalGraph(std::size_t num_nodes,
   }
 }
 
+TemporalGraph TemporalGraph::adopt_view(
+    std::size_t num_nodes, bool directed, std::span<const Contact> contacts,
+    double start, double end, std::span<const std::uint32_t> node_offsets,
+    std::span<const std::uint32_t> node_contacts,
+    std::span<const std::uint32_t> neighbor_offsets,
+    std::span<const NodeContact> neighbors_by_end,
+    std::shared_ptr<const void> backing) {
+  TemporalGraph g;
+  g.num_nodes_ = num_nodes;
+  g.directed_ = directed;
+  g.contacts_view_ = contacts;
+  g.start_ = start;
+  g.end_ = end;
+  g.backing_ = std::move(backing);
+  auto* ix = new Indexes;
+  ix->node_offsets = node_offsets;
+  ix->node_contacts = node_contacts;
+  ix->neighbor_offsets = neighbor_offsets;
+  ix->neighbors_by_end = neighbors_by_end;
+  g.indexes_.store(ix, std::memory_order_release);
+  return g;
+}
+
 TemporalGraph::TemporalGraph(const TemporalGraph& other)
     : num_nodes_(other.num_nodes_),
       directed_(other.directed_),
       contacts_(other.contacts_),
       start_(other.start_),
-      end_(other.end_) {}  // indexes rebuild lazily: copies stay cheap
+      end_(other.end_),
+      backing_(other.backing_) {
+  if (backing_) {
+    // Borrowed view: share the mapping and its ready-made indexes. The
+    // cloned Indexes holds spans into the shared backing only (its
+    // stores are empty), so the clone stays valid on its own.
+    contacts_view_ = other.contacts_view_;
+    if (const Indexes* ix = other.indexes_.load(std::memory_order_acquire))
+      indexes_.store(new Indexes(*ix), std::memory_order_release);
+  } else {
+    contacts_view_ = contacts_;  // indexes rebuild lazily: copies stay cheap
+  }
+}
 
 TemporalGraph& TemporalGraph::operator=(const TemporalGraph& other) {
   if (this != &other) {
@@ -50,7 +86,16 @@ TemporalGraph& TemporalGraph::operator=(const TemporalGraph& other) {
     contacts_ = other.contacts_;
     start_ = other.start_;
     end_ = other.end_;
-    delete indexes_.exchange(nullptr);
+    backing_ = other.backing_;
+    const Indexes* replacement = nullptr;
+    if (backing_) {
+      contacts_view_ = other.contacts_view_;
+      if (const Indexes* ix = other.indexes_.load(std::memory_order_acquire))
+        replacement = new Indexes(*ix);
+    } else {
+      contacts_view_ = contacts_;
+    }
+    delete indexes_.exchange(replacement);
   }
   return *this;
 }
@@ -59,23 +104,39 @@ TemporalGraph::TemporalGraph(TemporalGraph&& other) noexcept
     : num_nodes_(other.num_nodes_),
       directed_(other.directed_),
       contacts_(std::move(other.contacts_)),
+      // A span over the moved vector stays valid: the heap buffer moved
+      // with it. A view's span points into backing_, also moved here.
+      contacts_view_(other.contacts_view_),
       start_(other.start_),
       end_(other.end_),
-      indexes_(other.indexes_.exchange(nullptr)) {}
+      backing_(std::move(other.backing_)),
+      indexes_(other.indexes_.exchange(nullptr)) {
+  other.contacts_view_ = {};
+}
 
 TemporalGraph& TemporalGraph::operator=(TemporalGraph&& other) noexcept {
   if (this != &other) {
     num_nodes_ = other.num_nodes_;
     directed_ = other.directed_;
     contacts_ = std::move(other.contacts_);
+    contacts_view_ = other.contacts_view_;
     start_ = other.start_;
     end_ = other.end_;
+    backing_ = std::move(other.backing_);
     delete indexes_.exchange(other.indexes_.exchange(nullptr));
+    other.contacts_view_ = {};
   }
   return *this;
 }
 
 TemporalGraph::~TemporalGraph() { delete indexes_.load(); }
+
+void TemporalGraph::Indexes::point_at_stores() noexcept {
+  node_offsets = node_offsets_store;
+  node_contacts = node_contacts_store;
+  neighbor_offsets = neighbor_offsets_store;
+  neighbors_by_end = neighbors_by_end_store;
+}
 
 const TemporalGraph::Indexes& TemporalGraph::indexes() const {
   // Double-checked build: the acquire load pairs with the release store
@@ -85,8 +146,10 @@ const TemporalGraph::Indexes& TemporalGraph::indexes() const {
     const std::lock_guard<std::mutex> lock(index_mutex_);
     ix = indexes_.load(std::memory_order_relaxed);
     if (ix == nullptr) {
-      ix = new Indexes(build_indexes());
-      indexes_.store(ix, std::memory_order_release);
+      auto* built = new Indexes(build_indexes());
+      built->point_at_stores();
+      indexes_.store(built, std::memory_order_release);
+      ix = built;
     }
   }
   return *ix;
@@ -95,14 +158,14 @@ const TemporalGraph::Indexes& TemporalGraph::indexes() const {
 TemporalGraph::Indexes TemporalGraph::build_indexes() const {
   Indexes ix;
   // Per-node contact index (counting sort by node).
-  ix.node_offsets.assign(num_nodes_ + 1, 0);
-  for (const Contact& c : contacts_) {
-    ++ix.node_offsets[c.u + 1];
-    ++ix.node_offsets[c.v + 1];
+  ix.node_offsets_store.assign(num_nodes_ + 1, 0);
+  for (const Contact& c : contacts_view_) {
+    ++ix.node_offsets_store[c.u + 1];
+    ++ix.node_offsets_store[c.v + 1];
   }
-  for (std::size_t i = 1; i < ix.node_offsets.size(); ++i)
-    ix.node_offsets[i] += ix.node_offsets[i - 1];
-  ix.node_contacts.resize(2 * contacts_.size());
+  for (std::size_t i = 1; i < ix.node_offsets_store.size(); ++i)
+    ix.node_offsets_store[i] += ix.node_offsets_store[i - 1];
+  ix.node_contacts_store.resize(2 * contacts_view_.size());
 
   // Secondary index: each node's outgoing contact windows, materialized
   // as flat {begin, end, peer} records and re-sorted by end time, so
@@ -110,35 +173,37 @@ TemporalGraph::Indexes TemporalGraph::build_indexes() const {
   // "first window ending at or after t". Undirected graphs index both
   // endpoints per contact, so the counts equal the node index's.
   if (directed_) {
-    ix.neighbor_offsets.assign(num_nodes_ + 1, 0);
-    for (const Contact& c : contacts_) ++ix.neighbor_offsets[c.u + 1];
-    for (std::size_t i = 1; i < ix.neighbor_offsets.size(); ++i)
-      ix.neighbor_offsets[i] += ix.neighbor_offsets[i - 1];
+    ix.neighbor_offsets_store.assign(num_nodes_ + 1, 0);
+    for (const Contact& c : contacts_view_)
+      ++ix.neighbor_offsets_store[c.u + 1];
+    for (std::size_t i = 1; i < ix.neighbor_offsets_store.size(); ++i)
+      ix.neighbor_offsets_store[i] += ix.neighbor_offsets_store[i - 1];
   } else {
-    ix.neighbor_offsets = ix.node_offsets;
+    ix.neighbor_offsets_store = ix.node_offsets_store;
   }
-  ix.neighbors_by_end.resize(ix.neighbor_offsets.back());
+  ix.neighbors_by_end_store.resize(ix.neighbor_offsets_store.back());
 
-  std::vector<std::uint32_t> cursor(ix.node_offsets.begin(),
-                                    ix.node_offsets.end() - 1);
-  std::vector<std::uint32_t> ncursor(ix.neighbor_offsets.begin(),
-                                     ix.neighbor_offsets.end() - 1);
-  for (std::uint32_t idx = 0; idx < contacts_.size(); ++idx) {
-    const Contact& c = contacts_[idx];
-    ix.node_contacts[cursor[c.u]++] = idx;
-    ix.node_contacts[cursor[c.v]++] = idx;
-    ix.neighbors_by_end[ncursor[c.u]++] = {c.begin, c.end, c.v};
+  std::vector<std::uint32_t> cursor(ix.node_offsets_store.begin(),
+                                    ix.node_offsets_store.end() - 1);
+  std::vector<std::uint32_t> ncursor(ix.neighbor_offsets_store.begin(),
+                                     ix.neighbor_offsets_store.end() - 1);
+  for (std::uint32_t idx = 0; idx < contacts_view_.size(); ++idx) {
+    const Contact& c = contacts_view_[idx];
+    ix.node_contacts_store[cursor[c.u]++] = idx;
+    ix.node_contacts_store[cursor[c.v]++] = idx;
+    ix.neighbors_by_end_store[ncursor[c.u]++] = {c.begin, c.end, c.v};
     if (!directed_)
-      ix.neighbors_by_end[ncursor[c.v]++] = {c.begin, c.end, c.u};
+      ix.neighbors_by_end_store[ncursor[c.v]++] = {c.begin, c.end, c.u};
   }
   for (std::size_t n = 0; n < num_nodes_; ++n) {
-    std::sort(ix.neighbors_by_end.begin() + ix.neighbor_offsets[n],
-              ix.neighbors_by_end.begin() + ix.neighbor_offsets[n + 1],
-              [](const NodeContact& a, const NodeContact& b) {
-                if (a.end != b.end) return a.end < b.end;
-                if (a.begin != b.begin) return a.begin < b.begin;
-                return a.to < b.to;
-              });
+    std::sort(
+        ix.neighbors_by_end_store.begin() + ix.neighbor_offsets_store[n],
+        ix.neighbors_by_end_store.begin() + ix.neighbor_offsets_store[n + 1],
+        [](const NodeContact& a, const NodeContact& b) {
+          if (a.end != b.end) return a.end < b.end;
+          if (a.begin != b.begin) return a.begin < b.begin;
+          return a.to < b.to;
+        });
   }
   return ix;
 }
@@ -147,7 +212,7 @@ double TemporalGraph::contact_rate(double unit) const noexcept {
   if (num_nodes_ == 0 || duration() <= 0.0) return 0.0;
   // Each contact is logged by both endpoints (undirected) or by the
   // observer only (directed).
-  const double logs = static_cast<double>(contacts_.size()) *
+  const double logs = static_cast<double>(contacts_view_.size()) *
                       (directed_ ? 1.0 : 2.0);
   return logs / static_cast<double>(num_nodes_) / (duration() / unit);
 }
@@ -156,8 +221,8 @@ std::span<const std::uint32_t> TemporalGraph::contacts_of(NodeId node) const {
   if (node >= num_nodes_)
     throw std::out_of_range("TemporalGraph::contacts_of: bad node");
   const Indexes& ix = indexes();
-  return {ix.node_contacts.data() + ix.node_offsets[node],
-          ix.node_contacts.data() + ix.node_offsets[node + 1]};
+  return ix.node_contacts.subspan(
+      ix.node_offsets[node], ix.node_offsets[node + 1] - ix.node_offsets[node]);
 }
 
 std::span<const NodeContact> TemporalGraph::neighbors_by_end(
@@ -165,21 +230,38 @@ std::span<const NodeContact> TemporalGraph::neighbors_by_end(
   if (node >= num_nodes_)
     throw std::out_of_range("TemporalGraph::neighbors_by_end: bad node");
   const Indexes& ix = indexes();
-  return {ix.neighbors_by_end.data() + ix.neighbor_offsets[node],
-          ix.neighbors_by_end.data() + ix.neighbor_offsets[node + 1]};
+  return ix.neighbors_by_end.subspan(
+      ix.neighbor_offsets[node],
+      ix.neighbor_offsets[node + 1] - ix.neighbor_offsets[node]);
+}
+
+std::span<const std::uint32_t> TemporalGraph::node_offsets() const {
+  return indexes().node_offsets;
+}
+
+std::span<const std::uint32_t> TemporalGraph::node_contact_indices() const {
+  return indexes().node_contacts;
+}
+
+std::span<const std::uint32_t> TemporalGraph::neighbor_offsets() const {
+  return indexes().neighbor_offsets;
+}
+
+std::span<const NodeContact> TemporalGraph::neighbor_records() const {
+  return indexes().neighbors_by_end;
 }
 
 std::vector<double> TemporalGraph::contact_durations() const {
   std::vector<double> out;
-  out.reserve(contacts_.size());
-  for (const Contact& c : contacts_) out.push_back(c.duration());
+  out.reserve(contacts_view_.size());
+  for (const Contact& c : contacts_view_) out.push_back(c.duration());
   return out;
 }
 
 double TemporalGraph::next_contact_time(NodeId node, double t) const {
   double best = std::numeric_limits<double>::infinity();
   for (std::uint32_t idx : contacts_of(node)) {
-    const Contact& c = contacts_[idx];
+    const Contact& c = contacts_view_[idx];
     if (directed_ && c.u != node) continue;  // only outgoing visibility
     if (c.end < t) continue;
     best = std::min(best, std::max(c.begin, t));
@@ -190,7 +272,7 @@ double TemporalGraph::next_contact_time(NodeId node, double t) const {
 
 std::size_t TemporalGraph::num_connected_pairs() const {
   std::set<std::pair<NodeId, NodeId>> pairs;
-  for (const Contact& c : contacts_) {
+  for (const Contact& c : contacts_view_) {
     if (directed_) {
       pairs.emplace(c.u, c.v);
     } else {

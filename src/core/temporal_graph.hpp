@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -36,6 +37,13 @@ struct NodeContact {
 /// `odtn validate`, filter round-trips, trace statistics -- never pay
 /// for them. Copying a graph copies the contacts only; the copy rebuilds
 /// its indexes on demand.
+///
+/// A graph can also BORROW its storage instead of owning it: adopt_view
+/// wraps pre-validated contact and index arrays living in an external
+/// buffer (an mmap-ed snapshot file, trace/snapshot.hpp) without copying
+/// a byte. Copies of a borrowed graph stay zero-copy too -- they share
+/// the backing buffer and its already-built indexes -- which keeps the
+/// sharded engine's per-shard "private graph copies" cheap on snapshots.
 class TemporalGraph {
  public:
   /// Builds a graph with `num_nodes` nodes. Contacts are validated
@@ -51,10 +59,35 @@ class TemporalGraph {
   TemporalGraph& operator=(TemporalGraph&& other) noexcept;
   ~TemporalGraph();
 
+  /// Zero-copy read-only graph over storage owned by `backing` (kept
+  /// alive for the graph's lifetime, shared by copies). The caller --
+  /// the snapshot decoder -- must have fully validated the arrays: the
+  /// contacts canonical-sorted with in-range endpoints, the offset
+  /// arrays monotone and consistent, and [start, end] matching the
+  /// contact span. No validation happens here.
+  static TemporalGraph adopt_view(
+      std::size_t num_nodes, bool directed, std::span<const Contact> contacts,
+      double start, double end, std::span<const std::uint32_t> node_offsets,
+      std::span<const std::uint32_t> node_contacts,
+      std::span<const std::uint32_t> neighbor_offsets,
+      std::span<const NodeContact> neighbors_by_end,
+      std::shared_ptr<const void> backing);
+
   std::size_t num_nodes() const noexcept { return num_nodes_; }
   bool directed() const noexcept { return directed_; }
-  const std::vector<Contact>& contacts() const noexcept { return contacts_; }
-  std::size_t num_contacts() const noexcept { return contacts_.size(); }
+  std::span<const Contact> contacts() const noexcept { return contacts_view_; }
+  std::size_t num_contacts() const noexcept { return contacts_view_.size(); }
+
+  /// Materialized owned copy of the contact array, for callers that need
+  /// vector semantics (rebuilding a graph with different directedness,
+  /// feeding merge_overlapping_contacts, ...).
+  std::vector<Contact> contacts_vector() const {
+    return {contacts_view_.begin(), contacts_view_.end()};
+  }
+
+  /// True when this graph borrows external storage (a loaded snapshot)
+  /// instead of owning its arrays.
+  bool is_view() const noexcept { return backing_ != nullptr; }
 
   /// Earliest contact begin (0 when the trace is empty).
   double start_time() const noexcept { return start_; }
@@ -78,6 +111,19 @@ class TemporalGraph {
   /// the earliest arrival they could extend.
   std::span<const NodeContact> neighbors_by_end(NodeId node) const;
 
+  /// Raw CSR index lanes, building them on first call (same lazy path
+  /// as contacts_of / neighbors_by_end). Exposed as whole arrays so the
+  /// snapshot writer can serialize a fully-indexed graph byte-exactly:
+  ///   node_offsets     num_nodes+1 offsets into node_contact_indices
+  ///   node_contact_indices  2*num_contacts (1x when directed) indices
+  ///                         into contacts()
+  ///   neighbor_offsets num_nodes+1 offsets into neighbor_records
+  ///   neighbor_records flat per-node NodeContact runs, end-sorted
+  std::span<const std::uint32_t> node_offsets() const;
+  std::span<const std::uint32_t> node_contact_indices() const;
+  std::span<const std::uint32_t> neighbor_offsets() const;
+  std::span<const NodeContact> neighbor_records() const;
+
   /// Durations of all contacts, in contact order.
   std::vector<double> contact_durations() const;
 
@@ -92,15 +138,29 @@ class TemporalGraph {
   std::size_t num_connected_pairs() const;
 
  private:
-  /// The engine-facing CSR indexes, built as a unit on first access.
+  /// The engine-facing CSR indexes, built as a unit on first access --
+  /// or borrowed wholesale from a snapshot mapping. The spans are what
+  /// readers consume; the vectors hold the storage only when the graph
+  /// built its own indexes (empty in a borrowed view).
   struct Indexes {
-    // Per-node index into contacts_, in canonical (begin) order.
-    std::vector<std::uint32_t> node_offsets;
-    std::vector<std::uint32_t> node_contacts;
+    // Per-node index into contacts(), in canonical (begin) order.
+    std::vector<std::uint32_t> node_offsets_store;
+    std::vector<std::uint32_t> node_contacts_store;
     // Per-node outgoing contact windows, sorted by end time.
-    std::vector<std::uint32_t> neighbor_offsets;
-    std::vector<NodeContact> neighbors_by_end;
+    std::vector<std::uint32_t> neighbor_offsets_store;
+    std::vector<NodeContact> neighbors_by_end_store;
+
+    std::span<const std::uint32_t> node_offsets;
+    std::span<const std::uint32_t> node_contacts;
+    std::span<const std::uint32_t> neighbor_offsets;
+    std::span<const NodeContact> neighbors_by_end;
+
+    /// Re-aims the spans at the owned vectors; call after the struct
+    /// reached its final address (the heap allocation in indexes()).
+    void point_at_stores() noexcept;
   };
+
+  TemporalGraph() = default;  // adopt_view fills the fields directly
 
   /// Returns the indexes, building them on first call. Thread-safe:
   /// concurrent readers (the Monte-Carlo workers share const graphs)
@@ -108,11 +168,15 @@ class TemporalGraph {
   const Indexes& indexes() const;
   Indexes build_indexes() const;
 
-  std::size_t num_nodes_;
-  bool directed_;
-  std::vector<Contact> contacts_;
+  std::size_t num_nodes_ = 0;
+  bool directed_ = false;
+  std::vector<Contact> contacts_;           // owned storage (views: empty)
+  std::span<const Contact> contacts_view_;  // what every reader consumes
   double start_ = 0.0;
   double end_ = 0.0;
+  /// Keeps a borrowed view's storage (snapshot mapping) alive; nullptr
+  /// for graphs that own their arrays.
+  std::shared_ptr<const void> backing_;
   mutable std::atomic<const Indexes*> indexes_{nullptr};
   mutable std::mutex index_mutex_;
 };

@@ -4,6 +4,8 @@
 // size; this is also a smoke test that generation stays fast.
 #include "trace/datasets.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "util/time_format.hpp"
@@ -79,7 +81,7 @@ TEST(Datasets, PaperRowsCarryNotesForReconstructedCells) {
 TEST(Datasets, GenerationIsDeterministicPerPreset) {
   const auto a = dataset_hong_kong().generate();
   const auto b = dataset_hong_kong().generate();
-  EXPECT_EQ(a.graph.contacts(), b.graph.contacts());
+  EXPECT_TRUE(std::ranges::equal(a.graph.contacts(), b.graph.contacts()));
 }
 
 }  // namespace

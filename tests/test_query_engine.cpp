@@ -1,0 +1,228 @@
+#include "core/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/diameter.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/generators.hpp"
+#include "trace/snapshot.hpp"
+#include "util/time_format.hpp"
+
+namespace odtn {
+namespace {
+
+TemporalGraph workload_graph(std::uint64_t seed = 4242) {
+  // Small but non-trivial synthetic conference trace: enough nodes for
+  // caching and folding order to matter, small enough for quick tier-1.
+  SyntheticTraceSpec spec;
+  spec.name = "query_engine_test";
+  spec.num_internal = 24;
+  spec.duration = 2.0 * kDay;
+  spec.pair_contacts_mean = 0.8;
+  spec.num_communities = 4;
+  return generate_trace(spec, seed).graph;
+}
+
+QueryEngineOptions small_options() {
+  QueryEngineOptions qo;
+  qo.grid = make_log_grid(60.0, 2.0 * kDay, 24);
+  qo.max_hops = 5;
+  qo.num_threads = 2;
+  return qo;
+}
+
+void expect_bitwise_equal(const DelayCdfResult& a, const DelayCdfResult& b) {
+  EXPECT_EQ(a.grid, b.grid);
+  EXPECT_EQ(a.cdf_by_hops, b.cdf_by_hops);
+  EXPECT_EQ(a.cdf_unbounded, b.cdf_unbounded);
+  EXPECT_EQ(a.fixpoint_hops, b.fixpoint_hops);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.denominator, b.denominator);
+  EXPECT_EQ(a.diameter(0.01), b.diameter(0.01));
+  EXPECT_EQ(a.diameter_absolute(0.01), b.diameter_absolute(0.01));
+}
+
+TEST(QueryEngine, ColdAllPairsMatchesComputeDelayCdfBitwise) {
+  const TemporalGraph g = workload_graph();
+  const QueryEngineOptions qo = small_options();
+
+  DelayCdfOptions ref;
+  ref.grid = qo.grid;
+  ref.max_hops = qo.max_hops;
+  ref.max_levels = qo.max_levels;
+  ref.num_threads = qo.num_threads;
+  const DelayCdfResult expected = compute_delay_cdf(g, ref);
+
+  QueryEngine engine(g, qo);
+  const DelayCdfResult got = engine.all_pairs();
+  expect_bitwise_equal(expected, got);
+  EXPECT_EQ(got.stats.cache_hits, 0u);
+  EXPECT_EQ(got.stats.cache_misses, g.num_nodes());
+}
+
+TEST(QueryEngine, WarmAllPairsIsBitIdenticalToCold) {
+  QueryEngine engine(workload_graph(), small_options());
+  const DelayCdfResult cold = engine.all_pairs();
+  const DelayCdfResult warm = engine.all_pairs();
+  expect_bitwise_equal(cold, warm);
+  EXPECT_EQ(warm.stats.cache_hits, engine.graph().num_nodes());
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+  // A warm run touches no propagation engine at all.
+  EXPECT_EQ(warm.stats.contacts_examined, 0u);
+}
+
+TEST(QueryEngine, PartiallyWarmAllPairsIsBitIdentical) {
+  const TemporalGraph g = workload_graph();
+  QueryEngine cold_engine(g, small_options());
+  const DelayCdfResult cold = cold_engine.all_pairs();
+
+  // Warm only some sources via per-source queries, then fold all-pairs
+  // from the mixed cache: identical bits either way.
+  QueryEngine mixed(g, small_options());
+  for (NodeId src = 0; src < g.num_nodes(); src += 3)
+    (void)mixed.source_cdf(src);
+  const DelayCdfResult folded = mixed.all_pairs();
+  expect_bitwise_equal(cold, folded);
+  EXPECT_GT(folded.stats.cache_hits, 0u);
+  EXPECT_GT(folded.stats.cache_misses, 0u);
+}
+
+TEST(QueryEngine, TinyCacheBudgetStillBitIdentical) {
+  const TemporalGraph g = workload_graph();
+  QueryEngine reference(g, small_options());
+  const DelayCdfResult expected = reference.all_pairs();
+
+  // Room for roughly two partials across 2 shards: constant evictions,
+  // same answers.
+  QueryEngineOptions qo = small_options();
+  qo.cache_shards = 2;
+  qo.cache_bytes = 2 * reference.cached_partial_bytes();
+  QueryEngine engine(g, qo);
+  const DelayCdfResult first = engine.all_pairs();
+  const DelayCdfResult second = engine.all_pairs();
+  expect_bitwise_equal(expected, first);
+  expect_bitwise_equal(expected, second);
+  EXPECT_GT(first.stats.cache_evictions, 0u);
+  EXPECT_EQ(engine.cache_stats().evictions,
+            first.stats.cache_evictions + second.stats.cache_evictions);
+}
+
+TEST(QueryEngine, SourceCdfHitsAfterAllPairs) {
+  QueryEngine engine(workload_graph(), small_options());
+  (void)engine.all_pairs();
+  const DelayCdfResult r = engine.source_cdf(5);
+  EXPECT_EQ(r.stats.cache_hits, 1u);
+  EXPECT_EQ(r.stats.cache_misses, 0u);
+
+  // A different window is a different key: computed fresh.
+  const double mid =
+      engine.graph().start_time() + engine.graph().duration() / 2;
+  const DelayCdfResult windowed =
+      engine.source_cdf(5, engine.graph().start_time(), mid);
+  EXPECT_EQ(windowed.stats.cache_hits, 0u);
+  EXPECT_EQ(windowed.stats.cache_misses, 1u);
+}
+
+TEST(QueryEngine, WindowedQueriesRoundTripThroughCache) {
+  QueryEngine engine(workload_graph(), small_options());
+  const double lo = engine.graph().start_time();
+  const double hi = lo + engine.graph().duration() / 3;
+  const DelayCdfResult cold = engine.all_pairs(lo, hi);
+  const DelayCdfResult warm = engine.all_pairs(lo, hi);
+  expect_bitwise_equal(cold, warm);
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+}
+
+TEST(QueryEngine, SnapshotViewMatchesOwnedGraphBitwise) {
+  const TemporalGraph g = workload_graph();
+  const TemporalGraph view = decode_snapshot(
+      std::make_shared<const std::vector<std::uint8_t>>(encode_snapshot(g)));
+  QueryEngine owned(g, small_options());
+  QueryEngine mapped(view, small_options());
+  expect_bitwise_equal(owned.all_pairs(), mapped.all_pairs());
+}
+
+TEST(QueryEngine, SharedCacheCrossTransformKeysNoContamination) {
+  const TemporalGraph g = workload_graph();
+  // A genuinely different trace (different seed) sharing the cache.
+  const TemporalGraph h = workload_graph(977);
+
+  const QueryEngineOptions qo = small_options();
+  auto cache = std::make_shared<ServeCache>(qo.cache_bytes, qo.cache_shards);
+  QueryEngine eg(g, qo, cache);
+  QueryEngine eh(h, qo, cache);
+
+  QueryEngine ref_g(g, qo);
+  QueryEngine ref_h(h, qo);
+  const DelayCdfResult want_g = ref_g.all_pairs();
+  const DelayCdfResult want_h = ref_h.all_pairs();
+
+  // Interleave: fill the shared cache from both graphs, then re-query.
+  expect_bitwise_equal(want_g, eg.all_pairs());
+  expect_bitwise_equal(want_h, eh.all_pairs());
+  const DelayCdfResult warm_g = eg.all_pairs();
+  const DelayCdfResult warm_h = eh.all_pairs();
+  expect_bitwise_equal(want_g, warm_g);
+  expect_bitwise_equal(want_h, warm_h);
+  // Both warm runs answered fully from the shared cache -- and from
+  // their OWN entries (a cross-key hit would have failed the bitwise
+  // checks above, since g and h differ).
+  EXPECT_EQ(warm_g.stats.cache_misses, 0u);
+  EXPECT_EQ(warm_h.stats.cache_misses, 0u);
+}
+
+TEST(QueryEngine, CacheKeyBindsEngineParameters) {
+  const TemporalGraph g = workload_graph();
+  const QueryEngineOptions qo = small_options();
+  auto cache = std::make_shared<ServeCache>(qo.cache_bytes, qo.cache_shards);
+  QueryEngine a(g, qo, cache);
+  (void)a.all_pairs();
+
+  // Same graph, different hop budget: the shared cache must not serve
+  // the other engine's partials.
+  QueryEngineOptions qo2 = qo;
+  qo2.max_hops = qo.max_hops + 1;
+  QueryEngine b(g, qo2, cache);
+  const DelayCdfResult r = b.all_pairs();
+  EXPECT_EQ(r.stats.cache_hits, 0u);
+
+  DelayCdfOptions ref;
+  ref.grid = qo2.grid;
+  ref.max_hops = qo2.max_hops;
+  ref.num_threads = qo2.num_threads;
+  expect_bitwise_equal(compute_delay_cdf(g, ref), r);
+}
+
+TEST(QueryEngine, ReachableCountAndJourney) {
+  // 0 -[10,20]- 1 -[30,40]- 2, node 3 isolated.
+  const TemporalGraph g(4, {{0, 1, 10.0, 20.0}, {1, 2, 30.0, 40.0}});
+  QueryEngineOptions qo;
+  qo.grid = make_log_grid(1.0, 100.0, 8);
+  QueryEngine engine(g, qo);
+
+  EXPECT_EQ(engine.reachable_count(0, 0.0), 2u);   // 1 and 2
+  EXPECT_EQ(engine.reachable_count(0, 25.0), 0u);  // 0-1 window passed
+  EXPECT_EQ(engine.reachable_count(3, 0.0), 0u);   // isolated
+
+  const JourneyOptima j = engine.journey(0, 2);
+  EXPECT_TRUE(j.reachable());
+  EXPECT_EQ(j.shortest_hops, 2);
+  // Depart at 20 (end of the first window), arrive at 30: 10 s.
+  EXPECT_DOUBLE_EQ(j.fastest_duration, 10.0);
+  EXPECT_FALSE(engine.journey(0, 3).reachable());
+}
+
+TEST(QueryEngine, RejectsBadArguments) {
+  const TemporalGraph g = workload_graph();
+  EXPECT_THROW(QueryEngine(g, QueryEngineOptions{}), std::invalid_argument);
+  QueryEngine engine(g, small_options());
+  EXPECT_THROW(engine.source_cdf(9999), std::invalid_argument);
+  EXPECT_THROW(engine.reachable_count(9999, 0.0), std::invalid_argument);
+  EXPECT_THROW(engine.journey(0, 9999), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn

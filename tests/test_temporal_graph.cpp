@@ -56,7 +56,7 @@ TEST(TemporalGraph, ContactRateCountsBothEndpoints) {
   const auto g = small_graph();
   EXPECT_NEAR(g.contact_rate(1.0), 8.0 / 4.0 / 50.0, 1e-12);
   // Directed graphs log once.
-  TemporalGraph d(4, small_graph().contacts(), true);
+  TemporalGraph d(4, small_graph().contacts_vector(), true);
   EXPECT_NEAR(d.contact_rate(1.0), 4.0 / 4.0 / 50.0, 1e-12);
 }
 

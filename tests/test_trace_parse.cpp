@@ -5,6 +5,7 @@
 // accept. Part of the `quick` tier-1 smoke label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <string>
@@ -47,7 +48,7 @@ void expect_identical(const TemporalGraph& a, const TemporalGraph& b,
                       const std::string& context) {
   EXPECT_EQ(a.num_nodes(), b.num_nodes()) << context;
   EXPECT_EQ(a.directed(), b.directed()) << context;
-  EXPECT_EQ(a.contacts(), b.contacts()) << context;
+  EXPECT_TRUE(std::ranges::equal(a.contacts(), b.contacts())) << context;
 }
 
 TEST(TraceParseProperty, RoundTripIsBitIdentical) {

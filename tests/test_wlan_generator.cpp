@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/time_format.hpp"
@@ -21,10 +22,10 @@ WlanTraceSpec small_spec() {
 TEST(WlanGenerator, Deterministic) {
   const auto a = generate_wlan_trace(small_spec(), 1);
   const auto b = generate_wlan_trace(small_spec(), 1);
-  EXPECT_EQ(a.graph.contacts(), b.graph.contacts());
+  EXPECT_TRUE(std::ranges::equal(a.graph.contacts(), b.graph.contacts()));
   EXPECT_EQ(a.num_sessions, b.num_sessions);
   const auto c = generate_wlan_trace(small_spec(), 2);
-  EXPECT_NE(a.graph.contacts(), c.graph.contacts());
+  EXPECT_FALSE(std::ranges::equal(a.graph.contacts(), c.graph.contacts()));
 }
 
 TEST(WlanGenerator, SessionVolumeNearExpectation) {

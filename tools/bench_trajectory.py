@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Aggregate the per-PR bench gate files into one trajectory summary.
+
+Every perf PR records its hard-gate results in bench_out/BENCH_pr<N>.json
+(written by the bench binaries themselves). This script folds them into
+bench_out/BENCH_TRAJECTORY.json so the perf story of the repo -- which
+gates exist, whether they pass, and the headline speedups per PR -- is
+readable in one place and diffable across PRs.
+
+Stdlib only; run from the repository root (or pass --bench-out):
+
+    python3 tools/bench_trajectory.py
+
+Exits non-zero if any recorded gate failed, so CI can run it as a check
+over whatever BENCH files the job produced.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def record_gates(record):
+    """Yield (gate_name, passed) for the gate conventions used so far."""
+    if "gate" in record and "gate_pass" in record:
+        yield str(record["gate"]), bool(record["gate_pass"])
+    # bench_perf_engine (pr3/5/6) styles: boolean semantic checks.
+    for key in ("diameters_match", "semantics_ok"):
+        if key in record:
+            yield key, bool(record[key])
+    # bench_perf_shard (pr7): explicit bit-identity flag on gated rows.
+    if record.get("gated", False) and "bit_identical" in record:
+        yield "bit_identical", bool(record["bit_identical"])
+
+
+def max_speedup(record):
+    best = None
+    for key, value in record.items():
+        if "speedup" in key and isinstance(value, (int, float)):
+            best = value if best is None else max(best, value)
+    return best
+
+
+def summarize(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    records = data.get("records", [])
+    gates_total = 0
+    gates_passed = 0
+    failed = []
+    best = None
+    for record in records:
+        for name, ok in record_gates(record):
+            gates_total += 1
+            gates_passed += ok
+            if not ok:
+                failed.append(name)
+        s = max_speedup(record)
+        if s is not None:
+            best = s if best is None else max(best, s)
+    summary = {
+        "pr": data.get("pr"),
+        "bench": data.get("bench"),
+        "metric": data.get("metric"),
+        "file": os.path.basename(path),
+        "records": len(records),
+        "gates_total": gates_total,
+        "gates_passed": gates_passed,
+        "max_speedup": best,
+    }
+    if failed:
+        summary["failed_gates"] = sorted(set(failed))
+    return summary
+
+
+def pr_number(path):
+    m = re.search(r"BENCH_pr(\d+)\.json$", path)
+    return int(m.group(1)) if m else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-out", default="bench_out",
+                        help="directory holding BENCH_pr*.json "
+                             "(default: bench_out)")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.bench_out, "BENCH_pr*.json")),
+                   key=pr_number)
+    if not paths:
+        print(f"bench_trajectory: no BENCH_pr*.json under {args.bench_out}",
+              file=sys.stderr)
+        return 1
+
+    trajectory = [summarize(p) for p in paths]
+    gates_total = sum(t["gates_total"] for t in trajectory)
+    gates_passed = sum(t["gates_passed"] for t in trajectory)
+    out = {
+        "generated_by": "tools/bench_trajectory.py",
+        "benches": len(trajectory),
+        "gates_total": gates_total,
+        "gates_passed": gates_passed,
+        "all_gates_pass": gates_passed == gates_total,
+        "trajectory": trajectory,
+    }
+    out_path = os.path.join(args.bench_out, "BENCH_TRAJECTORY.json")
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    for t in trajectory:
+        speedup = (f"max speedup {t['max_speedup']:.2f}x"
+                   if t["max_speedup"] is not None else "no speedup field")
+        print(f"  pr{t['pr']:<3} {t['bench']:<22} "
+              f"gates {t['gates_passed']}/{t['gates_total']:<3} {speedup}")
+    print(f"wrote {out_path}: {gates_passed}/{gates_total} gates pass "
+          f"across {len(trajectory)} benches")
+    return 0 if gates_passed == gates_total else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,8 +40,14 @@
 // bitwise (the canonical-fold contract), and every sharded run
 // round-trips the ShardRequest / ShardResult byte encodings.
 //
+// Snapshot mode (--snapshot N): round-trips the binary snapshot codec
+// (bit-identical re-encode, engine equivalence of the mmap-style view),
+// rejects every truncation prefix / trailing byte / bad magic+version,
+// and checks that random bit flips either raise SnapshotError or decode
+// to a graph that is safe to run and re-encodes to the same bytes.
+//
 // Usage: odtn_fuzz [--engine N] [--parser N] [--kernel N] [--shard N]
-//                  [--corpus DIR] [--seed S]
+//                  [--snapshot N] [--corpus DIR] [--seed S]
 //        odtn_fuzz [trials] [base-seed]        (legacy: engine mode)
 #include <algorithm>
 #include <cmath>
@@ -51,6 +57,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -62,6 +69,7 @@
 #include "core/partition.hpp"
 #include "sim/flooding.hpp"
 #include "stats/log_grid.hpp"
+#include "trace/snapshot.hpp"
 #include "trace/trace_io.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
@@ -168,7 +176,7 @@ int engine_trials(long trials, std::uint64_t base_seed) {
 
 bool graphs_identical(const TemporalGraph& a, const TemporalGraph& b) {
   return a.num_nodes() == b.num_nodes() && a.directed() == b.directed() &&
-         a.contacts() == b.contacts();
+         std::ranges::equal(a.contacts(), b.contacts());
 }
 
 [[noreturn]] void parser_failure(const char* what, std::uint64_t seed,
@@ -202,7 +210,8 @@ int parser_trials(long trials, std::uint64_t base_seed) {
     Rng rng(seed);
     TemporalGraph original = adversarial_trace(rng);
     if (rng.bernoulli(0.25))
-      original = TemporalGraph(original.num_nodes(), original.contacts(),
+      original = TemporalGraph(original.num_nodes(),
+                               original.contacts_vector(),
                                /*directed=*/true);
     std::ostringstream out;
     write_trace(out, original);
@@ -237,7 +246,8 @@ int parser_trials(long trials, std::uint64_t base_seed) {
       const TemporalGraph canon =
           read_trace(in, {ParseMode::kStrict, true, 64}, &report);
       const TemporalGraph expected(
-          original.num_nodes(), merge_overlapping_contacts(original.contacts()),
+          original.num_nodes(),
+          merge_overlapping_contacts(original.contacts_vector()),
           original.directed());
       if (!graphs_identical(canon, expected))
         parser_failure("canonicalize diverged from merge_overlapping_contacts",
@@ -478,7 +488,8 @@ int kernel_trials(long trials, std::uint64_t base_seed) {
     simd::set_level(levels[static_cast<std::size_t>(trial) % levels.size()]);
     TemporalGraph g = adversarial_trace(rng);
     if (rng.bernoulli(0.3))
-      g = TemporalGraph(g.num_nodes(), g.contacts(), /*directed=*/true);
+      g = TemporalGraph(g.num_nodes(), g.contacts_vector(),
+                        /*directed=*/true);
     const auto src = static_cast<NodeId>(rng.below(g.num_nodes()));
     SingleSourceEngine pooled(g, src, EngineMode::kPooled);
     auto crosscheck_from = [&](NodeId s) {
@@ -548,7 +559,8 @@ int shard_trials(long trials, std::uint64_t base_seed) {
     Rng rng(seed);
     TemporalGraph g = adversarial_trace(rng);
     if (rng.bernoulli(0.3))
-      g = TemporalGraph(g.num_nodes(), g.contacts(), /*directed=*/true);
+      g = TemporalGraph(g.num_nodes(), g.contacts_vector(),
+                        /*directed=*/true);
 
     DelayCdfOptions opt;
     opt.grid = make_log_grid(0.5, 400.0, 8 + rng.below(17));
@@ -596,6 +608,108 @@ int shard_trials(long trials, std::uint64_t base_seed) {
       shard_failure("additive engine counters diverged", g, shards, p, seed);
   }
   std::printf("odtn_fuzz: %ld shard trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(
+                  base_seed + static_cast<std::uint64_t>(trials) - 1));
+  return 0;
+}
+
+[[noreturn]] void snapshot_failure(const char* what, const TemporalGraph& g,
+                                   std::uint64_t seed) {
+  std::fprintf(stderr, "SNAPSHOT MISMATCH seed=%llu: %s\nreproducer trace:\n",
+               static_cast<unsigned long long>(seed), what);
+  std::ostringstream out;
+  write_trace(out, g);
+  std::fputs(out.str().c_str(), stderr);
+  std::exit(1);
+}
+
+/// Snapshot mode (--snapshot N): the binary snapshot codec
+/// (trace/snapshot.hpp) against its three contracts.
+///   1. Round trip: decode(encode(g)) reproduces the graph AND
+///      re-encodes to the identical bytes; an all-pairs run on the
+///      zero-copy view is bit-identical to one on the owned graph.
+///   2. Framing: every strict prefix of a valid snapshot, a trailing
+///      byte, and a corrupted magic/version all raise SnapshotError.
+///   3. Bit flips: a random single-bit corruption either raises
+///      SnapshotError or yields a graph safe to run an engine on
+///      (sanitizer builds catch anything the validator let through);
+///      when it decodes, re-encoding must reproduce the mutated buffer
+///      (decode accepts canonical layouts only).
+int snapshot_trials(long trials, std::uint64_t base_seed) {
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    TemporalGraph g = adversarial_trace(rng);
+    if (rng.bernoulli(0.3))
+      g = TemporalGraph(g.num_nodes(), g.contacts_vector(),
+                        /*directed=*/true);
+    const std::vector<std::uint8_t> bytes = encode_snapshot(g);
+
+    TemporalGraph view = decode_snapshot(
+        std::make_shared<const std::vector<std::uint8_t>>(bytes));
+    if (!graphs_identical(g, view) || !view.is_view() ||
+        view.start_time() != g.start_time() ||
+        view.end_time() != g.end_time())
+      snapshot_failure("decoded view disagrees with source graph", g, seed);
+    if (encode_snapshot(view) != bytes)
+      snapshot_failure("re-encode of decoded view not bit-identical", g,
+                       seed);
+
+    DelayCdfOptions opt;
+    opt.grid = make_log_grid(0.5, 400.0, 8);
+    opt.max_hops = 1 + static_cast<int>(rng.below(4));
+    opt.num_threads = 1;
+    const DelayCdfResult owned = compute_delay_cdf(g, opt);
+    const DelayCdfResult mapped = compute_delay_cdf(view, opt);
+    if (owned.cdf_by_hops != mapped.cdf_by_hops ||
+        owned.cdf_unbounded != mapped.cdf_unbounded ||
+        owned.denominator != mapped.denominator)
+      snapshot_failure("all-pairs on the view diverged from the owned graph",
+                       g, seed);
+
+    const auto expect_reject = [&](const std::uint8_t* data, std::size_t size,
+                                   const char* what) {
+      try {
+        (void)decode_snapshot(data, size, nullptr);
+      } catch (const SnapshotError&) {
+        return;
+      }
+      snapshot_failure(what, g, seed);
+    };
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+      expect_reject(bytes.data(), len, "truncated snapshot accepted");
+    std::vector<std::uint8_t> extended = bytes;
+    extended.push_back(0);
+    expect_reject(extended.data(), extended.size(),
+                  "trailing byte accepted");
+    std::vector<std::uint8_t> header = bytes;
+    header[1] ^= 0x40;  // magic
+    expect_reject(header.data(), header.size(), "bad magic accepted");
+    header = bytes;
+    header[4] ^= 0x02;  // version
+    expect_reject(header.data(), header.size(), "bad version accepted");
+
+    for (int flip = 0; flip < 32; ++flip) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+      try {
+        const TemporalGraph got = decode_snapshot(
+            std::make_shared<const std::vector<std::uint8_t>>(mutated));
+        // The validator let this mutation through, so the graph must be
+        // fully usable (drive an engine over it) and canonical (its
+        // encoding IS the mutated buffer).
+        SingleSourceEngine probe(got, 0);
+        probe.run_to_fixpoint(16);
+        if (encode_snapshot(got) != mutated)
+          snapshot_failure("accepted bit flip does not re-encode", g, seed);
+      } catch (const SnapshotError&) {
+        // Rejection is the common, correct outcome.
+      }
+    }
+  }
+  std::printf("odtn_fuzz: %ld snapshot trials passed (seeds %llu..%llu)\n",
               trials, static_cast<unsigned long long>(base_seed),
               static_cast<unsigned long long>(
                   base_seed + static_cast<std::uint64_t>(trials) - 1));
@@ -660,6 +774,7 @@ int main(int argc, char** argv) {
   long parser_count = -1;
   long kernel_count = -1;
   long shard_count = -1;
+  long snapshot_count = -1;
   std::string corpus_dir;
   std::uint64_t seed = 1;
   std::vector<std::string> positional;
@@ -680,6 +795,8 @@ int main(int argc, char** argv) {
       kernel_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--shard") {
       shard_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--snapshot") {
+      snapshot_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--corpus") {
       corpus_dir = next();
     } else if (arg == "--seed") {
@@ -695,7 +812,7 @@ int main(int argc, char** argv) {
     seed = static_cast<std::uint64_t>(
         std::strtoll(positional[1].c_str(), nullptr, 10));
   if (engine_count < 0 && parser_count < 0 && kernel_count < 0 &&
-      shard_count < 0 && corpus_dir.empty())
+      shard_count < 0 && snapshot_count < 0 && corpus_dir.empty())
     engine_count = 200;
 
   int rc = 0;
@@ -703,6 +820,7 @@ int main(int argc, char** argv) {
   if (parser_count > 0) rc |= parser_trials(parser_count, seed);
   if (kernel_count > 0) rc |= kernel_trials(kernel_count, seed);
   if (shard_count > 0) rc |= shard_trials(shard_count, seed);
+  if (snapshot_count > 0) rc |= snapshot_trials(snapshot_count, seed);
   if (engine_count > 0) rc |= engine_trials(engine_count, seed);
   return rc;
 }

@@ -3,8 +3,9 @@
 # recipe (Release build + full ctest), then a second ctest pass under
 # ASan + UBSan (the `sanitize` CMake preset) plus fuzz smokes under the
 # same sanitizers -- parser (malformed-trace corpus + randomized byte
-# mutations) and kernel (batched frontier merge vs per-pair insert
-# differential, pooled-vs-indexed engine parity, arena span bounds) --
+# mutations), kernel (batched frontier merge vs per-pair insert
+# differential, pooled-vs-indexed engine parity, arena span bounds) and
+# snapshot (framing rejection + round-trip bit-identity) --
 # and a final pass of the concurrency suites (thread pool,
 # MC harness, empirical distribution, phase transition) under
 # ThreadSanitizer (the `tsan` preset). Run from the repository root.
@@ -34,6 +35,11 @@ echo "== tier-2b: parser + kernel + shard fuzz smoke under ASan+UBSan =="
 # must reproduce the classic driver bit for bit, and every run
 # round-trips the ShardRequest/ShardResult wire encodings.
 ./build-sanitize/tools/odtn_fuzz --shard 60 --seed 1
+# Snapshot framing: encode/decode round-trips bit-identically, every
+# prefix truncation, header lie and random bit flip must throw
+# SnapshotError (or decode to a graph that re-encodes to the mutated
+# bytes), never crash or read out of bounds.
+./build-sanitize/tools/odtn_fuzz --snapshot 200 --seed 1
 # Forced-scalar pass: pins the dispatch layer to the mandatory fallback
 # so the scalar kernels stay exercised under the sanitizers even on
 # AVX2 hardware (the default run sweeps scalar..best-supported).
