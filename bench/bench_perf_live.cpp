@@ -1,0 +1,332 @@
+// Live-ingestion perf bench (PR 9): the incremental all-pairs engine
+// behind `odtn tail` and the serve `ingest` verb.
+//
+// Scenario: a live monitor attaches to a 20-day conference-workload
+// feed (the Figures 9-12 regime). The backlog -- everything already on
+// disk, ~96% of the trace -- loads as ONE bulk append epoch (the
+// bootstrap fast path: batch-DP cost, not epoch machinery). The
+// remaining tail then streams in as 12 small append epochs of ~50
+// contacts each, the cadence a tailing deployment actually sees, each
+// running append() + all_pairs() over a FIXED start-time window (the
+// full observation span) so untouched sources' CDF partials stay valid.
+//
+// Sections (rows land in bench_out/perf_live.csv):
+//
+//   cold_baseline -- compute_delay_cdf(kDirect) from scratch on the
+//                    full concatenated trace (best of 3); this is what
+//                    a naive monitor would pay on EVERY refresh.
+//   epochs        -- bulk + per-tail-epoch append+all_pairs wall time;
+//                    hard gates: the mid-tail and final results are
+//                    bit-identical to a cold run on the trace-so-far,
+//                    and the FINAL epoch is >= 3x cheaper than the cold
+//                    full recompute (the ISSUE.md gate: incremental
+//                    epoch cost at the final epoch vs from-scratch).
+//
+// Why the final epoch and not a steady-state mean over equal trace
+// slices: a new contact's endpoints extend every source frontier that
+// already reaches them (old arrivals precede the watermark), so with
+// equal K-way slices nearly all sources are dirty every epoch and the
+// re-integration floor is shared with the cold run. The live advantage
+// is the DP advance being O(new contacts x affected frontier) instead
+// of O(trace) -- which is exactly what small tail batches measure.
+//
+// Emits machine-readable bench_out/BENCH_pr9.json (gate fields only on
+// gated records, bench_perf_engine conventions). Exit status is
+// non-zero iff any hard gate fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/diameter.hpp"
+#include "core/incremental_engine.hpp"
+#include "stats/log_grid.hpp"
+#include "trace/generators.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time_format.hpp"
+
+using namespace odtn;
+
+namespace {
+
+double now_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Conference-style community trace, the regime of Figures 9-12 and
+/// bench_perf_serve's warm_cache section, run out to 20 days so the
+/// backlog dwarfs the streamed tail.
+TemporalGraph make_workload_trace() {
+  SyntheticTraceSpec spec;
+  spec.name = "conference_live";
+  spec.num_internal = 120;
+  spec.duration = 20 * kDay;
+  spec.pair_contacts_mean = 0.10;
+  spec.num_communities = 8;
+  spec.gatherings = {25.0, 0.2, 0.04, 10 * kMinute, 0.8, 0.05};
+  spec.profile = ActivityProfile::conference();
+  return generate_trace(spec, 7117).graph;
+}
+
+/// Bitwise result equality over everything a monitor row reports: CDFs,
+/// diameters, scalars. Instrumentation counters are deliberately
+/// excluded -- an incremental epoch examines fewer contacts by design.
+bool results_bit_identical(const DelayCdfResult& a, const DelayCdfResult& b,
+                           std::string* why) {
+  auto fail = [&](const char* what) {
+    if (why) *why = what;
+    return false;
+  };
+  if (a.grid != b.grid) return fail("grid");
+  if (a.cdf_by_hops != b.cdf_by_hops) return fail("cdf_by_hops");
+  if (a.cdf_unbounded != b.cdf_unbounded) return fail("cdf_unbounded");
+  if (a.fixpoint_hops != b.fixpoint_hops) return fail("fixpoint_hops");
+  if (a.converged != b.converged) return fail("converged");
+  if (a.denominator != b.denominator) return fail("denominator");
+  for (const double eps : {0.001, 0.01, 0.05, 0.1, 0.5}) {
+    if (a.diameter(eps) != b.diameter(eps)) return fail("diameter(eps)");
+    if (a.diameter_per_delay(eps) != b.diameter_per_delay(eps))
+      return fail("diameter_per_delay(eps)");
+  }
+  return true;
+}
+
+struct LiveRecord {
+  std::string section;
+  std::string variant;
+  double wall_ms = 0.0;
+  double speedup = 0.0;
+  std::uint64_t contacts = 0;
+  bool gated = false;
+  std::string gate;
+  bool gate_pass = true;
+};
+
+void emit(CsvWriter& csv, std::vector<LiveRecord>& records, LiveRecord r) {
+  csv.write_row({r.section, r.variant, std::to_string(r.wall_ms),
+                 std::to_string(r.speedup), std::to_string(r.contacts),
+                 r.gated ? r.gate : "",
+                 r.gated ? (r.gate_pass ? "1" : "0") : ""});
+  records.push_back(std::move(r));
+}
+
+void write_bench_json_pr9(const std::vector<LiveRecord>& records) {
+  const std::string path = "bench_out/BENCH_pr9.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("[json] could not open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_perf_live\",\n  \"pr\": 9,\n"
+               "  \"metric\": \"incremental epoch cost vs cold recompute\",\n"
+               "  \"workers\": %u,\n  \"records\": [\n",
+               shared_thread_pool().num_workers());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const LiveRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"section\": \"%s\", \"variant\": \"%s\", "
+                 "\"wall_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"contacts\": %llu",
+                 r.section.c_str(), r.variant.c_str(), r.wall_ms, r.speedup,
+                 static_cast<unsigned long long>(r.contacts));
+    if (r.gated)
+      std::fprintf(f, ", \"gate\": \"%s\", \"gate_pass\": %s",
+                   r.gate.c_str(), r.gate_pass ? "true" : "false");
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+int run(CsvWriter& csv, std::vector<LiveRecord>& records) {
+  constexpr int kTailEpochs = 12;
+  constexpr double kTailFraction = 0.04;  // streamed live after the bulk load
+  const TemporalGraph full = make_workload_trace();
+  const auto contacts = full.contacts();
+
+  IncrementalCdfOptions io;
+  io.grid = make_log_grid(2 * kMinute, kDay, 48);
+  io.max_hops = 10;
+  // Fix the start-time window up front: a live deployment knows its
+  // observation span, and a fixed window keeps untouched sources' CDF
+  // partials valid across epochs.
+  io.t_lo = full.start_time();
+  io.t_hi = full.end_time();
+
+  DelayCdfOptions cold_opt;
+  cold_opt.grid = io.grid;
+  cold_opt.max_hops = io.max_hops;
+  cold_opt.max_levels = io.max_levels;
+  cold_opt.t_lo = io.t_lo;
+  cold_opt.t_hi = io.t_hi;
+  cold_opt.accumulation = CdfAccumulation::kDirect;
+
+  const std::size_t tail_total = static_cast<std::size_t>(
+      static_cast<double>(contacts.size()) * kTailFraction);
+  const std::size_t bulk_count = contacts.size() - tail_total;
+  const std::size_t tail_step = tail_total / kTailEpochs + 1;
+
+  std::printf("\n-- live ingest: %zu nodes, %zu contacts "
+              "(bulk %zu + %d tail epochs of ~%zu, gated) --\n",
+              full.num_nodes(), full.num_contacts(), bulk_count, kTailEpochs,
+              tail_step);
+  int failures = 0;
+
+  // Cold baseline: what every refresh would cost without the
+  // incremental engine.
+  double cold_ms = 1e300;
+  DelayCdfResult cold_full;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_ms();
+    DelayCdfResult r = compute_delay_cdf(full, cold_opt);
+    const double wall = now_ms() - t0;
+    if (wall < cold_ms) {
+      cold_ms = wall;
+      cold_full = std::move(r);
+    }
+  }
+  std::printf("  cold full recompute : %8.1f ms\n", cold_ms);
+  LiveRecord cold_rec;
+  cold_rec.section = "cold_baseline";
+  cold_rec.variant = "compute_delay_cdf";
+  cold_rec.wall_ms = cold_ms;
+  cold_rec.speedup = 1.0;
+  cold_rec.contacts = full.num_contacts();
+  emit(csv, records, cold_rec);
+
+  // Bulk backlog load: one big append through the bootstrap fast path.
+  IncrementalAllPairsEngine engine(full.num_nodes(), full.directed(), io);
+  {
+    const double t0 = now_ms();
+    engine.append(contacts.subspan(0, bulk_count));
+    engine.all_pairs();
+    const double wall = now_ms() - t0;
+    std::printf("  bulk load (+%zu)  : %8.1f ms\n", bulk_count, wall);
+    LiveRecord r;
+    r.section = "epochs";
+    r.variant = "bulk_load";
+    r.wall_ms = wall;
+    r.speedup = cold_ms / std::max(wall, 1e-9);
+    r.contacts = bulk_count;
+    emit(csv, records, r);
+  }
+
+  // Tail epochs: the streamed live batches.
+  DelayCdfResult mid_live, final_live;
+  std::size_t mid_count = 0;
+  double final_ms = 0.0;
+  const int mid_epoch = kTailEpochs / 2;
+  int epoch = 0;
+  for (std::size_t at = bulk_count; at < contacts.size();
+       at += tail_step, ++epoch) {
+    const std::size_t n = std::min(tail_step, contacts.size() - at);
+    const double t0 = now_ms();
+    engine.append(contacts.subspan(at, n));
+    DelayCdfResult live = engine.all_pairs();
+    const double wall = now_ms() - t0;
+    std::printf("  tail epoch %2d (+%3zu): %8.1f ms\n", epoch, n, wall);
+    if (epoch == mid_epoch) {
+      mid_live = std::move(live);
+      mid_count = at + n;
+    } else if (at + n == contacts.size()) {
+      final_live = std::move(live);
+      final_ms = wall;
+    }
+    LiveRecord r;
+    r.section = "epochs";
+    r.variant = "tail_epoch_" + std::to_string(epoch);
+    r.wall_ms = wall;
+    r.speedup = cold_ms / std::max(wall, 1e-9);
+    r.contacts = n;
+    emit(csv, records, r);
+  }
+
+  // Gate 1: mid-tail result == cold recompute on the trace so far.
+  std::string why;
+  const TemporalGraph mid_prefix(
+      full.num_nodes(),
+      std::vector<Contact>(contacts.begin(),
+                           contacts.begin() + static_cast<long>(mid_count)),
+      full.directed());
+  const DelayCdfResult mid_cold = compute_delay_cdf(mid_prefix, cold_opt);
+  const bool mid_ok = results_bit_identical(mid_live, mid_cold, &why);
+  if (!bench::check(mid_ok, "mid-epoch result == cold prefix recompute "
+                            "bit-identical" +
+                                (mid_ok ? "" : " (" + why + ")")))
+    ++failures;
+
+  // Gate 2: final result == cold recompute on the full trace.
+  const bool final_ok = results_bit_identical(final_live, cold_full, &why);
+  if (!bench::check(final_ok, "final result == cold full recompute "
+                              "bit-identical" +
+                                  (final_ok ? "" : " (" + why + ")")))
+    ++failures;
+
+  // Gate 3: the final epoch must be >= 3x cheaper than recomputing the
+  // full trace from scratch (what a poll-based monitor pays instead).
+  const double speedup = cold_ms / std::max(final_ms, 1e-9);
+  std::printf("  final epoch         : %8.1f ms  (%.2fx vs cold)\n", final_ms,
+              speedup);
+  if (!bench::check(speedup >= 3.0,
+                    "final epoch >= 3x cheaper than cold full recompute"))
+    ++failures;
+
+  LiveRecord mid_rec;
+  mid_rec.section = "epochs";
+  mid_rec.variant = "mid_identity";
+  mid_rec.contacts = mid_count;
+  mid_rec.gated = true;
+  mid_rec.gate = "mid_epoch_bit_identical";
+  mid_rec.gate_pass = mid_ok;
+  emit(csv, records, mid_rec);
+
+  LiveRecord final_rec;
+  final_rec.section = "epochs";
+  final_rec.variant = "final_identity";
+  final_rec.contacts = full.num_contacts();
+  final_rec.gated = true;
+  final_rec.gate = "final_epoch_bit_identical";
+  final_rec.gate_pass = final_ok;
+  emit(csv, records, final_rec);
+
+  LiveRecord gate_rec;
+  gate_rec.section = "epochs";
+  gate_rec.variant = "final_epoch_cost";
+  gate_rec.wall_ms = final_ms;
+  gate_rec.speedup = speedup;
+  gate_rec.gated = true;
+  gate_rec.gate = "final_epoch_3x_vs_cold";
+  gate_rec.gate_pass = speedup >= 3.0;
+  emit(csv, records, gate_rec);
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Live ingest",
+                "bulk backlog load + streamed tail epochs vs cold recompute: "
+                "per-epoch cost + bit-identity gates");
+  CsvWriter csv(bench::csv_path("perf_live"));
+  csv.write_row({"section", "variant", "wall_ms", "speedup", "contacts",
+                 "gate", "gate_pass"});
+
+  std::vector<LiveRecord> records;
+  const int failures = run(csv, records);
+  write_bench_json_pr9(records);
+  std::printf("[csv] wrote %s\n", bench::csv_path("perf_live").c_str());
+
+  if (failures) {
+    std::printf("\n%d live gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall live gates passed\n");
+  return 0;
+}

@@ -420,7 +420,14 @@ std::string usage_text() {
          "      [--grid-lo D --grid-hi D] [--cache-mb M] [--cache-shards S]\n"
          "                                      answer line-delimited query\n"
          "                                      batches (cdf, diameter,\n"
-         "                                      reach, journey, stats, quit)\n"
+         "                                      reach, journey, stats,\n"
+         "                                      ingest, quit)\n"
+         "  tail <feed> [--follow [--poll-ms N]] [--epoch N] [--max-hops K]\n"
+         "      [--max-levels L] [--grid-lo D --grid-hi D] [--eps E]\n"
+         "      [--window-lo T --window-hi T]\n"
+         "                                      live-ingest a growing trace\n"
+         "                                      ('-' = stdin); one diameter/\n"
+         "                                      CDF row per committed epoch\n"
          "  help                                this text\n"
          "\n"
          "durations accept suffixes: s, min, h, d, wk (e.g. --min-duration "
@@ -445,6 +452,7 @@ int run_cli(std::vector<std::string> args) {
     if (command == "import") return cmd_import(std::move(rest));
     if (command == "snapshot") return cmd_snapshot(std::move(rest));
     if (command == "serve") return cmd_serve(std::move(rest));
+    if (command == "tail") return cmd_tail(std::move(rest));
     if (command == "help" || command == "--help") {
       std::fputs(usage_text().c_str(), stdout);
       return 0;

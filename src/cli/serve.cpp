@@ -17,8 +17,10 @@
 
 #include "core/query_engine.hpp"
 #include "stats/log_grid.hpp"
+#include "trace/live_ingest.hpp"
 #include "trace/snapshot.hpp"
 #include "trace/trace_io.hpp"
+#include "util/line_reader.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time_format.hpp"
 
@@ -150,7 +152,37 @@ std::string execute_query(QueryEngine& engine, const std::string& line) {
       return buf;
     }
     throw CliError("unknown query '" + kind +
-                   "' (cdf, diameter, reach, journey, stats, quit)");
+                   "' (cdf, diameter, reach, journey, stats, ingest, quit)");
+  } catch (const std::exception& e) {
+    return std::string("error ") + e.what();
+  }
+}
+
+/// Executes one `ingest <u> <v> <begin> <end>` line. Runs alone on the
+/// protocol thread -- never inside a concurrent batch -- because it
+/// mutates the served graph.
+std::string execute_ingest(QueryEngine& engine, const std::string& line) {
+  std::istringstream in(line);
+  std::string kind;
+  in >> kind;
+  std::vector<std::string> rest;
+  for (std::string tok; in >> tok;) rest.push_back(tok);
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (rest.size() != 4)
+      throw CliError("ingest expects: ingest <u> <v> <begin> <end>");
+    const Contact c{
+        static_cast<NodeId>(parse_count(rest[0], "u")),
+        static_cast<NodeId>(parse_count(rest[1], "v")),
+        parse_double(rest[2], "begin"), parse_double(rest[3], "end")};
+    const std::uint64_t epoch = engine.ingest(std::span<const Contact>(&c, 1));
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "ingest ok epoch=%llu contacts=%zu us=%llu",
+                  static_cast<unsigned long long>(epoch),
+                  engine.graph().num_contacts(),
+                  static_cast<unsigned long long>(micros_since(t0)));
+    return buf;
   } catch (const std::exception& e) {
     return std::string("error ") + e.what();
   }
@@ -158,7 +190,12 @@ std::string execute_query(QueryEngine& engine, const std::string& line) {
 
 /// Reads query lines from `in`, executing each batch (delimited by a
 /// blank line, "quit" or EOF) concurrently on the shared pool and
-/// writing responses to `out` in submission order.
+/// writing responses to `out` in submission order. A final line without
+/// a trailing newline is still a complete query: CarryLineReader::finish
+/// delivers it before the EOF flush, so `printf 'cdf 0' | odtn serve`
+/// answers rather than silently dropping the request. `ingest` lines
+/// are sequencing points: the pending batch is answered on the
+/// pre-ingest graph, then the append runs alone.
 void serve_stream(QueryEngine& engine, std::FILE* in, std::FILE* out) {
   std::vector<std::string> batch;
   const auto flush_batch = [&] {
@@ -180,22 +217,33 @@ void serve_stream(QueryEngine& engine, std::FILE* in, std::FILE* out) {
     batch.clear();
   };
 
-  char* line = nullptr;
-  std::size_t cap = 0;
   bool quit = false;
-  while (!quit && ::getline(&line, &cap, in) >= 0) {
-    std::string s(line);
-    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  const auto handle_line = [&](const char* begin, const char* end) {
+    if (quit) return;
+    if (begin != end && end[-1] == '\r') --end;
+    std::string s(begin, end);
     if (s.empty()) {
       flush_batch();
     } else if (s == "quit") {
       quit = true;
+    } else if (s.compare(0, 7, "ingest ") == 0 || s == "ingest") {
+      flush_batch();
+      std::fprintf(out, "%s\n", execute_ingest(engine, s).c_str());
+      std::fflush(out);
     } else {
       batch.push_back(std::move(s));
     }
+  };
+
+  CarryLineReader lines;
+  char chunk[1 << 16];
+  while (!quit) {
+    const std::size_t got = std::fread(chunk, 1, sizeof chunk, in);
+    if (got == 0) break;
+    lines.feed(chunk, got, handle_line);
   }
+  lines.finish(handle_line);
   flush_batch();
-  std::free(line);
 }
 
 int serve_socket(QueryEngine& engine, const std::string& path, bool once) {
@@ -329,6 +377,107 @@ int cmd_serve(ArgList args) {
   }
   serve_stream(engine, in, stdout);
   if (in != stdin) std::fclose(in);
+  return 0;
+}
+
+int cmd_tail(ArgList args) {
+  const std::string feed = required_positional(args, "feed file (or '-')");
+  const bool follow = args.take_flag("follow");
+  const auto poll_ms = args.take_option("poll-ms");
+  const auto epoch_every = args.take_option("epoch");
+  const auto max_hops = args.take_option("max-hops");
+  const auto max_levels = args.take_option("max-levels");
+  const auto grid_lo = args.take_option("grid-lo");
+  const auto grid_hi = args.take_option("grid-hi");
+  const auto eps_opt = args.take_option("eps");
+  const auto window_lo = args.take_option("window-lo");
+  const auto window_hi = args.take_option("window-hi");
+  args.expect_empty();
+
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  IncrementalCdfOptions io;
+  // The feed's span is unknown up front (it is still being written), so
+  // the default grid covers minutes-to-a-week rather than the trace
+  // duration the batch commands use.
+  const double lo = grid_lo ? parse_duration(*grid_lo, "grid-lo") : 2 * kMinute;
+  const double hi = grid_hi ? parse_duration(*grid_hi, "grid-hi")
+                            : std::max(kWeek, 2 * lo);
+  if (!(lo > 0.0 && hi > lo)) throw CliError("need 0 < grid-lo < grid-hi");
+  io.grid = make_log_grid(lo, hi, 40);
+  io.max_hops =
+      max_hops ? static_cast<int>(parse_count(*max_hops, "max-hops")) : 10;
+  if (io.max_hops < 1) throw CliError("--max-hops must be >= 1");
+  io.max_levels =
+      max_levels ? static_cast<int>(parse_count(*max_levels, "max-levels"))
+                 : 64;
+  if (io.max_levels < 1) throw CliError("--max-levels must be >= 1");
+  io.t_lo = window_lo ? parse_double(*window_lo, "window-lo") : kNaN;
+  io.t_hi = window_hi ? parse_double(*window_hi, "window-hi") : kNaN;
+  const double eps = eps_opt ? parse_double(*eps_opt, "eps") : 0.05;
+  if (!(eps > 0.0 && eps < 1.0)) throw CliError("eps must lie in (0, 1)");
+  const std::size_t batch_contacts =
+      epoch_every ? parse_count(*epoch_every, "epoch") : 256;
+  if (batch_contacts < 1) throw CliError("--epoch must be >= 1");
+
+  LiveIngestSession session(io);
+  LiveTailReader reader(feed, follow,
+                        poll_ms ? static_cast<int>(parse_count(*poll_ms,
+                                                               "poll-ms"))
+                                : 200);
+
+  const auto emit_row = [&](std::uint64_t epoch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    IncrementalAllPairsEngine& eng = *session.engine();
+    const DelayCdfResult r = eng.all_pairs();
+    std::string row;
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "epoch=%llu contacts=%zu fixpoint=%d converged=%d "
+                  "diameter=%d",
+                  static_cast<unsigned long long>(epoch),
+                  eng.graph().num_contacts(), r.fixpoint_hops,
+                  r.converged ? 1 : 0, r.diameter(eps));
+    row = head;
+    append_f64(row, " watermark=", eng.watermark());
+    append_f64(row, " reach=",
+               r.cdf_unbounded.empty() ? 0.0 : r.cdf_unbounded.back());
+    std::snprintf(head, sizeof head, " us=%llu",
+                  static_cast<unsigned long long>(micros_since(t0)));
+    row += head;
+    for (const double v : r.cdf_unbounded) append_f64(row, " ", v);
+    std::printf("%s\n", row.c_str());
+    std::fflush(stdout);
+  };
+
+  std::uint64_t last_epoch = 0;
+  bool emitted_any = false;
+  char chunk[1 << 16];
+  for (;;) {
+    const std::size_t got = reader.read_chunk(chunk, sizeof chunk);
+    if (got == 0) break;
+    session.feed(chunk, got);
+    if (session.header_complete() && session.pending() >= batch_contacts) {
+      const std::uint64_t e = session.commit_epoch();
+      if (e != last_epoch) {
+        last_epoch = e;
+        emit_row(e);
+        emitted_any = true;
+      }
+    }
+  }
+  session.flush();
+  if (!session.header_complete())
+    throw CliError("feed ended before the '# odtn-trace v1' / '# nodes' "
+                   "headers");
+  const std::uint64_t e = session.commit_epoch();
+  if (e != last_epoch || !emitted_any) emit_row(e);
+  const LiveIngestStats& st = session.stats();
+  std::fprintf(stderr,
+               "odtn tail: %llu epochs, %llu contacts ingested, %llu "
+               "below-watermark records dropped\n",
+               static_cast<unsigned long long>(st.epochs),
+               static_cast<unsigned long long>(st.contacts_ingested),
+               static_cast<unsigned long long>(st.below_watermark));
   return 0;
 }
 

@@ -96,6 +96,16 @@ bool DeliveryFunction::insert(PathPair p) {
   return true;
 }
 
+void DeliveryFunction::assign_canonical(const FrontierView& v) {
+  pairs_.clear();
+  pairs_.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    assert(pairs_.empty() ||
+           (pairs_.back().ld < v.ld(i) && pairs_.back().ea < v.ea(i)));
+    pairs_.push_back(v.pair(i));
+  }
+}
+
 double DeliveryFunction::deliver_at(double t) const noexcept {
   // del(t) = max(t, ea_i) for the first pair with ld_i >= t: its ea is
   // minimal among all usable pairs.

@@ -107,6 +107,12 @@ class DeliveryFunction {
   /// Removes every pair (capacity is kept, for reusable scratch buffers).
   void clear() noexcept { pairs_.clear(); }
 
+  /// Replaces the contents with an already-canonical frontier (strictly
+  /// ascending in both lanes, e.g. a stored frontier version). O(n) copy
+  /// with no dominance checks -- the caller vouches for the invariant
+  /// (asserted in debug builds). Capacity is reused like clear().
+  void assign_canonical(const FrontierView& v);
+
   /// Ensures capacity for at least `n` pairs without changing contents.
   void reserve(std::size_t n) { pairs_.reserve(n); }
 

@@ -41,6 +41,7 @@
 // with hundreds of thousands of contacts tractable (§4.4).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -135,6 +136,40 @@ struct EngineStats {
 /// tests and for building custom propagation schemes.
 bool extend_frontier(const DeliveryFunction& from, double begin, double end,
                      DeliveryFunction& into, EngineStats* stats = nullptr);
+
+/// Enumerates the candidate pairs that extending the frontier `from`
+/// through one contact window [begin, end] yields, calling `offer` on
+/// each in the exact order extend_frontier inserts them. `from` must be
+/// a canonical frontier (both lanes strictly ascending). View-layout
+/// counterpart of extend_frontier for callers that keep frontiers in SoA
+/// version storage and want the candidates without materializing a
+/// DeliveryFunction first.
+template <typename Offer>
+void for_each_frontier_extension(const FrontierView& from, double begin,
+                                 double end, Offer&& offer) {
+  // Pairs with ea <= begin all extend to (min(ld, end), begin); the one
+  // with the largest ld dominates the rest -- the last pair before
+  // `first_late` (pairs ascend in ea).
+  std::size_t lo = 0, hi = from.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (begin < from.ea(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  const std::size_t first_late = lo;
+  if (first_late > 0)
+    offer(PathPair{std::min(from.ld(first_late - 1), end), begin});
+  // Pairs with begin < ea <= end extend to (min(ld, end), ea). Once a
+  // pair has ld >= end, later pairs (larger ld AND larger ea) only yield
+  // dominated (end, larger-ea) candidates.
+  for (std::size_t i = first_late; i < from.size() && from.ea(i) <= end;
+       ++i) {
+    offer(PathPair{std::min(from.ld(i), end), from.ea(i)});
+    if (from.ld(i) >= end) break;
+  }
+}
 
 /// Hop-level dynamic program from one source.
 ///

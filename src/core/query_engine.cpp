@@ -33,12 +33,21 @@ QueryEngine::QueryEngine(TemporalGraph graph, QueryEngineOptions options,
   cache_ = cache ? std::move(cache)
                  : std::make_shared<ServeCache>(options_.cache_bytes,
                                                 options_.cache_shards);
+  rebuild_key_prefix();
+  all_nodes_.resize(graph_.num_nodes());
+  std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
+  is_endpoint_.assign(graph_.num_nodes(), 1);
+}
 
-  // Everything that determines a partial's bytes, once per engine. The
-  // tail appended per query (source + windows) is fixed-layout, so two
-  // keys agree iff every ingredient agrees -- no framing ambiguity.
+// Everything that determines a partial's bytes, once per engine state.
+// The tail appended per query (source + windows) is fixed-layout, so two
+// keys agree iff every ingredient agrees -- no framing ambiguity. The
+// graph epoch participates so an ingest invalidates every earlier key:
+// stale partials become unreachable and age out of the LRU.
+void QueryEngine::rebuild_key_prefix() {
   key_prefix_ = graph_transform_key(graph_);
   key_prefix_ += ':';
+  append_pod(key_prefix_, graph_.epoch());
   append_pod(key_prefix_, static_cast<std::uint8_t>(options_.engine));
   append_pod(key_prefix_,
              static_cast<std::uint8_t>(options_.accumulation));
@@ -49,10 +58,12 @@ QueryEngine::QueryEngine(TemporalGraph graph, QueryEngineOptions options,
   append_pod(key_prefix_, static_cast<std::uint64_t>(options_.grid.size()));
   append_bytes(key_prefix_, options_.grid.data(),
                options_.grid.size() * sizeof(double));
+}
 
-  all_nodes_.resize(graph_.num_nodes());
-  std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
-  is_endpoint_.assign(graph_.num_nodes(), 1);
+std::uint64_t QueryEngine::ingest(std::span<const Contact> batch) {
+  const std::uint64_t epoch = graph_.append_contacts(batch);
+  rebuild_key_prefix();
+  return epoch;
 }
 
 std::size_t QueryEngine::cached_partial_bytes() const noexcept {

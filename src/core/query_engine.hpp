@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,17 @@ class QueryEngine {
   /// destination.
   JourneyOptima journey(NodeId source, NodeId destination) const;
 
+  /// Appends one canonical-order contact batch to the served graph
+  /// (TemporalGraph::append_contacts semantics) and bumps the cache-key
+  /// prefix with the new graph epoch, so every pre-append cached partial
+  /// becomes unreachable -- stale entries age out of the LRU instead of
+  /// ever being served. Snapshot-view engines cannot ingest (the view is
+  /// read-only); the underlying append throws std::logic_error. Not
+  /// thread-safe against concurrent queries on this engine: callers
+  /// serialize ingest against query execution (the serve loop does).
+  /// Returns the graph epoch after the append.
+  std::uint64_t ingest(std::span<const Contact> batch);
+
   const TemporalGraph& graph() const noexcept { return graph_; }
   const QueryEngineOptions& options() const noexcept { return options_; }
   LruCacheStats cache_stats() const { return cache_->stats(); }
@@ -107,6 +119,7 @@ class QueryEngine {
                      const DelayCdfOptions& options);
   DelayCdfOptions cdf_options(double t_lo, double t_hi) const;
   std::string query_key(NodeId source, const TimeWindows& windows) const;
+  void rebuild_key_prefix();
 
   TemporalGraph graph_;
   QueryEngineOptions options_;

@@ -66,6 +66,7 @@ TemporalGraph::TemporalGraph(const TemporalGraph& other)
       contacts_(other.contacts_),
       start_(other.start_),
       end_(other.end_),
+      epoch_(other.epoch_),
       backing_(other.backing_) {
   if (backing_) {
     // Borrowed view: share the mapping and its ready-made indexes. The
@@ -86,6 +87,7 @@ TemporalGraph& TemporalGraph::operator=(const TemporalGraph& other) {
     contacts_ = other.contacts_;
     start_ = other.start_;
     end_ = other.end_;
+    epoch_ = other.epoch_;
     backing_ = other.backing_;
     const Indexes* replacement = nullptr;
     if (backing_) {
@@ -109,6 +111,7 @@ TemporalGraph::TemporalGraph(TemporalGraph&& other) noexcept
       contacts_view_(other.contacts_view_),
       start_(other.start_),
       end_(other.end_),
+      epoch_(other.epoch_),
       backing_(std::move(other.backing_)),
       indexes_(other.indexes_.exchange(nullptr)) {
   other.contacts_view_ = {};
@@ -122,6 +125,7 @@ TemporalGraph& TemporalGraph::operator=(TemporalGraph&& other) noexcept {
     contacts_view_ = other.contacts_view_;
     start_ = other.start_;
     end_ = other.end_;
+    epoch_ = other.epoch_;
     backing_ = std::move(other.backing_);
     delete indexes_.exchange(other.indexes_.exchange(nullptr));
     other.contacts_view_ = {};
@@ -130,6 +134,122 @@ TemporalGraph& TemporalGraph::operator=(TemporalGraph&& other) noexcept {
 }
 
 TemporalGraph::~TemporalGraph() { delete indexes_.load(); }
+
+std::uint64_t TemporalGraph::append_contacts(std::span<const Contact> batch) {
+  if (backing_ != nullptr)
+    throw std::logic_error(
+        "TemporalGraph::append_contacts: cannot append to a snapshot view");
+  if (batch.empty()) return epoch_;
+
+  const Contact* prev = contacts_.empty() ? nullptr : &contacts_.back();
+  for (const Contact& c : batch) {
+    if (!is_valid_contact(c))
+      throw std::invalid_argument("TemporalGraph::append_contacts: malformed "
+                                  "contact");
+    if (c.u >= num_nodes_ || c.v >= num_nodes_)
+      throw std::invalid_argument("TemporalGraph::append_contacts: contact "
+                                  "node out of range");
+    if (prev != nullptr && contact_less(c, *prev))
+      throw std::invalid_argument("TemporalGraph::append_contacts: batch "
+                                  "breaks canonical order");
+    prev = &c;
+  }
+
+  const std::size_t old_count = contacts_.size();
+  contacts_.insert(contacts_.end(), batch.begin(), batch.end());
+  contacts_view_ = contacts_;
+  if (old_count == 0) {
+    start_ = contacts_.front().begin;
+    end_ = contacts_.front().end;
+  }
+  for (const Contact& c : batch) end_ = std::max(end_, c.end);
+
+  // Grow already-built indexes instead of dropping them: the whole point
+  // of the canonical-order precondition is that every per-node run
+  // extends at the tail, so the merged arrays match a fresh build byte
+  // for byte without re-sorting the existing contacts.
+  if (const Indexes* ix = indexes_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(index_mutex_);
+    ix = indexes_.load(std::memory_order_relaxed);
+    auto* grown = new Indexes(append_to_indexes(*ix, old_count));
+    grown->point_at_stores();
+    indexes_.store(grown, std::memory_order_release);
+    delete ix;
+  }
+
+  return ++epoch_;
+}
+
+TemporalGraph::Indexes TemporalGraph::append_to_indexes(
+    const Indexes& old, std::size_t old_count) const {
+  Indexes ix;
+  const std::size_t total = contacts_view_.size();
+
+  // Per-node counts of the appended contacts, as a shifted prefix sum.
+  std::vector<std::uint32_t> added(num_nodes_ + 1, 0);
+  for (std::size_t i = old_count; i < total; ++i) {
+    const Contact& c = contacts_view_[i];
+    ++added[c.u + 1];
+    ++added[c.v + 1];
+  }
+  for (std::size_t n = 1; n <= num_nodes_; ++n) added[n] += added[n - 1];
+
+  ix.node_offsets_store.resize(num_nodes_ + 1);
+  for (std::size_t n = 0; n <= num_nodes_; ++n)
+    ix.node_offsets_store[n] = old.node_offsets[n] + added[n];
+  ix.node_contacts_store.resize(2 * total);
+  std::vector<std::uint32_t> cursor(num_nodes_);
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    // Old run first (already in ascending contact-index order), new
+    // indices behind it -- exactly the fill order of a fresh build.
+    const std::uint32_t old_len = old.node_offsets[n + 1] - old.node_offsets[n];
+    std::copy_n(old.node_contacts.begin() + old.node_offsets[n], old_len,
+                ix.node_contacts_store.begin() + ix.node_offsets_store[n]);
+    cursor[n] = ix.node_offsets_store[n] + old_len;
+  }
+  for (std::size_t i = old_count; i < total; ++i) {
+    const Contact& c = contacts_view_[i];
+    ix.node_contacts_store[cursor[c.u]++] = static_cast<std::uint32_t>(i);
+    ix.node_contacts_store[cursor[c.v]++] = static_cast<std::uint32_t>(i);
+  }
+
+  // By-end runs: sort only the appended windows per node, then one
+  // linear merge against the old run. Records that tie on the sort key
+  // are bitwise equal ({begin, end, to} IS the key), so any interleaving
+  // the merge picks is byte-identical to the fresh build's stable sort.
+  const auto by_end = [](const NodeContact& a, const NodeContact& b) {
+    if (a.end != b.end) return a.end < b.end;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.to < b.to;
+  };
+  std::vector<std::uint32_t> nadded(num_nodes_ + 1, 0);
+  for (std::size_t i = old_count; i < total; ++i) {
+    const Contact& c = contacts_view_[i];
+    ++nadded[c.u + 1];
+    if (!directed_) ++nadded[c.v + 1];
+  }
+  for (std::size_t n = 1; n <= num_nodes_; ++n) nadded[n] += nadded[n - 1];
+  std::vector<NodeContact> fresh(nadded.back());
+  std::vector<std::uint32_t> ncursor(nadded.begin(), nadded.end() - 1);
+  for (std::size_t i = old_count; i < total; ++i) {
+    const Contact& c = contacts_view_[i];
+    fresh[ncursor[c.u]++] = {c.begin, c.end, c.v};
+    if (!directed_) fresh[ncursor[c.v]++] = {c.begin, c.end, c.u};
+  }
+  ix.neighbor_offsets_store.resize(num_nodes_ + 1);
+  for (std::size_t n = 0; n <= num_nodes_; ++n)
+    ix.neighbor_offsets_store[n] = old.neighbor_offsets[n] + nadded[n];
+  ix.neighbors_by_end_store.resize(ix.neighbor_offsets_store.back());
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    std::sort(fresh.begin() + nadded[n], fresh.begin() + nadded[n + 1], by_end);
+    std::merge(old.neighbors_by_end.begin() + old.neighbor_offsets[n],
+               old.neighbors_by_end.begin() + old.neighbor_offsets[n + 1],
+               fresh.begin() + nadded[n], fresh.begin() + nadded[n + 1],
+               ix.neighbors_by_end_store.begin() + ix.neighbor_offsets_store[n],
+               by_end);
+  }
+  return ix;
+}
 
 void TemporalGraph::Indexes::point_at_stores() noexcept {
   node_offsets = node_offsets_store;

@@ -73,6 +73,27 @@ class TemporalGraph {
       std::span<const NodeContact> neighbors_by_end,
       std::shared_ptr<const void> backing);
 
+  /// Appends a batch of contacts to an OWNED graph, preserving canonical
+  /// order: the batch itself must be canonically sorted and its first
+  /// contact must not sort before the current last contact (the live
+  /// watermark). Throws std::invalid_argument on malformed, out-of-range
+  /// or out-of-order contacts and std::logic_error on a borrowed snapshot
+  /// view. If the CSR indexes were already built they GROW in place --
+  /// per-node runs extend at the tail and the by-end runs merge the
+  /// sorted batch against the existing runs -- producing arrays
+  /// byte-identical to a fresh build over the concatenated trace. Returns
+  /// the new epoch (bumped once per non-empty batch).
+  ///
+  /// Not thread-safe against concurrent readers: the caller must
+  /// serialize appends with index lookups (the live-ingest layers do).
+  std::uint64_t append_contacts(std::span<const Contact> batch);
+
+  /// Monotone append counter: 0 for a freshly built graph, +1 per
+  /// non-empty append_contacts batch. Cache layers fold it into their
+  /// transform keys so entries computed before an ingest become
+  /// unreachable instead of stale.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
   std::size_t num_nodes() const noexcept { return num_nodes_; }
   bool directed() const noexcept { return directed_; }
   std::span<const Contact> contacts() const noexcept { return contacts_view_; }
@@ -167,6 +188,9 @@ class TemporalGraph {
   /// race to the mutex, one builds, the rest reuse.
   const Indexes& indexes() const;
   Indexes build_indexes() const;
+  /// Grows `old` (built over the first `old_count` contacts) into a new
+  /// Indexes covering all of contacts_view_. See append_contacts.
+  Indexes append_to_indexes(const Indexes& old, std::size_t old_count) const;
 
   std::size_t num_nodes_ = 0;
   bool directed_ = false;
@@ -174,6 +198,9 @@ class TemporalGraph {
   std::span<const Contact> contacts_view_;  // what every reader consumes
   double start_ = 0.0;
   double end_ = 0.0;
+  /// Bumped once per non-empty append_contacts batch (stays 0 for
+  /// static graphs and snapshot views).
+  std::uint64_t epoch_ = 0;
   /// Keeps a borrowed view's storage (snapshot mapping) alive; nullptr
   /// for graphs that own their arrays.
   std::shared_ptr<const void> backing_;

@@ -1,0 +1,110 @@
+#include "trace/live_ingest.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <thread>
+
+#include "core/contact.hpp"
+
+namespace odtn {
+
+LiveTailReader::LiveTailReader(const std::string& path, bool follow,
+                               int poll_ms)
+    : follow_(follow), poll_ms_(poll_ms < 1 ? 1 : poll_ms), path_(path) {
+  if (path == "-") {
+    fd_ = STDIN_FILENO;
+    owns_fd_ = false;
+  } else {
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0)
+      throw TraceError({TraceErrorCode::kCannotOpen, 0, 0, path,
+                        "cannot open live feed: " + path + " (" +
+                            std::strerror(errno) + ")"});
+    owns_fd_ = true;
+  }
+  struct stat st {};
+  if (::fstat(fd_, &st) == 0) regular_file_ = S_ISREG(st.st_mode);
+}
+
+LiveTailReader::~LiveTailReader() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+std::size_t LiveTailReader::read_chunk(char* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::read(fd_, buf, n);
+    if (got > 0) return static_cast<std::size_t>(got);
+    if (got == 0) {
+      // EOF. A followed regular file may still grow; everything else
+      // (pipe writer closed, stdin exhausted, one-shot file) is done.
+      if (!(follow_ && regular_file_)) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms_));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw TraceError({TraceErrorCode::kIoError, 0, 0, path_,
+                      "read failed on live feed: " + path_ + " (" +
+                          std::strerror(errno) + ")"});
+  }
+}
+
+LiveIngestSession::LiveIngestSession(IncrementalCdfOptions options,
+                                     ParseOptions parse)
+    : options_(std::move(options)), parser_(std::move(parse)) {}
+
+void LiveIngestSession::feed(const char* data, std::size_t n) {
+  parser_.feed(data, n);
+}
+
+void LiveIngestSession::flush() { parser_.flush(); }
+
+std::uint64_t LiveIngestSession::commit_epoch() {
+  std::vector<Contact> drained = parser_.drain_contacts();
+  if (pending_.empty()) {
+    pending_ = std::move(drained);
+  } else {
+    pending_.insert(pending_.end(), drained.begin(), drained.end());
+  }
+  if (!engine_) {
+    if (!parser_.header_complete())
+      throw std::logic_error(
+          "live ingest: feed headers incomplete; cannot create the engine");
+    engine_.emplace(parser_.declared_nodes(), parser_.directed(), options_);
+  }
+  if (pending_.empty()) return engine_->epoch();
+
+  // A live batch may be mildly out of order internally; canonical order
+  // within the batch is ours to restore. Order against already-committed
+  // history is not: those records are dropped and counted.
+  std::sort(pending_.begin(), pending_.end(), contact_less);
+  std::size_t keep_from = 0;
+  const auto committed = engine_->graph().contacts();
+  if (!committed.empty()) {
+    const Contact& last = committed.back();
+    while (keep_from < pending_.size() &&
+           contact_less(pending_[keep_from], last))
+      ++keep_from;
+  }
+  stats_.below_watermark += keep_from;
+  if (keep_from == pending_.size()) {
+    pending_.clear();
+    return engine_->epoch();
+  }
+  const std::span<const Contact> batch(pending_.data() + keep_from,
+                                       pending_.size() - keep_from);
+  const std::uint64_t epoch = engine_->append(batch);
+  stats_.epochs += 1;
+  stats_.contacts_ingested += batch.size();
+  pending_.clear();
+  return epoch;
+}
+
+}  // namespace odtn

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace odtn {
 namespace {
@@ -36,217 +37,233 @@ const char* token_end(const char* p, const char* end) {
   return p;
 }
 
-/// Single-pass streaming parser state. Lines arrive as [begin, end)
-/// slices of the read buffer; nothing is copied or allocated per line.
-class Parser {
- public:
-  explicit Parser(const ParseOptions& options) : options_(options) {}
-
-  void line(const char* begin, const char* end) {
-    ++line_no_;
-    ++report_.lines;
-    // Trim trailing CR for files written on other platforms.
-    if (begin != end && end[-1] == '\r') --end;
-    if (begin == end) return;
-    if (*begin == '#') {
-      header_line(begin, end);
-    } else {
-      contact_line(begin, end);
-    }
-  }
-
-  TemporalGraph finish(ParseReport* report_out) {
-    if (!saw_magic_) {
-      fatal(report_.lines == 0 ? TraceErrorCode::kEmptyInput
-                               : TraceErrorCode::kMissingMagic,
-            0, 0, "", "no '# odtn-trace v1' magic in the input");
-    }
-    if (!saw_nodes_)
-      fatal(TraceErrorCode::kMissingNodesHeader, 0, 0, "",
-            "no '# nodes' header in the input");
-    report_.declared_nodes = num_nodes_;
-    report_.directed = directed_;
-    report_.max_node_id = max_node_id_;
-    report_.contacts = contacts_.size();
-    if (options_.canonicalize) {
-      report_.canonicalized = true;
-      report_.out_of_order = count_canonical_order_violations(contacts_);
-      const std::size_t before = contacts_.size();
-      contacts_ = merge_overlapping_contacts(std::move(contacts_));
-      report_.merged = before - contacts_.size();
-      report_.contacts = contacts_.size();
-    }
-    TemporalGraph graph(num_nodes_, std::move(contacts_), directed_);
-    if (report_out) *report_out = std::move(report_);
-    return graph;
-  }
-
-  void io_failure() {
-    fatal(TraceErrorCode::kIoError, line_no_, 0, "",
-          "stream failed while reading");
-  }
-
- private:
-  [[noreturn]] void fatal(TraceErrorCode code, std::size_t line,
-                          std::size_t column, std::string excerpt,
-                          std::string message) {
-    throw TraceError({code, line, column, std::move(excerpt),
-                      std::move(message)});
-  }
-
-  /// Record-level defect: throws in strict mode, records and skips the
-  /// line in lenient mode.
-  void defect(TraceErrorCode code, std::size_t column, const char* begin,
-              const char* end, std::string message) {
-    TraceDiagnostic diag{code, line_no_, column, make_excerpt(begin, end),
-                         std::move(message)};
-    if (options_.mode == ParseMode::kStrict) throw TraceError(std::move(diag));
-    ++report_.skipped;
-    if (report_.diagnostics.size() < options_.max_diagnostics)
-      report_.diagnostics.push_back(std::move(diag));
-  }
-
-  std::size_t column_of(const char* line_begin, const char* at) const {
-    return static_cast<std::size_t>(at - line_begin) + 1;
-  }
-
-  void header_line(const char* begin, const char* end) {
-    const char* p = skip_blanks(begin + 1, end);
-    const char* key_end = token_end(p, end);
-    const std::string_view key(p, static_cast<std::size_t>(key_end - p));
-    if (key == "odtn-trace") {
-      if (saw_magic_) {
-        defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
-               end, "duplicate '# odtn-trace' magic");
-        return;
-      }
-      const char* v = skip_blanks(key_end, end);
-      const char* v_end = token_end(v, end);
-      const std::string_view version(v, static_cast<std::size_t>(v_end - v));
-      if (version != "v1")
-        fatal(TraceErrorCode::kUnsupportedVersion, line_no_,
-              column_of(begin, v), make_excerpt(begin, end),
-              "unsupported trace version '" + std::string(version) +
-                  "' (this parser reads v1)");
-      saw_magic_ = true;
-      return;
-    }
-    if (key == "nodes") {
-      if (saw_nodes_) {
-        defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
-               end, "duplicate '# nodes' header");
-        return;
-      }
-      const char* v = skip_blanks(key_end, end);
-      unsigned long long value = 0;
-      const auto [ptr, ec] = std::from_chars(v, end, value);
-      if (ec != std::errc() || skip_blanks(ptr, end) != end) {
-        defect(TraceErrorCode::kBadHeader, column_of(begin, v), begin, end,
-               "bad '# nodes' header: expected one non-negative integer");
-        return;
-      }
-      if (value > kNodeIdMax + 1)
-        fatal(TraceErrorCode::kNodeCountOverflow, line_no_,
-              column_of(begin, v), make_excerpt(begin, end),
-              "'# nodes' " + std::to_string(value) +
-                  " exceeds the NodeId range (max " +
-                  std::to_string(kNodeIdMax + 1) + ")");
-      num_nodes_ = static_cast<std::size_t>(value);
-      saw_nodes_ = true;
-      return;
-    }
-    if (key == "directed") {
-      if (saw_directed_) {
-        defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
-               end, "duplicate '# directed' header");
-        return;
-      }
-      const char* v = skip_blanks(key_end, end);
-      unsigned flag = 0;
-      const auto [ptr, ec] = std::from_chars(v, end, flag);
-      if (ec != std::errc() || flag > 1 || skip_blanks(ptr, end) != end) {
-        defect(TraceErrorCode::kBadHeader, column_of(begin, v), begin, end,
-               "bad '# directed' header: expected 0 or 1");
-        return;
-      }
-      directed_ = flag == 1;
-      saw_directed_ = true;
-      return;
-    }
-    // Any other '#' line is an ordinary comment.
-  }
-
-  void contact_line(const char* begin, const char* end) {
-    if (!saw_magic_)
-      fatal(TraceErrorCode::kMissingMagic, line_no_, 1,
-            make_excerpt(begin, end),
-            "data before the '# odtn-trace v1' magic");
-    if (!saw_nodes_)
-      fatal(TraceErrorCode::kMissingNodesHeader, line_no_, 1,
-            make_excerpt(begin, end), "contact before the '# nodes' header");
-
-    const char* p = skip_blanks(begin, end);
-    unsigned long long u = 0, v = 0;
-    double times[2] = {0.0, 0.0};
-
-    auto bad_syntax = [&](const char* at) {
-      defect(TraceErrorCode::kBadContactSyntax, column_of(begin, at), begin,
-             end, "expected '<u> <v> <begin> <end>'");
-    };
-
-    const auto r_u = std::from_chars(p, end, u);
-    if (r_u.ec != std::errc()) return bad_syntax(p);
-    p = skip_blanks(r_u.ptr, end);
-    const auto r_v = std::from_chars(p, end, v);
-    if (r_v.ec != std::errc()) return bad_syntax(p);
-    p = skip_blanks(r_v.ptr, end);
-    const auto r_b =
-        std::from_chars(p, end, times[0], std::chars_format::general);
-    if (r_b.ec != std::errc()) return bad_syntax(p);
-    p = skip_blanks(r_b.ptr, end);
-    const auto r_e =
-        std::from_chars(p, end, times[1], std::chars_format::general);
-    if (r_e.ec != std::errc()) return bad_syntax(p);
-    p = skip_blanks(r_e.ptr, end);
-    if (p != end)
-      return defect(TraceErrorCode::kTrailingData, column_of(begin, p), begin,
-                    end,
-                    "trailing data after the four contact fields");
-
-    if (u >= num_nodes_ || v >= num_nodes_) {
-      const unsigned long long worst = std::max(u, v);
-      return defect(TraceErrorCode::kNodeOutOfRange, 1, begin, end,
-                    "node " + std::to_string(worst) +
-                        " out of range (nodes: " +
-                        std::to_string(num_nodes_) + ")");
-    }
-    const Contact c{static_cast<NodeId>(u), static_cast<NodeId>(v), times[0],
-                    times[1]};
-    if (!is_valid_contact(c))
-      return defect(TraceErrorCode::kMalformedContact, 1, begin, end,
-                    "malformed contact (self-loop, reversed or non-finite "
-                    "interval)");
-    ++report_.contact_lines;
-    max_node_id_ = max_node_id_ == kInvalidNode
-                       ? static_cast<NodeId>(std::max(u, v))
-                       : std::max(max_node_id_,
-                                  static_cast<NodeId>(std::max(u, v)));
-    contacts_.push_back(c);
-  }
-
-  const ParseOptions& options_;
-  ParseReport report_;
-  std::size_t line_no_ = 0;
-  bool saw_magic_ = false;
-  bool saw_nodes_ = false;
-  bool saw_directed_ = false;
-  std::size_t num_nodes_ = 0;
-  bool directed_ = false;
-  NodeId max_node_id_ = kInvalidNode;
-  std::vector<Contact> contacts_;
-};
-
 }  // namespace
+
+StreamingTraceParser::StreamingTraceParser(ParseOptions options)
+    : options_(std::move(options)) {}
+
+StreamingTraceParser::~StreamingTraceParser() = default;
+
+void StreamingTraceParser::feed(const char* data, std::size_t n) {
+  carry_.feed(data, n,
+              [this](const char* begin, const char* end) {
+                feed_line(begin, end);
+              });
+}
+
+bool StreamingTraceParser::flush() {
+  return carry_.finish([this](const char* begin, const char* end) {
+    feed_line(begin, end);
+  });
+}
+
+void StreamingTraceParser::feed_line(const char* begin, const char* end) {
+  ++line_no_;
+  ++report_.lines;
+  // Trim trailing CR for files written on other platforms.
+  if (begin != end && end[-1] == '\r') --end;
+  if (begin == end) return;
+  if (*begin == '#') {
+    header_line(begin, end);
+  } else {
+    contact_line(begin, end);
+  }
+}
+
+std::vector<Contact> StreamingTraceParser::drain_contacts() {
+  drained_ += contacts_.size();
+  return std::exchange(contacts_, {});
+}
+
+ParseReport StreamingTraceParser::report() const {
+  ParseReport r = report_;
+  r.declared_nodes = num_nodes_;
+  r.directed = directed_;
+  r.max_node_id = max_node_id_;
+  r.contacts = drained_ + contacts_.size();
+  return r;
+}
+
+TemporalGraph StreamingTraceParser::finish(ParseReport* report_out) {
+  flush();
+  if (!saw_magic_) {
+    fatal(report_.lines == 0 ? TraceErrorCode::kEmptyInput
+                             : TraceErrorCode::kMissingMagic,
+          0, 0, "", "no '# odtn-trace v1' magic in the input");
+  }
+  if (!saw_nodes_)
+    fatal(TraceErrorCode::kMissingNodesHeader, 0, 0, "",
+          "no '# nodes' header in the input");
+  report_.declared_nodes = num_nodes_;
+  report_.directed = directed_;
+  report_.max_node_id = max_node_id_;
+  report_.contacts = contacts_.size();
+  if (options_.canonicalize) {
+    report_.canonicalized = true;
+    report_.out_of_order = count_canonical_order_violations(contacts_);
+    const std::size_t before = contacts_.size();
+    contacts_ = merge_overlapping_contacts(std::move(contacts_));
+    report_.merged = before - contacts_.size();
+    report_.contacts = contacts_.size();
+  }
+  TemporalGraph graph(num_nodes_, std::move(contacts_), directed_);
+  if (report_out) *report_out = std::move(report_);
+  return graph;
+}
+
+void StreamingTraceParser::fail_io() {
+  fatal(TraceErrorCode::kIoError, line_no_, 0, "",
+        "stream failed while reading");
+}
+
+void StreamingTraceParser::fatal(TraceErrorCode code, std::size_t line,
+                                 std::size_t column, std::string excerpt,
+                                 std::string message) {
+  throw TraceError({code, line, column, std::move(excerpt),
+                    std::move(message)});
+}
+
+/// Record-level defect: throws in strict mode, records and skips the
+/// line in lenient mode.
+void StreamingTraceParser::defect(TraceErrorCode code, std::size_t column,
+                                  const char* begin, const char* end,
+                                  std::string message) {
+  TraceDiagnostic diag{code, line_no_, column, make_excerpt(begin, end),
+                       std::move(message)};
+  if (options_.mode == ParseMode::kStrict) throw TraceError(std::move(diag));
+  ++report_.skipped;
+  if (report_.diagnostics.size() < options_.max_diagnostics)
+    report_.diagnostics.push_back(std::move(diag));
+}
+
+std::size_t StreamingTraceParser::column_of(const char* line_begin,
+                                            const char* at) const {
+  return static_cast<std::size_t>(at - line_begin) + 1;
+}
+
+void StreamingTraceParser::header_line(const char* begin, const char* end) {
+  const char* p = skip_blanks(begin + 1, end);
+  const char* key_end = token_end(p, end);
+  const std::string_view key(p, static_cast<std::size_t>(key_end - p));
+  if (key == "odtn-trace") {
+    if (saw_magic_) {
+      defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
+             end, "duplicate '# odtn-trace' magic");
+      return;
+    }
+    const char* v = skip_blanks(key_end, end);
+    const char* v_end = token_end(v, end);
+    const std::string_view version(v, static_cast<std::size_t>(v_end - v));
+    if (version != "v1")
+      fatal(TraceErrorCode::kUnsupportedVersion, line_no_,
+            column_of(begin, v), make_excerpt(begin, end),
+            "unsupported trace version '" + std::string(version) +
+                "' (this parser reads v1)");
+    saw_magic_ = true;
+    return;
+  }
+  if (key == "nodes") {
+    if (saw_nodes_) {
+      defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
+             end, "duplicate '# nodes' header");
+      return;
+    }
+    const char* v = skip_blanks(key_end, end);
+    unsigned long long value = 0;
+    const auto [ptr, ec] = std::from_chars(v, end, value);
+    if (ec != std::errc() || skip_blanks(ptr, end) != end) {
+      defect(TraceErrorCode::kBadHeader, column_of(begin, v), begin, end,
+             "bad '# nodes' header: expected one non-negative integer");
+      return;
+    }
+    if (value > kNodeIdMax + 1)
+      fatal(TraceErrorCode::kNodeCountOverflow, line_no_,
+            column_of(begin, v), make_excerpt(begin, end),
+            "'# nodes' " + std::to_string(value) +
+                " exceeds the NodeId range (max " +
+                std::to_string(kNodeIdMax + 1) + ")");
+    num_nodes_ = static_cast<std::size_t>(value);
+    saw_nodes_ = true;
+    return;
+  }
+  if (key == "directed") {
+    if (saw_directed_) {
+      defect(TraceErrorCode::kDuplicateHeader, column_of(begin, p), begin,
+             end, "duplicate '# directed' header");
+      return;
+    }
+    const char* v = skip_blanks(key_end, end);
+    unsigned flag = 0;
+    const auto [ptr, ec] = std::from_chars(v, end, flag);
+    if (ec != std::errc() || flag > 1 || skip_blanks(ptr, end) != end) {
+      defect(TraceErrorCode::kBadHeader, column_of(begin, v), begin, end,
+             "bad '# directed' header: expected 0 or 1");
+      return;
+    }
+    directed_ = flag == 1;
+    saw_directed_ = true;
+    return;
+  }
+  // Any other '#' line is an ordinary comment.
+}
+
+void StreamingTraceParser::contact_line(const char* begin, const char* end) {
+  if (!saw_magic_)
+    fatal(TraceErrorCode::kMissingMagic, line_no_, 1,
+          make_excerpt(begin, end),
+          "data before the '# odtn-trace v1' magic");
+  if (!saw_nodes_)
+    fatal(TraceErrorCode::kMissingNodesHeader, line_no_, 1,
+          make_excerpt(begin, end), "contact before the '# nodes' header");
+
+  const char* p = skip_blanks(begin, end);
+  unsigned long long u = 0, v = 0;
+  double times[2] = {0.0, 0.0};
+
+  auto bad_syntax = [&](const char* at) {
+    defect(TraceErrorCode::kBadContactSyntax, column_of(begin, at), begin,
+           end, "expected '<u> <v> <begin> <end>'");
+  };
+
+  const auto r_u = std::from_chars(p, end, u);
+  if (r_u.ec != std::errc()) return bad_syntax(p);
+  p = skip_blanks(r_u.ptr, end);
+  const auto r_v = std::from_chars(p, end, v);
+  if (r_v.ec != std::errc()) return bad_syntax(p);
+  p = skip_blanks(r_v.ptr, end);
+  const auto r_b =
+      std::from_chars(p, end, times[0], std::chars_format::general);
+  if (r_b.ec != std::errc()) return bad_syntax(p);
+  p = skip_blanks(r_b.ptr, end);
+  const auto r_e =
+      std::from_chars(p, end, times[1], std::chars_format::general);
+  if (r_e.ec != std::errc()) return bad_syntax(p);
+  p = skip_blanks(r_e.ptr, end);
+  if (p != end)
+    return defect(TraceErrorCode::kTrailingData, column_of(begin, p), begin,
+                  end,
+                  "trailing data after the four contact fields");
+
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    const unsigned long long worst = std::max(u, v);
+    return defect(TraceErrorCode::kNodeOutOfRange, 1, begin, end,
+                  "node " + std::to_string(worst) +
+                      " out of range (nodes: " +
+                      std::to_string(num_nodes_) + ")");
+  }
+  const Contact c{static_cast<NodeId>(u), static_cast<NodeId>(v), times[0],
+                  times[1]};
+  if (!is_valid_contact(c))
+    return defect(TraceErrorCode::kMalformedContact, 1, begin, end,
+                  "malformed contact (self-loop, reversed or non-finite "
+                  "interval)");
+  ++report_.contact_lines;
+  max_node_id_ = max_node_id_ == kInvalidNode
+                     ? static_cast<NodeId>(std::max(u, v))
+                     : std::max(max_node_id_,
+                                static_cast<NodeId>(std::max(u, v)));
+  contacts_.push_back(c);
+}
 
 const char* trace_error_name(TraceErrorCode code) noexcept {
   switch (code) {
@@ -316,35 +333,15 @@ std::string ParseReport::summary() const {
 
 TemporalGraph read_trace(std::istream& in, const ParseOptions& options,
                          ParseReport* report) {
-  Parser parser(options);
+  StreamingTraceParser parser(options);
   std::vector<char> chunk(kChunkSize);
-  std::string carry;  // partial line spanning chunk boundaries
   while (in) {
     in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
     const std::size_t got = static_cast<std::size_t>(in.gcount());
     if (got == 0) break;
-    const char* p = chunk.data();
-    const char* const end = p + got;
-    while (p != end) {
-      const char* nl =
-          static_cast<const char*>(std::memchr(p, '\n', end - p));
-      if (nl == nullptr) {
-        carry.append(p, end);
-        break;
-      }
-      if (carry.empty()) {
-        parser.line(p, nl);
-      } else {
-        carry.append(p, nl);
-        parser.line(carry.data(), carry.data() + carry.size());
-        carry.clear();
-      }
-      p = nl + 1;
-    }
+    parser.feed(chunk.data(), got);
   }
-  if (in.bad()) parser.io_failure();
-  if (!carry.empty())
-    parser.line(carry.data(), carry.data() + carry.size());
+  if (in.bad()) parser.fail_io();
   return parser.finish(report);
 }
 

@@ -31,6 +31,7 @@
 
 #include "core/contact.hpp"
 #include "core/temporal_graph.hpp"
+#include "util/line_reader.hpp"
 
 namespace odtn {
 
@@ -128,6 +129,82 @@ struct ParseReport {
 
   /// Multi-line human-readable report (the body of `odtn validate`).
   std::string summary() const;
+};
+
+/// Push-mode core of the streaming tokenizer, exposed so live feeds can
+/// reuse it byte for byte: read_trace pumps file chunks through feed()
+/// and calls finish(); `odtn tail` and the serve ingest path instead
+/// drain_contacts() after every feed and keep the parser alive while the
+/// input grows. Chunk boundaries are invisible (a partial line is
+/// carried until its newline or flush() arrives), so any byte-split of
+/// an input parses identically to a one-shot pass -- odtn_fuzz --live
+/// checks exactly that.
+class StreamingTraceParser {
+ public:
+  explicit StreamingTraceParser(ParseOptions options = {});
+  StreamingTraceParser(StreamingTraceParser&&) = default;
+  StreamingTraceParser& operator=(StreamingTraceParser&&) = default;
+  ~StreamingTraceParser();
+
+  /// Tokenizes one chunk of raw bytes (any chunking, including one byte
+  /// at a time). Throws TraceError on fatal defects (and, in strict
+  /// mode, on any defect).
+  void feed(const char* data, std::size_t n);
+
+  /// Tokenizes one complete line ([begin, end), no terminator). feed()
+  /// is built on this; exposed for consumers that already split lines.
+  void feed_line(const char* begin, const char* end);
+
+  /// Delivers a final line that arrived without a trailing newline.
+  /// Returns true iff a carried line was flushed. Safe to call more
+  /// than once.
+  bool flush();
+
+  /// True once both required headers ('# odtn-trace v1', '# nodes')
+  /// were seen; declared_nodes()/directed() are meaningful from then on.
+  bool header_complete() const noexcept { return saw_magic_ && saw_nodes_; }
+  std::size_t declared_nodes() const noexcept { return num_nodes_; }
+  bool directed() const noexcept { return directed_; }
+
+  /// Contacts parsed since the last drain (live consumers pull batches
+  /// out of the parser as the feed grows; order is input order).
+  std::size_t pending_contacts() const noexcept { return contacts_.size(); }
+  std::vector<Contact> drain_contacts();
+
+  /// Snapshot of the running report (lines/skips/diagnostics as of now;
+  /// contact counts include drained batches).
+  ParseReport report() const;
+
+  /// Flushes, validates the headers and builds the graph from every
+  /// still-undrained contact (the read_trace path; live consumers that
+  /// drained use their own graph). Leaves the parser finished.
+  TemporalGraph finish(ParseReport* report = nullptr);
+
+  /// Reports an input-stream failure as a fatal TraceError.
+  [[noreturn]] void fail_io();
+
+ private:
+  [[noreturn]] void fatal(TraceErrorCode code, std::size_t line,
+                          std::size_t column, std::string excerpt,
+                          std::string message);
+  void defect(TraceErrorCode code, std::size_t column, const char* begin,
+              const char* end, std::string message);
+  std::size_t column_of(const char* line_begin, const char* at) const;
+  void header_line(const char* begin, const char* end);
+  void contact_line(const char* begin, const char* end);
+
+  ParseOptions options_;
+  ParseReport report_;
+  CarryLineReader carry_;  // partial line spanning feed() boundaries
+  std::size_t line_no_ = 0;
+  bool saw_magic_ = false;
+  bool saw_nodes_ = false;
+  bool saw_directed_ = false;
+  std::size_t num_nodes_ = 0;
+  bool directed_ = false;
+  NodeId max_node_id_ = kInvalidNode;
+  std::size_t drained_ = 0;
+  std::vector<Contact> contacts_;
 };
 
 /// Parses a trace with the streaming tokenizer. Throws TraceError on

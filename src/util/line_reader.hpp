@@ -1,0 +1,60 @@
+// CarryLineReader: chunk-to-line adapter shared by every streaming text
+// consumer (the trace tokenizer, the serve protocol loop, the live feed
+// tail). Bytes arrive in arbitrary chunks; complete lines are handed to
+// the callback as [begin, end) slices WITHOUT the terminator, and a
+// partial line spanning chunk boundaries is carried in one buffer until
+// its newline (or finish()) arrives. finish() flushes a final line that
+// has no trailing newline -- the serve protocol and live ingestion both
+// require that a feed ending mid-line still delivers that line as a
+// complete record rather than dropping it.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace odtn {
+
+class CarryLineReader {
+ public:
+  /// Feeds one chunk; `line(begin, end)` fires once per completed line
+  /// ('\n' stripped; a trailing '\r' is the consumer's business).
+  template <typename Fn>
+  void feed(const char* data, std::size_t n, Fn&& line) {
+    const char* p = data;
+    const char* const end = data + n;
+    while (p != end) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+      if (nl == nullptr) {
+        carry_.append(p, end);
+        break;
+      }
+      if (carry_.empty()) {
+        line(p, nl);
+      } else {
+        carry_.append(p, nl);
+        line(carry_.data(), carry_.data() + carry_.size());
+        carry_.clear();
+      }
+      p = nl + 1;
+    }
+  }
+
+  /// Flushes the carried partial line, if any, as a complete line.
+  /// Returns true iff a line was delivered. Call at end of feed.
+  template <typename Fn>
+  bool finish(Fn&& line) {
+    if (carry_.empty()) return false;
+    line(carry_.data(), carry_.data() + carry_.size());
+    carry_.clear();
+    return true;
+  }
+
+  bool has_carry() const noexcept { return !carry_.empty(); }
+
+ private:
+  std::string carry_;
+};
+
+}  // namespace odtn

@@ -306,5 +306,100 @@ TEST_F(CliCommands, RejectsTrailingGarbage) {
   EXPECT_EQ(run_cli({"stats", trace, "--bogus"}), 2);
 }
 
+class CliServe : public CliCommands {
+ protected:
+  std::string serve_trace(const char* name) {
+    const std::string trace = track(path(name));
+    write_trace_file(trace, TemporalGraph(3, {{0, 1, 0.0, 600.0},
+                                              {1, 2, 900.0, 1800.0}}));
+    return trace;
+  }
+};
+
+TEST_F(CliServe, ServeAnswersFinalLineWithoutNewline) {
+  // Regression: a query batch whose final line has no trailing newline
+  // must still be answered (the line-carry flush), not dropped at EOF.
+  const std::string trace = serve_trace("srv_nl.trace");
+  const std::string queries = track(path("srv_nl.q"));
+  {
+    std::ofstream out(queries);
+    out << "cdf 0\ncdf 1";  // deliberately no final '\n'
+  }
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(run_cli({"serve", "--trace", trace, "--input", queries,
+                     "--grid-lo", "60", "--grid-hi", "1h", "--max-hops",
+                     "3"}),
+            0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("cdf src=0"), std::string::npos);
+  EXPECT_NE(out.find("cdf src=1"), std::string::npos);
+}
+
+TEST_F(CliServe, ServeIngestAppendsAndRefreshesAnswers) {
+  const std::string trace = serve_trace("srv_ing.trace");
+  const std::string queries = track(path("srv_ing.q"));
+  {
+    std::ofstream out(queries);
+    // Before the ingest, node 2 only reaches node 1 (the 0--1 contact is
+    // over by the time 2 first meets 1); the appended late 0--2 contact
+    // makes node 0 reachable too.
+    out << "reach 2 0\n"
+        << "ingest 0 2 2000 2600\n"
+        << "reach 2 0\n"
+        << "ingest 0 1 100 200\n";  // below watermark: must error
+  }
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(run_cli({"serve", "--trace", trace, "--input", queries,
+                     "--grid-lo", "60", "--grid-hi", "1h", "--max-hops",
+                     "3"}),
+            0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("reach src=2 t=0 count=1"), std::string::npos);
+  EXPECT_NE(out.find("ingest ok epoch=1 contacts=3"), std::string::npos);
+  EXPECT_NE(out.find("reach src=2 t=0 count=2"), std::string::npos);
+  EXPECT_NE(out.find("error"), std::string::npos);
+}
+
+/// Strips the us=<latency> token so two runs can be compared bit-exactly.
+std::string strip_latency(const std::string& text) {
+  std::string out;
+  std::istringstream in(text);
+  for (std::string tok; in >> tok;)
+    if (tok.compare(0, 3, "us=") != 0) out += tok + " ";
+  return out;
+}
+
+TEST_F(CliServe, TailEpochSplitsEndIdentically) {
+  // The final row of a many-epoch run must match the single-epoch run
+  // bit for bit: incremental recompute may not depend on batching.
+  const std::string trace = serve_trace("tail.trace");
+  const auto last_line = [](const std::string& text) {
+    const auto end = text.find_last_not_of('\n');
+    const auto start = text.rfind('\n', end);
+    return text.substr(start + 1, end - start);
+  };
+  std::vector<std::string> finals;
+  for (const char* epoch : {"1", "1000"}) {
+    ::testing::internal::CaptureStdout();
+    ASSERT_EQ(run_cli({"tail", trace, "--epoch", epoch, "--grid-lo", "60",
+                       "--grid-hi", "1h", "--max-hops", "3"}),
+              0);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("epoch="), std::string::npos);
+    finals.push_back(strip_latency(last_line(out)));
+  }
+  EXPECT_EQ(finals[0], finals[1]);
+  EXPECT_NE(finals[0].find("converged=1"), std::string::npos);
+}
+
+TEST_F(CliServe, TailRejectsHeaderlessFeed) {
+  const std::string feed = track(path("tail_bad.trace"));
+  {
+    std::ofstream out(feed);
+    out << "0 1 0 600\n";
+  }
+  EXPECT_EQ(run_cli({"tail", feed}), 1);
+}
+
 }  // namespace
 }  // namespace odtn::cli

@@ -181,5 +181,46 @@ TEST(LruCache, ConcurrentGetPutIsSafe) {
   EXPECT_LE(s.bytes, 64u * 32u);
 }
 
+TEST(LruCache, OverwriteReleasesOldCostBeforeCharging) {
+  // Regression guard for overwrite accounting: replacing a resident key
+  // must release the old entry's bytes first, never double-charge, and
+  // never count the replacement itself as an eviction.
+  Cache cache(300, 1);
+  EXPECT_EQ(cache.put(1, val("a"), 100), 0u);
+  EXPECT_EQ(cache.put(1, val("bigger"), 250), 0u);  // 100 released, 250 fits
+  LruCacheStats s = cache.stats();
+  EXPECT_EQ(s.bytes, 250u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  const auto hit = cache.get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "bigger");
+
+  // Shrinking overwrite frees budget for a neighbor.
+  EXPECT_EQ(cache.put(1, val("small"), 50), 0u);
+  EXPECT_EQ(cache.stats().bytes, 50u);
+  EXPECT_EQ(cache.put(2, val("b"), 250), 0u);
+  EXPECT_EQ(cache.stats().bytes, 300u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(LruCache, GrowingOverwriteEvictsOthersNotItself) {
+  Cache cache(300, 1);
+  cache.put(1, val("a"), 100);
+  cache.put(2, val("b"), 100);
+  cache.put(3, val("c"), 100);
+  // Overwriting 2 with a 200-byte value: 100 released, 200 charged, so
+  // exactly one LRU victim (key 1) must go -- the overwritten entry is
+  // fresh at the head and must survive.
+  EXPECT_EQ(cache.put(2, val("big"), 200), 1u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(2), nullptr);
+  EXPECT_EQ(*cache.get(2), "big");
+  EXPECT_NE(cache.get(3), nullptr);
+  const LruCacheStats s = cache.stats();
+  EXPECT_EQ(s.bytes, 300u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
 }  // namespace
 }  // namespace odtn

@@ -78,6 +78,49 @@ TEST(DailyWindows, EmptyWhenOutsideHours) {
   EXPECT_TRUE(w.empty());
 }
 
+TEST(Degenerate, EmptyTraceReachesNobody) {
+  const TemporalGraph g(4, {});
+  const auto m = last_departure_matrix(g);
+  for (std::size_t u = 0; u < 4; ++u)
+    for (std::size_t v = 0; v < 4; ++v)
+      EXPECT_EQ(m[u][v], u == v ? kInf : -kInf);
+  const auto sizes = out_component_sizes(g, 0.0);
+  for (const std::size_t s : sizes) EXPECT_EQ(s, 0u);  // nobody besides self
+  const auto r = reachability_ratio(g, {0.0, 1.0});
+  for (const double x : r) EXPECT_EQ(x, 0.0);
+}
+
+TEST(Degenerate, SingleContactOnlyLinksItsEndpoints) {
+  const TemporalGraph g(3, {{0, 1, 2.0, 5.0}});
+  const auto m = last_departure_matrix(g);
+  EXPECT_DOUBLE_EQ(m[0][1], 5.0);
+  EXPECT_DOUBLE_EQ(m[1][0], 5.0);
+  EXPECT_EQ(m[0][2], -kInf);
+  EXPECT_EQ(m[2][0], -kInf);
+  // The contact is still open at t=3, so each endpoint reaches the
+  // other (sources don't count themselves); node 2 reaches nobody.
+  const auto sizes = out_component_sizes(g, 3.0);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 1u);
+  EXPECT_EQ(sizes[2], 0u);
+}
+
+TEST(Degenerate, SourceEqualsDestinationIsAlwaysReachable) {
+  // The self-pair is reachable at every time, including after the last
+  // contact and on the empty trace, and is excluded from the pair
+  // counts rather than reported as a delivery: out-components and the
+  // reachability ratio never include u == v.
+  for (const TemporalGraph& g :
+       {chain(), TemporalGraph(3, {}), TemporalGraph(3, {{0, 1, 2.0, 5.0}})}) {
+    const auto m = last_departure_matrix(g);
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(m[u][u], kInf);
+    // Long after the last contact nobody reaches anyone ELSE, yet the
+    // self-pair stays trivially reachable -- and stays excluded.
+    for (const std::size_t s : out_component_sizes(g, 1e9)) EXPECT_EQ(s, 0u);
+    for (const double x : reachability_ratio(g, {1e9})) EXPECT_EQ(x, 0.0);
+  }
+}
+
 TEST(DailyWindows, InvalidArgumentsThrow) {
   EXPECT_THROW(daily_time_windows(5.0, 1.0, 9.0, 18.0),
                std::invalid_argument);

@@ -122,6 +122,31 @@ TEST(Snapshot, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Snapshot, ZeroContactFileRoundTripServesQueries) {
+  // encode -> mmap -> adopt_view with zero contacts: every index span is
+  // empty but valid, and a CDF engine over the view answers with zeros
+  // instead of crashing on the degenerate [0, 0] window.
+  const std::string path = ::testing::TempDir() + "/odtn_snapshot_zero.odtns";
+  const TemporalGraph g(5, {});
+  write_snapshot_file(path, g);
+  const TemporalGraph view = load_snapshot_file(path);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_TRUE(identical(g, view));
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_TRUE(view.contacts_of(n).empty());
+    EXPECT_TRUE(view.neighbors_by_end(n).empty());
+  }
+  EXPECT_EQ(encode_snapshot(view), encode_snapshot(g));
+  DelayCdfOptions o;
+  o.grid = make_log_grid(1.0, 10.0, 4);
+  o.max_hops = 3;
+  const DelayCdfResult r = compute_delay_cdf(view, o);
+  EXPECT_EQ(r.denominator, 0.0);
+  for (const double v : r.cdf_unbounded) EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(r.converged);
+  std::remove(path.c_str());
+}
+
 TEST(Snapshot, LoadRejectsMissingAndEmptyFiles) {
   EXPECT_THROW(load_snapshot_file("/nonexistent/path/x.odtns"), SnapshotError);
   const std::string path = ::testing::TempDir() + "/odtn_snapshot_empty";

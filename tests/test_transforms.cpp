@@ -108,6 +108,75 @@ TEST(TimeWindow, EmptyWindowThrows) {
   EXPECT_THROW(restrict_time_window(g, 5.0, 5.0), std::invalid_argument);
 }
 
+TEST(DurationThreshold, KeepsZeroDurationContactsAtZeroThreshold) {
+  // The restrict_time_window zero-duration bug class: begin == end is a
+  // legal contact, so a duration threshold of 0 must keep it (removal is
+  // strictly-less-than).
+  TemporalGraph g(3, {{0, 1, 5.0, 5.0}, {1, 2, 6.0, 20.0}});
+  const auto all = remove_contacts_shorter_than(g, 0.0);
+  EXPECT_EQ(all.num_contacts(), 2u);
+  const auto longer = remove_contacts_shorter_than(g, 1.0);
+  ASSERT_EQ(longer.num_contacts(), 1u);
+  EXPECT_EQ(longer.contacts()[0], (Contact{1, 2, 6.0, 20.0}));
+}
+
+TEST(RandomRemoval, KeepsZeroDurationContactsLikeAnyOther) {
+  // Survival must depend only on the coin flip, never the duration.
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 200; ++i)
+    contacts.push_back({0, 1, static_cast<double>(i), static_cast<double>(i)});
+  const TemporalGraph g(2, std::move(contacts));
+  Rng rng(9);
+  const auto r = remove_contacts_random(g, 0.5, rng);
+  EXPECT_GT(r.num_contacts(), 50u);
+  EXPECT_LT(r.num_contacts(), 150u);
+}
+
+TEST(RandomRemoval, SameSeedSameOutputRegardlessOfInputOrder) {
+  // (seed, p) fully determines the kept set: the graph canonicalizes its
+  // contact order at construction, so feeding the constructor a shuffled
+  // contact list must not change which contacts survive.
+  const auto g = sample_graph();
+  std::vector<Contact> shuffled = g.contacts_vector();
+  Rng shuffle_rng(77);
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1], shuffled[shuffle_rng.below(i)]);
+  const TemporalGraph reordered(g.num_nodes(), std::move(shuffled),
+                                g.directed());
+  for (const double p : {0.1, 0.5, 0.9}) {
+    Rng a(123), b(123);
+    const auto ra = remove_contacts_random(g, p, a);
+    const auto rb = remove_contacts_random(reordered, p, b);
+    ASSERT_EQ(ra.num_contacts(), rb.num_contacts());
+    EXPECT_TRUE(std::equal(ra.contacts().begin(), ra.contacts().end(),
+                           rb.contacts().begin()));
+  }
+  // Reference-path cross-check: the transform's kept set equals a plain
+  // replay of the same Bernoulli stream over the canonical contacts.
+  Rng c(123);
+  const auto rc = remove_contacts_random(g, 0.5, c);
+  Rng replay(123);
+  std::vector<Contact> expected;
+  for (const Contact& contact : g.contacts())
+    if (!replay.bernoulli(0.5)) expected.push_back(contact);
+  ASSERT_EQ(rc.num_contacts(), expected.size());
+  EXPECT_TRUE(std::equal(rc.contacts().begin(), rc.contacts().end(),
+                         expected.begin()));
+}
+
+TEST(DurationThreshold, OutputIndependentOfInputOrder) {
+  const auto g = sample_graph();
+  std::vector<Contact> reversed = g.contacts_vector();
+  std::reverse(reversed.begin(), reversed.end());
+  const TemporalGraph reordered(g.num_nodes(), std::move(reversed),
+                                g.directed());
+  const auto ra = remove_contacts_shorter_than(g, 10 * kMinute);
+  const auto rb = remove_contacts_shorter_than(reordered, 10 * kMinute);
+  ASSERT_EQ(ra.num_contacts(), rb.num_contacts());
+  EXPECT_TRUE(std::equal(ra.contacts().begin(), ra.contacts().end(),
+                         rb.contacts().begin()));
+}
+
 TEST(KeepInternal, DropsExternalContactsAndNodes) {
   SyntheticTraceSpec spec;
   spec.num_internal = 10;

@@ -46,8 +46,19 @@
 // and checks that random bit flips either raise SnapshotError or decode
 // to a graph that is safe to run and re-encodes to the same bytes.
 //
+// Live mode (--live N): differentials for the live-ingestion path.
+// Each trial splits an adversarial trace into a random number of append
+// epochs, runs them through IncrementalAllPairsEngine, and requires
+// every epoch's all_pairs() to be bit-identical to a cold
+// compute_delay_cdf(kDirect) on the prefix ingested so far (over the
+// same explicit full-span start window). It also replays the trace's
+// byte serialization through StreamingTraceParser under random chunk
+// splits -- sometimes one byte at a time, sometimes with the final
+// newline stripped so the flush() path runs -- and requires the result
+// to match the one-shot read_trace graph exactly.
+//
 // Usage: odtn_fuzz [--engine N] [--parser N] [--kernel N] [--shard N]
-//                  [--snapshot N] [--corpus DIR] [--seed S]
+//                  [--snapshot N] [--live N] [--corpus DIR] [--seed S]
 //        odtn_fuzz [trials] [base-seed]        (legacy: engine mode)
 #include <algorithm>
 #include <cmath>
@@ -65,6 +76,7 @@
 
 #include "core/diameter.hpp"
 #include "core/frontier_kernels.hpp"
+#include "core/incremental_engine.hpp"
 #include "core/optimal_paths.hpp"
 #include "core/partition.hpp"
 #include "sim/flooding.hpp"
@@ -716,6 +728,126 @@ int snapshot_trials(long trials, std::uint64_t base_seed) {
   return 0;
 }
 
+[[noreturn]] void live_failure(const char* what, const TemporalGraph& g,
+                               std::uint64_t seed) {
+  std::fprintf(stderr, "LIVE MISMATCH seed=%llu: %s\nreproducer trace:\n",
+               static_cast<unsigned long long>(seed), what);
+  std::ostringstream out;
+  write_trace(out, g);
+  std::fputs(out.str().c_str(), stderr);
+  std::exit(1);
+}
+
+bool cdf_results_identical(const DelayCdfResult& a, const DelayCdfResult& b) {
+  return a.grid == b.grid && a.cdf_by_hops == b.cdf_by_hops &&
+         a.cdf_unbounded == b.cdf_unbounded &&
+         a.fixpoint_hops == b.fixpoint_hops && a.converged == b.converged &&
+         a.denominator == b.denominator &&
+         a.diameter(0.01) == b.diameter(0.01) &&
+         a.diameter_per_delay(0.01) == b.diameter_per_delay(0.01);
+}
+
+/// Live mode (--live N): the tentpole differential. (a) Any K-way
+/// canonical-order split of a trace into append epochs must leave every
+/// epoch's incremental all-pairs result bit-identical to a cold
+/// kDirect run on the prefix ingested so far (empty epochs allowed --
+/// they must be clean no-ops). (b) Any byte-split of the trace's
+/// serialization through StreamingTraceParser must reproduce the
+/// one-shot read_trace graph, including a final line with its newline
+/// stripped (the flush() path).
+int live_trials(long trials, std::uint64_t base_seed) {
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    TemporalGraph g = adversarial_trace(rng);
+    if (rng.bernoulli(0.3))
+      g = TemporalGraph(g.num_nodes(), g.contacts_vector(),
+                        /*directed=*/true);
+    const auto contacts = g.contacts();
+
+    // (a) Epoch-split differential against cold prefix recomputes.
+    IncrementalCdfOptions io;
+    io.grid = make_log_grid(0.5, 400.0, 8 + rng.below(9));
+    io.max_hops = 1 + static_cast<int>(rng.below(6));
+    io.num_threads = 1;
+    io.t_lo = g.start_time();
+    io.t_hi = g.end_time();
+    DelayCdfOptions cold_opt;
+    cold_opt.grid = io.grid;
+    cold_opt.max_hops = io.max_hops;
+    cold_opt.max_levels = io.max_levels;
+    cold_opt.t_lo = io.t_lo;
+    cold_opt.t_hi = io.t_hi;
+    cold_opt.num_threads = 1;
+    cold_opt.accumulation = CdfAccumulation::kDirect;
+
+    const std::size_t epochs = 1 + rng.below(4);
+    std::vector<std::size_t> cuts{0, contacts.size()};
+    for (std::size_t e = 1; e < epochs; ++e)
+      cuts.push_back(rng.below(contacts.size() + 1));
+    std::sort(cuts.begin(), cuts.end());
+
+    IncrementalAllPairsEngine engine(g.num_nodes(), g.directed(), io);
+    for (std::size_t e = 0; e + 1 < cuts.size(); ++e) {
+      const std::size_t hi = cuts[e + 1];
+      engine.append(contacts.subspan(cuts[e], hi - cuts[e]));
+      const DelayCdfResult live = engine.all_pairs();
+      const TemporalGraph prefix(
+          g.num_nodes(),
+          std::vector<Contact>(contacts.begin(),
+                               contacts.begin() + static_cast<long>(hi)),
+          g.directed());
+      const DelayCdfResult cold = compute_delay_cdf(prefix, cold_opt);
+      if (!cdf_results_identical(live, cold))
+        live_failure("incremental epoch diverged from cold prefix recompute",
+                     g, seed);
+    }
+
+    // (b) Byte-split streaming parse vs the one-shot parser.
+    std::ostringstream out;
+    write_trace(out, g);
+    std::string text = out.str();
+    const bool strip_newline =
+        !text.empty() && text.back() == '\n' && rng.bernoulli(0.5);
+    if (strip_newline) text.pop_back();
+    std::istringstream in(text);
+    const TemporalGraph oneshot = read_trace(in);
+
+    StreamingTraceParser parser;
+    std::vector<Contact> drained;
+    std::size_t at = 0;
+    const bool byte_at_a_time = rng.bernoulli(0.25);
+    while (at < text.size()) {
+      const std::size_t chunk =
+          byte_at_a_time ? 1
+                         : std::min(text.size() - at, 1 + rng.below(48));
+      parser.feed(text.data() + at, chunk);
+      at += chunk;
+      if (rng.bernoulli(0.5)) {
+        const std::vector<Contact> batch = parser.drain_contacts();
+        drained.insert(drained.end(), batch.begin(), batch.end());
+      }
+    }
+    parser.flush();
+    if (!parser.header_complete())
+      live_failure("streaming parser missed the trace headers", g, seed);
+    {
+      const std::vector<Contact> batch = parser.drain_contacts();
+      drained.insert(drained.end(), batch.begin(), batch.end());
+    }
+    const TemporalGraph streamed(parser.declared_nodes(), std::move(drained),
+                                 parser.directed());
+    if (!graphs_identical(streamed, oneshot))
+      live_failure("byte-split streaming parse diverged from one-shot parse",
+                   g, seed);
+  }
+  std::printf("odtn_fuzz: %ld live trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(
+                  base_seed + static_cast<std::uint64_t>(trials) - 1));
+  return 0;
+}
+
 /// Fixed-corpus smoke: ok_* files must parse strict cleanly, every
 /// other file must raise TraceError in strict mode; lenient and
 /// canonicalize runs must never crash on any of them.
@@ -775,6 +907,7 @@ int main(int argc, char** argv) {
   long kernel_count = -1;
   long shard_count = -1;
   long snapshot_count = -1;
+  long live_count = -1;
   std::string corpus_dir;
   std::uint64_t seed = 1;
   std::vector<std::string> positional;
@@ -797,6 +930,8 @@ int main(int argc, char** argv) {
       shard_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--snapshot") {
       snapshot_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--live") {
+      live_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--corpus") {
       corpus_dir = next();
     } else if (arg == "--seed") {
@@ -812,7 +947,8 @@ int main(int argc, char** argv) {
     seed = static_cast<std::uint64_t>(
         std::strtoll(positional[1].c_str(), nullptr, 10));
   if (engine_count < 0 && parser_count < 0 && kernel_count < 0 &&
-      shard_count < 0 && snapshot_count < 0 && corpus_dir.empty())
+      shard_count < 0 && snapshot_count < 0 && live_count < 0 &&
+      corpus_dir.empty())
     engine_count = 200;
 
   int rc = 0;
@@ -821,6 +957,7 @@ int main(int argc, char** argv) {
   if (kernel_count > 0) rc |= kernel_trials(kernel_count, seed);
   if (shard_count > 0) rc |= shard_trials(shard_count, seed);
   if (snapshot_count > 0) rc |= snapshot_trials(snapshot_count, seed);
+  if (live_count > 0) rc |= live_trials(live_count, seed);
   if (engine_count > 0) rc |= engine_trials(engine_count, seed);
   return rc;
 }

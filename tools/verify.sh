@@ -40,6 +40,11 @@ echo "== tier-2b: parser + kernel + shard fuzz smoke under ASan+UBSan =="
 # SnapshotError (or decode to a graph that re-encodes to the mutated
 # bytes), never crash or read out of bounds.
 ./build-sanitize/tools/odtn_fuzz --snapshot 200 --seed 1
+# Live-ingestion differential: random K-way epoch splits must stay
+# bit-identical to cold prefix recomputes, and byte-split streaming
+# parses (including a stripped final newline) must match the one-shot
+# parser.
+./build-sanitize/tools/odtn_fuzz --live 60 --seed 1
 # Forced-scalar pass: pins the dispatch layer to the mandatory fallback
 # so the scalar kernels stay exercised under the sanitizers even on
 # AVX2 hardware (the default run sweeps scalar..best-supported).
