@@ -95,18 +95,10 @@ const char* engine_name(EngineMode mode) {
   return "?";
 }
 
-double now_ms() {
-  using namespace std::chrono;
-  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Process CPU time. For a single-threaded run this tracks wall time on
-/// an idle host but is immune to scheduler steal on a contended one, so
-/// the single-thread kernel gates ratio CPU time, not wall time.
-double cpu_now_ms() {
-  return 1000.0 * static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
-}
+// Shared timing clocks (bench_util.hpp): wall for reporting, process
+// CPU for single-thread gates.
+using bench::cpu_now_ms;
+using bench::now_ms;
 
 struct CdfRun {
   DelayCdfResult result;

@@ -52,11 +52,7 @@ using namespace odtn;
 
 namespace {
 
-double now_ms() {
-  using namespace std::chrono;
-  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
-      .count();
-}
+using bench::now_ms;  // shared wall clock (bench_util.hpp)
 
 /// Conference-style community trace, the regime of Figures 9-12 and
 /// bench_perf_serve's warm_cache section, run out to 20 days so the

@@ -45,11 +45,7 @@ using namespace odtn;
 
 namespace {
 
-double now_ms() {
-  using namespace std::chrono;
-  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
-      .count();
-}
+using bench::now_ms;  // shared wall clock (bench_util.hpp)
 
 /// Conference-style community trace, the regime of Figures 9-12.
 TemporalGraph make_workload_trace() {

@@ -102,6 +102,7 @@ int cmd_cdf(ArgList args) {
   const auto daytime = args.take_option("daytime");
   const auto shards = args.take_option("shards");
   const auto shard_policy = args.take_option("shard-policy");
+  const auto batch_size = args.take_option("batch-size");
   const unsigned num_threads = take_threads(args);
   args.expect_empty();
 
@@ -139,6 +140,23 @@ int cmd_cdf(ArgList args) {
       throw CliError("unknown --shard-policy '" + *shard_policy +
                      "' (contiguous, block-cyclic or degree-balanced)");
     opt.sharding.policy = *policy;
+  }
+  if (batch_size) {
+    // parse_count rejects negatives; 0 would silently mean "no batching"
+    // under the driver's clamp, so refuse it explicitly. Oversized
+    // values clamp to the source count (a note, not an error -- "batch
+    // everything" is a reasonable ask on any trace).
+    unsigned long b = parse_count(*batch_size, "batch-size");
+    if (b == 0) throw CliError("--batch-size must be >= 1");
+    const std::size_t num_sources = g.num_nodes();
+    if (b > num_sources) {
+      std::fprintf(stderr,
+                   "odtn: note: --batch-size %lu exceeds the %zu sources; "
+                   "clamping\n",
+                   b, num_sources);
+      b = num_sources;
+    }
+    opt.source_batch = static_cast<int>(b);
   }
   const double epsilon = eps ? parse_double(*eps, "eps") : 0.01;
 
@@ -198,6 +216,16 @@ int cmd_cdf(ArgList args) {
     std::printf("shard:  %zu shard(s), %s policy\n",
                 opt.sharding.num_shards,
                 shard_policy_name(opt.sharding.policy));
+  if (result.stats.batch_blocks > 0)
+    std::printf(
+        "batch:  %llu block(s), %llu index walks saved, %.1f%% lane "
+        "occupancy\n",
+        static_cast<unsigned long long>(result.stats.batch_blocks),
+        static_cast<unsigned long long>(result.stats.index_walks_saved),
+        result.stats.batch_lane_slots > 0
+            ? 100.0 * static_cast<double>(result.stats.batch_lane_steps) /
+                  static_cast<double>(result.stats.batch_lane_slots)
+            : 0.0);
   return 0;
 }
 
@@ -402,7 +430,10 @@ std::string usage_text() {
          "  cdf <trace> [--max-hops K] [--eps E] [--daytime H-H]\n"
          "      [--grid-lo D --grid-hi D] [--threads W] [--shards S\n"
          "      [--shard-policy contiguous|block-cyclic|degree-balanced]]\n"
-         "                                      delay CDFs + diameter\n"
+         "      [--batch-size B]                delay CDFs + diameter\n"
+         "                                      (--batch-size B > 1 runs B\n"
+         "                                      sources per lockstep block;\n"
+         "                                      bit-identical results)\n"
          "  mc --case <short|long> --n N --lambda L [--tau T] [--gamma G]\n"
          "     [--trials K] [--seed S] [--threads W]\n"
          "                                      Monte-Carlo phase probe\n"

@@ -1,0 +1,440 @@
+#include "core/batched_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/frontier_kernels.hpp"
+
+namespace odtn {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+BatchedSourceEngine::BatchedSourceEngine(const TemporalGraph& graph,
+                                         std::span<const NodeId> sources)
+    : graph_(&graph) {
+  rebind(sources);
+  ++stats_.workspace_allocations;
+  ++stats_.batch_blocks;
+}
+
+void BatchedSourceEngine::reset(std::span<const NodeId> sources) {
+  arena_.reset();
+  delta_arena_[0].reset();
+  delta_arena_[1].reset();
+  delta_parity_ = 0;
+  rebind(sources);
+  ++stats_.workspace_reuses;
+  ++stats_.batch_blocks;
+}
+
+void BatchedSourceEngine::rebind(std::span<const NodeId> sources) {
+  if (sources.empty())
+    throw std::invalid_argument("BatchedSourceEngine: empty source block");
+  const std::size_t n = graph_->num_nodes();
+  for (const NodeId s : sources) {
+    if (s >= n)
+      throw std::out_of_range("BatchedSourceEngine: source out of range");
+  }
+  sources_.assign(sources.begin(), sources.end());
+  lanes_ = sources_.size();
+  live_lanes_ = lanes_;
+  steps_ = 0;
+
+  fspan_.reset(n, lanes_);
+  last_pair_.assign(n * lanes_, PathPair{-kInf, kInf});
+  dirty_mark_.assign(n * lanes_, 0);
+  cand_count_.assign(n * lanes_, 0);
+  first_key_.assign(n * lanes_, 0);
+  dom_cache_.assign(n * lanes_, PathPair{-kInf, kInf});
+  grp_begin_at_.assign(n * lanes_, 0);
+  grp_pos_.assign(n * lanes_, 0);
+  node_entry_count_.assign(n, 0);
+  node_entry_pos_.assign(n, 0);
+
+  auto recycle = [&](auto& lists) {
+    lists.resize(lanes_);
+    for (auto& list : lists) list.clear();
+  };
+  recycle(lane_active_);
+  recycle(lane_delta_spans_);
+  recycle(lane_retired_spans_);
+  recycle(lane_next_active_);
+  recycle(lane_next_delta_spans_);
+  recycle(lane_next_retired_);
+  recycle(lane_dirty_);
+  lane_fixpoint_.assign(lanes_, 0);
+  lane_level_.assign(lanes_, 0);
+
+  // Seed every lane exactly as SingleSourceEngine::seed_pooled: the
+  // source's frontier and level-0 delta are both the identity pair, and
+  // the delta's successor EA is +infinity so every wait candidate off
+  // the identity is offered.
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    const NodeId src = sources_[l];
+    const std::size_t off = arena_.allocate(1);
+    arena_.ld()[off] = kInf;
+    arena_.ea()[off] = -kInf;
+    fspan_.at(src, l) = {static_cast<std::uint32_t>(off), 1};
+    last_pair_[l * n + src] = PathPair{kInf, -kInf};
+    PairArena& da = delta_arena_[delta_parity_];
+    const std::size_t d = da.allocate(1);
+    da.ld()[d] = kInf;
+    da.ea()[d] = -kInf;
+    da.aux()[d] = kInf;
+    lane_active_[l].assign(1, src);
+    lane_delta_spans_[l].assign(1, PairSpan{static_cast<std::uint32_t>(d), 1});
+  }
+}
+
+void BatchedSourceEngine::record_arena_peaks() noexcept {
+  const std::size_t pairs =
+      arena_.size() + delta_arena_[0].size() + delta_arena_[1].size();
+  if (pairs > stats_.pairs_peak) stats_.pairs_peak = pairs;
+  const std::size_t bytes = arena_.capacity_bytes() +
+                            delta_arena_[0].capacity_bytes() +
+                            delta_arena_[1].capacity_bytes();
+  if (bytes > stats_.arena_bytes_peak) stats_.arena_bytes_peak = bytes;
+}
+
+FrontierView BatchedSourceEngine::previous_frontier_view(
+    std::size_t lane, std::size_t i) const {
+  const PairSpan s = lane_retired_spans_[lane].at(i);
+  return FrontierView(arena_.ld() + s.offset, arena_.ea() + s.offset,
+                      s.length);
+}
+
+FrontierView BatchedSourceEngine::frontier_view(std::size_t lane,
+                                                NodeId dst) const {
+  const PairSpan s = fspan_.at(dst, lane);
+  return FrontierView(arena_.ld() + s.offset, arena_.ea() + s.offset,
+                      s.length);
+}
+
+namespace {
+}  // namespace
+
+bool BatchedSourceEngine::step() {
+  if (live_lanes_ == 0) return false;
+  const std::size_t n = graph_->num_nodes();
+
+  // Phase 1: extension. Bucket every live lane's active (node, position)
+  // entries by node with one counting sort, then walk each node's
+  // by-end neighbor list with its whole bucket back to back -- the
+  // first entry streams the list cold, the rest ride it cache-hot; this
+  // shared walk is the point of the engine. Per entry the candidate
+  // enumeration, cursors and offer-time dominance filter are the
+  // per-source step_pooled inner loop verbatim (including
+  // contacts_examined, which still counts each entry's own usable tail
+  // of the list).
+  walk_nodes_.clear();
+  std::size_t total_entries = 0;
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    if (lane_fixpoint_[l]) continue;
+    stats_.frontier_copies_avoided +=
+        static_cast<std::uint64_t>(n - lane_active_[l].size());
+    ++stats_.batch_lane_steps;
+    total_entries += lane_active_[l].size();
+    for (const NodeId u : lane_active_[l]) {
+      if (node_entry_count_[u]++ == 0) walk_nodes_.push_back(u);
+    }
+  }
+  stats_.batch_lane_slots += lanes_;
+  std::uint32_t running = 0;
+  for (const NodeId u : walk_nodes_) {
+    node_entry_pos_[u] = running;
+    running += node_entry_count_[u];
+    stats_.index_walks_saved += node_entry_count_[u] - 1;
+  }
+  entries_.resize(total_entries);
+  const PairArena& da = delta_arena_[delta_parity_];
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    if (lane_fixpoint_[l]) continue;
+    const std::vector<NodeId>& act = lane_active_[l];
+    const std::vector<PairSpan>& dsp = lane_delta_spans_[l];
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      const PairSpan ds = dsp[a];
+      WalkEntry& e = entries_[node_entry_pos_[act[a]]++];
+      e.dld = da.ld() + ds.offset;
+      e.dea = da.ea() + ds.offset;
+      e.dsucc = da.aux() + ds.offset;
+      e.dn = ds.length;
+      e.lane = static_cast<std::uint32_t>(l);
+      e.a_pos = static_cast<std::uint32_t>(a);
+    }
+  }
+
+  // Nothing is allocated from arena_ or the current delta arena during
+  // the walk, so all base pointers are stable for the phase. cand_ is a
+  // high-water scratch buffer written through a raw cursor (masked
+  // stores below); only [0, cpos) is ever meaningful.
+  const double* const f_ld = arena_.ld();
+  const double* const f_ea = arena_.ea();
+  std::uint64_t dominated = 0;  // batched into stats_ after the walk
+  std::size_t cpos = 0;
+  for (const NodeId u : walk_nodes_) {
+    const std::uint32_t cnt = node_entry_count_[u];
+    node_entry_count_[u] = 0;  // restore for the next level
+    const WalkEntry* const grp = entries_.data() + (node_entry_pos_[u] - cnt);
+    const auto nbrs = graph_->neighbors_by_end(u);
+    // Each entry runs the per-source inner loop over the SAME by-end
+    // list; the first traversal streams it cold, the remaining cnt - 1
+    // ride it from cache. Per-entry state (one lane's last-pair row,
+    // span row, dirty bookkeeping) is hoisted to lane-slice pointers,
+    // so the loop body is the per-source one with a re-based `to`.
+    for (std::uint32_t e = 0; e < cnt; ++e) {
+      const WalkEntry& en = grp[e];
+      const double* const dld = en.dld;
+      const double* const dea = en.dea;
+      const double* const dsucc = en.dsucc;
+      const std::size_t dn = en.dn;
+      const std::size_t lane_base = static_cast<std::size_t>(en.lane) * n;
+      const PathPair* const lane_last = last_pair_.data() + lane_base;
+      std::uint8_t* const lane_mark = dirty_mark_.data() + lane_base;
+      std::uint32_t* const lane_cc = cand_count_.data() + lane_base;
+      std::uint64_t* const lane_fk = first_key_.data() + lane_base;
+      PathPair* const lane_dom = dom_cache_.data() + lane_base;
+      const PairSpan* const lane_span = &fspan_.at(0, en.lane);
+      std::vector<NodeId>& dirty = lane_dirty_[en.lane];
+      const std::uint64_t pos_key = static_cast<std::uint64_t>(en.a_pos)
+                                    << 32;
+      // No delta pair can ride a contact that ends before the delta's
+      // earliest arrival, so the whole prefix below min_ea is skipped.
+      const double min_ea = dea[0];
+      auto it = std::lower_bound(
+          nbrs.begin(), nbrs.end(), min_ea,
+          [](const NodeContact& nc, double t) { return nc.end < t; });
+      stats_.contacts_examined += static_cast<std::uint64_t>(nbrs.end() - it);
+      // Cursor maintenance performs the same comparisons as step_pooled,
+      // but against register-resident sentinels: the delta values the
+      // cursor tests touch (the ea on either side of `arr`, the ea at
+      // `ride_hi`, the successor chain at `arr - 1`) are reloaded only
+      // when a cursor actually moves. step_pooled re-reads them from
+      // the delta arrays on EVERY contact, and those load-compare-
+      // branch chains -- not the index stream -- are what the walk
+      // spends its cycles on; a typical contact moves no cursor and
+      // now resolves entirely in registers.
+      std::size_t ride_hi = 0;
+      std::size_t arr = 0;
+      double rh_ea = dea[0];     // dea[ride_hi], +inf once exhausted
+      double arr_hi_ea = dea[0]; // dea[arr], +inf once exhausted
+      double arr_lo_ea = -kInf;  // dea[arr - 1], -inf at the front
+      double wsucc = -kInf;      // dsucc[arr - 1]; -inf suppresses waits
+      double wld = 0.0;          // dld[arr - 1], guarded by wsucc
+      auto reload_arr = [&] {
+        arr_hi_ea = arr < dn ? dea[arr] : kInf;
+        if (arr > 0) {
+          arr_lo_ea = dea[arr - 1];
+          wsucc = dsucc[arr - 1];
+          wld = dld[arr - 1];
+        } else {
+          arr_lo_ea = -kInf;
+          wsucc = -kInf;
+        }
+      };
+      for (; it != nbrs.end(); ++it) {
+        const NodeId to = it->to;
+        const double wb = it->begin, we = it->end;
+        // Offer-time filter against the target's lane frontier -- still
+        // exactly L_k, publication is deferred to phase 2. Every offer
+        // of this contact targets the same node, so the last-pair probe
+        // is hoisted out of the evaluation (phase 1 never writes it).
+        //
+        // Whether a contact yields an offer at all is data-dependent
+        // with no exploitable pattern (about two offers per three
+        // contacts on trace workloads), so branching on it mispredicts
+        // constantly -- and those mispredicts, not the index stream,
+        // are where the per-source walk burns its cycles. The wait
+        // candidate and the first ride candidate are therefore
+        // evaluated UNCONDITIONALLY under a validity mask: dominated
+        // offers retire as mask arithmetic, candidates land through a
+        // masked store at a raw cursor that only advances for kept
+        // offers. Only the rare outcomes (a candidate landing strictly
+        // inside the frontier, a kept offer's dirty bookkeeping, a
+        // contact riding more than one delta pair) take branches. The
+        // evaluation order -- wait offer, then rides ascending -- and
+        // every verdict match step_pooled exactly.
+        const PathPair lp = lane_last[to];
+        if (cand_.size() < cpos + dn + 1)
+          cand_.resize(std::max(2 * cand_.size(), cpos + dn + 1));
+        RawCandidate* const cbase = cand_.data();
+        // The first kept offer's (active position, contact ordinal) key
+        // is the lexicographic position at which the per-source walk
+        // would have dirtied the target; phase 2 sorts each lane's
+        // dirty list by it to reproduce the publication order exactly.
+        const std::uint64_t key =
+            pos_key | static_cast<std::uint64_t>(it - nbrs.begin());
+        auto evaluate = [&](double cld, double cea) {
+          if (cld <= lp.ld) {
+            if (lp.ea <= cea) {
+              ++dominated;
+              return;
+            }
+            PathPair& dw = lane_dom[to];
+            if (dw.ld >= cld && dw.ea <= cea) {
+              ++dominated;
+              return;
+            }
+            // Slow path. cld <= lp.ld (so the lower bound lands inside
+            // the span) and lp.ea > cea (the frontier's LAST arrival is
+            // too late) both hold here. If even its FIRST arrival -- the
+            // frontier minimum, ea ascends -- is later than cea, nothing
+            // can dominate: keep without searching.
+            const PairSpan ts = lane_span[to];
+            const double* const sld = f_ld + ts.offset;
+            const double* const sea = f_ea + ts.offset;
+            if (sea[0] > cea) goto keep;
+            {
+              const std::size_t w =
+                  frontier_lower_bound(sld, ts.length, cld);
+              if (sea[w] <= cea) {
+                dw = PathPair{sld[w], sea[w]};
+                ++dominated;
+                return;
+              }
+            }
+          }
+        keep:
+          cbase[cpos++] = {cld, cea,
+                          static_cast<std::uint32_t>(lane_base + to)};
+          ++lane_cc[to];
+          if (!lane_mark[to]) {
+            lane_mark[to] = 1;
+            lane_fk[to] = key;
+            dirty.push_back(to);
+          } else if (key < lane_fk[to]) {
+            lane_fk[to] = key;
+          }
+        };
+        // Same extension cases as step_pooled: ride_hi counts the delta
+        // pairs arriving by the window's end, arr the pairs arriving by
+        // its begin (bidirectional -- begins are only roughly ordered).
+        if (we >= rh_ea) {
+          do {
+            ++ride_hi;
+          } while (ride_hi < dn && dea[ride_hi] <= we);
+          rh_ea = ride_hi < dn ? dea[ride_hi] : kInf;
+        }
+        if (wb >= arr_hi_ea) {
+          do {
+            ++arr;
+          } while (arr < dn && dea[arr] <= wb);
+          reload_arr();
+        } else if (wb < arr_lo_ea) {
+          do {
+            --arr;
+          } while (arr > 0 && dea[arr - 1] > wb);
+          reload_arr();
+        }
+        if (wb < wsucc) evaluate(std::min(wld, we), wb);
+        for (std::size_t i = arr; i < ride_hi; ++i) {
+          evaluate(std::min(dld[i], we), dea[i]);
+          if (dld[i] >= we) break;
+        }
+      }
+    }
+  }
+  stats_.pairs_dominated += dominated;
+
+  // Phase 2: publish, lane by lane. Group offsets cover every (target,
+  // lane) slot touched this level; the scatter order is free because
+  // prune_candidate_batch sorts each batch before merging.
+  std::uint32_t run = 0;
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    const std::size_t lane_base = l * n;
+    for (const NodeId v : lane_dirty_[l]) {
+      const std::size_t idx = lane_base + v;
+      grp_begin_at_[idx] = run;
+      grp_pos_[idx] = run;
+      run += cand_count_[idx];
+    }
+  }
+  if (grp_pairs_.size() < cpos) grp_pairs_.resize(cpos);
+  for (std::size_t k = 0; k < cpos; ++k) {
+    const RawCandidate& c = cand_[k];
+    grp_pairs_[grp_pos_[c.idx]++] = PathPair{c.ld, c.ea};
+  }
+  PairArena& nda = delta_arena_[delta_parity_ ^ 1];
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    if (lane_fixpoint_[l]) continue;
+    const std::size_t lane_base = l * n;
+    std::vector<NodeId>& dirty = lane_dirty_[l];
+    std::sort(dirty.begin(), dirty.end(), [&](NodeId x, NodeId y) {
+      return first_key_[lane_base + x] < first_key_[lane_base + y];
+    });
+    std::vector<NodeId>& nact = lane_next_active_[l];
+    std::vector<PairSpan>& nds = lane_next_delta_spans_[l];
+    std::vector<PairSpan>& nret = lane_next_retired_[l];
+    nact.clear();
+    nds.clear();
+    nret.clear();
+    for (const NodeId v : dirty) {
+      const std::size_t idx = lane_base + v;
+      const std::size_t m0 = cand_count_[idx];
+      cand_count_[idx] = 0;
+      dirty_mark_[idx] = 0;
+      PathPair* const batch = grp_pairs_.data() + grp_begin_at_[idx];
+      const std::size_t m = prune_candidate_batch(batch, m0);
+      const PairSpan fs = fspan_.at(v, l);
+      const std::size_t out_off = arena_.allocate(fs.length + m);
+      const std::size_t d_off = nda.allocate(m);
+      // allocate() may have grown either arena: base pointers re-fetched.
+      const FrontierMerge r = merge_frontier(
+          arena_.ld() + fs.offset, arena_.ea() + fs.offset, fs.length, batch,
+          m, arena_.ld() + out_off, arena_.ea() + out_off, nda.ld() + d_off,
+          nda.ea() + d_off, nda.aux() + d_off);
+      ++stats_.merge_batches;
+      stats_.pairs_inserted += r.kept_new;
+      stats_.pairs_dominated += m0 - r.kept_new;
+      if (r.kept_new == 0) {
+        // Defensive only, as in step_pooled: a batch that survived the
+        // offer-time filter always contributes its minimum-EA candidate.
+        arena_.truncate(out_off);
+        nda.truncate(d_off);
+        continue;
+      }
+      nret.push_back(fs);
+      fspan_.at(v, l) = {
+          static_cast<std::uint32_t>(out_off + fs.length + m - r.kept),
+          static_cast<std::uint32_t>(r.kept)};
+      const std::size_t last = out_off + fs.length + m - 1;
+      last_pair_[idx] = PathPair{arena_.ld()[last], arena_.ea()[last]};
+      nds.push_back(
+          PairSpan{static_cast<std::uint32_t>(d_off + m - r.kept_new),
+                   static_cast<std::uint32_t>(r.kept_new)});
+      nact.push_back(v);
+    }
+    dirty.clear();
+  }
+
+  // Phase 3: rotate. The spent delta slab is recycled wholesale (every
+  // live lane consumed its spans this level); each live lane's lists
+  // swap with their next-level buffers, and a lane whose level changed
+  // nothing is at its fixpoint -- its hop budget did not actually grow.
+  delta_arena_[delta_parity_].reset();
+  delta_parity_ ^= 1;
+  bool any_changed = false;
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    if (lane_fixpoint_[l]) continue;
+    lane_active_[l].swap(lane_next_active_[l]);
+    lane_delta_spans_[l].swap(lane_next_delta_spans_[l]);
+    lane_retired_spans_[l].swap(lane_next_retired_[l]);
+    ++lane_level_[l];
+    if (lane_active_[l].empty()) {
+      --lane_level_[l];
+      lane_fixpoint_[l] = 1;
+      --live_lanes_;
+    } else {
+      any_changed = true;
+    }
+  }
+  record_arena_peaks();
+  ++steps_;
+  return any_changed;
+}
+
+}  // namespace odtn

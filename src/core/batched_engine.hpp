@@ -1,0 +1,187 @@
+// Batched multi-source frontier engine: B sources advance in lockstep
+// through ONE shared walk of the by-end neighbor index per hop level.
+//
+// The per-source pooled engine (core/optimal_paths.hpp, kPooled) walks
+// each active node's by-end contact list once per source per level; an
+// all-pairs run therefore streams the same index N times, and on
+// trace-scale graphs those lists long outgrow L1/L2 -- the walk is a
+// cold stream every time. Following the contact-ordered formulation of
+// Whitbeck et al., *Temporal Reachability Graphs* (arXiv:1207.7103),
+// this engine groups B sources into a block advancing in lockstep by
+// level: at every level the active (node, source-lane) entries of ALL
+// lanes are bucketed by node with one counting sort, and each node's
+// by-end list is then walked by its whole bucket back to back -- the
+// first entry pays the cold stream, the remaining entries ride the
+// cache-hot list. Per entry the walk itself is the per-source inner
+// loop verbatim (local cursors, one lane's L1-sized state), so the
+// grouping amortizes the index traffic without adding any per-contact
+// bookkeeping.
+//
+// Storage is the pooled layout, widened by one lane dimension: one
+// shared PairArena holds every lane's frontier pairs, addressed by a
+// lane-major BlockedSpanTable (util/arena.hpp) so each entry's walk
+// touches a per-source-sized span slice; per-lane deltas ping-pong
+// through one shared aux-carrying arena pair. The prune/merge publish
+// step reuses the SIMD-dispatched kernels (core/frontier_kernels.hpp)
+// unchanged.
+//
+// Bit-identity contract: every lane's frontier, change list and delta
+// bytes equal the per-source engine's at every level.
+//   - Offer-time dominance reads only PREVIOUS-level state (last-pair
+//     probe + frontier span), so each candidate's kept/dominated verdict
+//     is independent of how lanes interleave.
+//   - Frontier CONTENT is order-invariant: prune_candidate_batch sorts
+//     its batch, and every published double is an exact copy or min of
+//     inputs -- no arithmetic that could reorder rounding.
+//   - Publication ORDER (the changed list, which fixes the order the
+//     incremental CDF path integrates deltas in) is reproduced exactly
+//     by sorting each lane's dirty targets by their first kept offer's
+//     (active position, contact ordinal) key -- the lexicographic
+//     position at which the per-source walk would have discovered them.
+// The CDF partials a lane produces are therefore bitwise identical to a
+// per-source run, and folding them through the canonical
+// OrderedCdfFolder yields bit-identical all-pairs CDFs at every B.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/delivery_function.hpp"
+#include "core/optimal_paths.hpp"
+#include "core/temporal_graph.hpp"
+#include "util/arena.hpp"
+
+namespace odtn {
+
+/// Hop-level dynamic program from a block of sources, advanced in
+/// lockstep. Lane l reproduces SingleSourceEngine(graph, sources[l],
+/// kPooled) bit for bit; lanes that reach their fixpoint become free
+/// no-ops while the rest of the block keeps stepping.
+class BatchedSourceEngine {
+ public:
+  BatchedSourceEngine(const TemporalGraph& graph,
+                      std::span<const NodeId> sources);
+
+  /// Rebinds the block to new sources (any width) on the same graph.
+  /// All slabs and lane lists keep their capacity -- steady-state
+  /// blocks allocate nothing once the high-water marks are reached.
+  void reset(std::span<const NodeId> sources);
+
+  /// Advances every lane not yet at its fixpoint by one level through
+  /// one shared index walk. Returns true iff any lane changed; a block
+  /// with every lane at its fixpoint is a no-op returning false.
+  bool step();
+
+  /// Levels actually executed (steps that advanced at least one lane).
+  /// Equals lane_hops(l) for every lane not yet at its fixpoint.
+  int steps() const noexcept { return steps_; }
+
+  std::size_t num_lanes() const noexcept { return lanes_; }
+  NodeId source(std::size_t lane) const { return sources_[lane]; }
+
+  /// Lane l's hop budget -- the level at which its frontiers last grew.
+  int lane_hops(std::size_t lane) const { return lane_level_[lane]; }
+  bool lane_at_fixpoint(std::size_t lane) const {
+    return lane_fixpoint_[lane] != 0;
+  }
+  bool all_at_fixpoint() const noexcept { return live_lanes_ == 0; }
+
+  /// Nodes whose lane-l frontier changed at the last executed level, in
+  /// the per-source engine's publication order (empty once the lane hit
+  /// its fixpoint).
+  const std::vector<NodeId>& last_changed(std::size_t lane) const {
+    return lane_active_[lane];
+  }
+
+  /// last_changed(lane)[i]'s frontier as it was BEFORE the last level
+  /// (free arena span, valid until the next reset).
+  FrontierView previous_frontier_view(std::size_t lane, std::size_t i) const;
+
+  /// Zero-copy view of `dst`'s lane-l frontier at the current budget.
+  FrontierView frontier_view(std::size_t lane, NodeId dst) const;
+
+  /// Counters accumulated since construction (workspace_allocations /
+  /// batch_blocks semantics mirror SingleSourceEngine's construction /
+  /// reset counting; the propagation counters are additive-identical to
+  /// the per-source engines the block replaces, except the arena peaks,
+  /// which describe the shared block arenas).
+  const EngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// One active (lane, position) entry of the shared walk: the lane's
+  /// delta span pointers plus its (lane, active position) identity. The
+  /// per-contact cursors live in registers during the walk.
+  struct WalkEntry {
+    const double* dld;
+    const double* dea;
+    const double* dsucc;
+    std::uint32_t dn;
+    std::uint32_t lane;
+    std::uint32_t a_pos;
+  };
+  /// One kept candidate: (ld, ea) plus its flat (target, lane) slot.
+  struct RawCandidate {
+    double ld;
+    double ea;
+    std::uint32_t idx;
+  };
+
+  void rebind(std::span<const NodeId> sources);
+  void record_arena_peaks() noexcept;
+
+  const TemporalGraph* graph_;
+  std::vector<NodeId> sources_;
+  std::size_t lanes_ = 0;
+  std::size_t live_lanes_ = 0;
+  int steps_ = 0;
+  EngineStats stats_;
+
+  // Shared pair storage (pooled layout, widened by the lane dimension).
+  PairArena arena_;
+  BlockedSpanTable fspan_;
+  PairArena delta_arena_[2]{PairArena(true), PairArena(true)};
+  int delta_parity_ = 0;
+
+  // Flat lane-major per-(node, lane) state, indexed lane * nodes + node,
+  // so an entry's walk (fixed lane) stays inside its own lane slice --
+  // the same L1 working set the per-source engine enjoys.
+  std::vector<PathPair> last_pair_;
+  // Dominance witness cache: for each (node, lane), the most recent
+  // frontier pair observed to dominate a candidate for that slot. A hit
+  // (w.ld >= cand.ld && w.ea <= cand.ea) answers "dominated" without the
+  // frontier binary search. Never invalidated within a block: Pareto
+  // maintenance only ever evicts a frontier pair in favour of one that
+  // dominates it, so a stale witness that dominates the candidate proves
+  // (by transitivity) that a current frontier pair does too -- the
+  // verdict, and hence bit-identity, is unaffected.
+  std::vector<PathPair> dom_cache_;
+  std::vector<std::uint8_t> dirty_mark_;
+  std::vector<std::uint32_t> cand_count_;
+  std::vector<std::uint64_t> first_key_;
+  std::vector<std::uint32_t> grp_begin_at_;
+  std::vector<std::uint32_t> grp_pos_;
+
+  // Per-lane change lists (aligned triples: active / delta span /
+  // retired span) plus their next-level double buffers.
+  std::vector<std::vector<NodeId>> lane_active_;
+  std::vector<std::vector<PairSpan>> lane_delta_spans_;
+  std::vector<std::vector<PairSpan>> lane_retired_spans_;
+  std::vector<std::vector<NodeId>> lane_next_active_;
+  std::vector<std::vector<PairSpan>> lane_next_delta_spans_;
+  std::vector<std::vector<PairSpan>> lane_next_retired_;
+  std::vector<std::vector<NodeId>> lane_dirty_;
+  std::vector<std::uint8_t> lane_fixpoint_;
+  std::vector<int> lane_level_;
+
+  // Per-level scratch: the walk grouping and the raw candidate buffer.
+  std::vector<WalkEntry> entries_;
+  std::vector<NodeId> walk_nodes_;
+  std::vector<std::uint32_t> node_entry_count_;
+  std::vector<std::uint32_t> node_entry_pos_;
+  std::vector<RawCandidate> cand_;
+  std::vector<PathPair> grp_pairs_;
+};
+
+}  // namespace odtn

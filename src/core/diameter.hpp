@@ -91,6 +91,17 @@ struct DelayCdfOptions {
   /// Results are bit-identical either way: both drivers fold the same
   /// per-source partials in canonical endpoint-index order.
   ShardingOptions sharding;
+
+  /// Sources per batched block (core/batched_engine.hpp). Values > 1
+  /// group that many consecutive sources into one lockstep multi-source
+  /// engine that walks the by-end index once per hop level for the whole
+  /// block; 1 (the default) keeps the per-source path. Requires the
+  /// pooled engine with incremental accumulation (throws otherwise);
+  /// must be >= 1. Clamped to the number of sources the executing driver
+  /// (or shard) owns. Results are bit-identical at every batch size --
+  /// each lane reproduces its per-source partial exactly and the
+  /// canonical fold order is unchanged.
+  int source_batch = 1;
 };
 
 /// All-pairs/all-start-times delay CDFs per hop budget.

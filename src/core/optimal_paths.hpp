@@ -110,6 +110,22 @@ struct EngineStats {
   /// Cache entries evicted to make room, attributed to the query whose
   /// insert triggered them.
   std::uint64_t cache_evictions = 0;
+  /// Source blocks executed by the batched multi-source engine
+  /// (core/batched_engine.hpp): one per BatchedSourceEngine
+  /// construction or reset. Zero outside batched runs.
+  std::uint64_t batch_blocks = 0;
+  /// By-end index walks the batched engine avoided: for every (level,
+  /// node) the per-source path would walk the node's by-end neighbor
+  /// list once per active source lane, the batched engine walks it
+  /// once -- this counts the lanes beyond the first.
+  std::uint64_t index_walks_saved = 0;
+  /// Lane-levels actually executed by batched blocks (lanes not yet at
+  /// their fixpoint when the block advanced a level).
+  std::uint64_t batch_lane_steps = 0;
+  /// Lane-level slots offered by batched blocks (block width x levels
+  /// the block advanced). batch_lane_steps / batch_lane_slots is the
+  /// lane occupancy -- how well block members' fixpoint depths agree.
+  std::uint64_t batch_lane_slots = 0;
 
   void merge(const EngineStats& other) noexcept {
     contacts_examined += other.contacts_examined;
@@ -126,6 +142,10 @@ struct EngineStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_evictions += other.cache_evictions;
+    batch_blocks += other.batch_blocks;
+    index_walks_saved += other.index_walks_saved;
+    batch_lane_steps += other.batch_lane_steps;
+    batch_lane_slots += other.batch_lane_slots;
   }
 };
 

@@ -1,5 +1,6 @@
 #include "core/sharded_engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -113,6 +114,10 @@ void put_stats(ByteWriter& w, const EngineStats& s) {
   w.put_u64(s.cache_hits);
   w.put_u64(s.cache_misses);
   w.put_u64(s.cache_evictions);
+  w.put_u64(s.batch_blocks);
+  w.put_u64(s.index_walks_saved);
+  w.put_u64(s.batch_lane_steps);
+  w.put_u64(s.batch_lane_slots);
 }
 
 EngineStats take_stats(ByteReader& r) {
@@ -130,6 +135,10 @@ EngineStats take_stats(ByteReader& r) {
   s.cache_hits = r.take_u64();
   s.cache_misses = r.take_u64();
   s.cache_evictions = r.take_u64();
+  s.batch_blocks = r.take_u64();
+  s.index_walks_saved = r.take_u64();
+  s.batch_lane_steps = r.take_u64();
+  s.batch_lane_slots = r.take_u64();
   return s;
 }
 
@@ -171,6 +180,7 @@ std::vector<std::uint8_t> ShardRequest::encode() const {
   w.put_u8(incremental ? 1 : 0);
   w.put_i32(max_hops);
   w.put_i32(max_levels);
+  w.put_i32(source_batch);
   w.put_u64(grid.size());
   for (const double v : grid) w.put_f64(v);
   w.put_u64(windows.size());
@@ -205,6 +215,9 @@ ShardRequest ShardRequest::decode(const std::uint8_t* data,
   req.incremental = r.take_u8() != 0;
   req.max_hops = r.take_i32();
   req.max_levels = r.take_i32();
+  req.source_batch = r.take_i32();
+  if (req.source_batch < 1)
+    throw std::runtime_error("ShardRequest: source_batch must be >= 1");
   req.grid.resize(r.take_count(sizeof(double)));
   for (double& v : req.grid) v = r.take_f64();
   req.windows.resize(r.take_count(2 * sizeof(double)));
@@ -321,15 +334,55 @@ ShardResult run_shard(const TemporalGraph& slice,
   std::vector<std::uint8_t> is_endpoint(slice.num_nodes(), 0);
   for (const NodeId n : request.endpoints) is_endpoint[n] = 1;
 
+  ShardResult out;
+  out.shard_id = request.shard_id;
+  out.partials.reserve(request.sources.size());
+
+  // Batched execution inside the shard: blocks of consecutive owned
+  // sources run through one lockstep multi-source engine. Each lane's
+  // partial is bit-identical to the per-source path's and the partials
+  // are still emitted in ascending endpoint-index order, so the
+  // coordinator's canonical fold is unchanged.
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(request.source_batch),
+                            request.sources.size());
+  if (batch > 1) {
+    if (request.engine != EngineMode::kPooled || !request.incremental)
+      throw std::invalid_argument(
+          "run_shard: batched execution (source_batch > 1) requires the "
+          "pooled engine with incremental accumulation");
+    BatchedCdfWorker worker;
+    std::vector<NodeId> block;
+    std::vector<SourceCdfPartial> outs;
+    for (std::size_t lo = 0; lo < request.sources.size(); lo += batch) {
+      const std::size_t width =
+          std::min(batch, request.sources.size() - lo);
+      block.clear();
+      for (std::size_t j = 0; j < width; ++j)
+        block.push_back(request.endpoints[request.sources[lo + j]]);
+      while (outs.size() < width)
+        outs.emplace_back(request.grid, request.max_hops);
+      for (std::size_t j = 0; j < width; ++j) outs[j].clear();
+      process_source_block(slice, block, request.endpoints, is_endpoint,
+                           request.windows, request.max_hops,
+                           request.max_levels, worker, outs);
+      for (std::size_t j = 0; j < width; ++j) {
+        out.fixpoint_hops =
+            std::max(out.fixpoint_hops, outs[j].fixpoint_hops);
+        out.converged = out.converged && outs[j].converged;
+        out.partials.emplace_back(request.sources[lo + j], outs[j]);
+      }
+    }
+    out.stats = worker.take_stats();
+    return out;
+  }
+
   // One recycled engine workspace per shard (the shard's private
   // PairArena pool under kPooled); sources run serially in ascending
   // order -- shard-level parallelism comes from running shards
   // concurrently, not from threading inside one shard.
   SourceCdfWorker worker;
   SourceCdfPartial scratch(request.grid, request.max_hops);
-  ShardResult out;
-  out.shard_id = request.shard_id;
-  out.partials.reserve(request.sources.size());
   for (const std::uint32_t index : request.sources) {
     scratch.clear();
     process_source(slice, request.endpoints[index], request.endpoints,
@@ -369,6 +422,7 @@ DelayCdfResult compute_delay_cdf_sharded(const TemporalGraph& graph,
   base.incremental = incremental;
   base.max_hops = options.max_hops;
   base.max_levels = options.max_levels;
+  base.source_batch = options.source_batch;
   base.grid = options.grid;
   base.windows = w;
   base.endpoints = endpoints;

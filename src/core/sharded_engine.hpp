@@ -51,7 +51,9 @@ std::string graph_transform_key(const TemporalGraph& graph);
 /// is the full destination set as global node ids.
 struct ShardRequest {
   static constexpr std::uint32_t kMagic = 0x4F445251;  // "ODRQ"
-  static constexpr std::uint16_t kVersion = 1;
+  /// v2: added source_batch (batched multi-source execution inside the
+  /// shard, core/batched_engine.hpp) after max_levels.
+  static constexpr std::uint16_t kVersion = 2;
 
   std::uint32_t shard_id = 0;
   std::uint32_t num_shards = 1;
@@ -60,6 +62,10 @@ struct ShardRequest {
   bool incremental = true;
   std::int32_t max_hops = 1;
   std::int32_t max_levels = 64;
+  /// Sources per batched block inside the shard; 1 = per-source path.
+  /// Clamped to the shard's owned source count. > 1 requires the pooled
+  /// engine with incremental accumulation. Bit-identical either way.
+  std::int32_t source_batch = 1;
   std::vector<double> grid;
   TimeWindows windows;
   std::vector<NodeId> endpoints;
@@ -81,8 +87,10 @@ struct ShardResult {
   static constexpr std::uint32_t kMagic = 0x4F445253;  // "ODRS"
   /// v2: EngineStats gained the serve-cache counters (cache_hits /
   /// cache_misses / cache_evictions), widening the stats block from 10
-  /// to 13 u64 fields.
-  static constexpr std::uint16_t kVersion = 2;
+  /// to 13 u64 fields. v3: the batched-execution counters (batch_blocks
+  /// / index_walks_saved / batch_lane_steps / batch_lane_slots) widen it
+  /// from 13 to 17.
+  static constexpr std::uint16_t kVersion = 3;
 
   std::uint32_t shard_id = 0;
   bool converged = true;

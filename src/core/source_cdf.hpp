@@ -19,9 +19,11 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "core/batched_engine.hpp"
 #include "core/diameter.hpp"
 #include "core/optimal_paths.hpp"
 #include "core/temporal_graph.hpp"
@@ -99,6 +101,31 @@ void process_source(const TemporalGraph& graph, NodeId src,
                     const TimeWindows& w, int max_hops, int max_levels,
                     EngineMode mode, bool incremental,
                     SourceCdfWorker& worker, SourceCdfPartial& out);
+
+/// Per-worker state of the batched driver: one recycled multi-source
+/// block engine (core/batched_engine.hpp) plus the CDF-side counters.
+struct BatchedCdfWorker {
+  std::optional<BatchedSourceEngine> engine;
+  EngineStats stats;
+
+  /// Worker counters plus the recycled engine's counters (if any).
+  EngineStats take_stats() const;
+};
+
+/// Integrates a block of sources through one lockstep BatchedSourceEngine:
+/// outs[j] (which must be zeroed/cleared, outs.size() >= block.size())
+/// receives block[j]'s partial, BITWISE identical to what process_source
+/// produces for that source under the pooled engine with incremental
+/// accumulation -- the block path shares the per-destination delta
+/// integration code with the per-source path, and the engine reproduces
+/// each lane's change lists and frontier bytes exactly.
+void process_source_block(const TemporalGraph& graph,
+                          std::span<const NodeId> block,
+                          const std::vector<NodeId>& endpoints,
+                          const std::vector<std::uint8_t>& is_endpoint,
+                          const TimeWindows& w, int max_hops, int max_levels,
+                          BatchedCdfWorker& worker,
+                          std::vector<SourceCdfPartial>& outs);
 
 /// Thread-safe canonical-order folder: submit(i, partial) merges the
 /// partials into one total in ascending index order no matter the

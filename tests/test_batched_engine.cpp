@@ -1,0 +1,377 @@
+// Tests of the batched multi-source engine (core/batched_engine.hpp):
+// lane-by-lane bit-identity against the per-source pooled engine at
+// every level, partial-level bit-identity of process_source_block, and
+// driver-level bit-identity of compute_delay_cdf across batch sizes --
+// including directed and negative-time traces, multi-window
+// accumulation, endpoint subsets and B > num_sources.
+#include "core/batched_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/diameter.hpp"
+#include "core/incremental_engine.hpp"
+#include "core/optimal_paths.hpp"
+#include "core/query_engine.hpp"
+#include "core/source_cdf.hpp"
+#include "stats/log_grid.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+TemporalGraph random_graph(std::uint64_t seed, std::size_t nodes,
+                           int contacts, bool directed = false,
+                           double t0 = 0.0) {
+  Rng rng(seed);
+  std::vector<Contact> cs;
+  for (int i = 0; i < contacts; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    const double b = t0 + rng.uniform(0, 100);
+    cs.push_back({u, v, b, b + rng.uniform(0, 5)});
+  }
+  return TemporalGraph(nodes, std::move(cs), directed);
+}
+
+DelayCdfOptions base_options() {
+  DelayCdfOptions opt;
+  opt.grid = make_log_grid(0.1, 200.0, 24);
+  opt.max_hops = 5;
+  opt.num_threads = 1;
+  return opt;
+}
+
+void expect_views_bit_identical(const FrontierView& a, const FrontierView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.ld(i), b.ld(i));
+    ASSERT_EQ(a.ea(i), b.ea(i));
+  }
+}
+
+void expect_acc_bit_identical(const MeasureCdfAccumulator& a,
+                              const MeasureCdfAccumulator& b) {
+  ASSERT_EQ(a.const_diff(), b.const_diff());
+  ASSERT_EQ(a.slope_diff(), b.slope_diff());
+  ASSERT_EQ(a.denominator(), b.denominator());
+}
+
+void expect_partial_bit_identical(const SourceCdfPartial& a,
+                                  const SourceCdfPartial& b) {
+  ASSERT_EQ(a.by_hops.size(), b.by_hops.size());
+  for (std::size_t k = 0; k < a.by_hops.size(); ++k)
+    expect_acc_bit_identical(a.by_hops[k], b.by_hops[k]);
+  expect_acc_bit_identical(a.unbounded, b.unbounded);
+  EXPECT_EQ(a.fixpoint_hops, b.fixpoint_hops);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+void expect_equivalent_stats(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.contacts_examined, b.contacts_examined);
+  EXPECT_EQ(a.pairs_inserted, b.pairs_inserted);
+  EXPECT_EQ(a.pairs_dominated, b.pairs_dominated);
+  EXPECT_EQ(a.frontier_copies_avoided, b.frontier_copies_avoided);
+  EXPECT_EQ(a.cdf_pairs_integrated, b.cdf_pairs_integrated);
+  EXPECT_EQ(a.merge_batches, b.merge_batches);
+}
+
+void expect_bit_identical(const DelayCdfResult& a, const DelayCdfResult& b) {
+  ASSERT_EQ(a.grid, b.grid);
+  ASSERT_EQ(a.cdf_by_hops.size(), b.cdf_by_hops.size());
+  for (std::size_t k = 0; k < a.cdf_by_hops.size(); ++k)
+    ASSERT_EQ(a.cdf_by_hops[k], b.cdf_by_hops[k]) << "hop budget " << k + 1;
+  ASSERT_EQ(a.cdf_unbounded, b.cdf_unbounded);
+  EXPECT_EQ(a.fixpoint_hops, b.fixpoint_hops);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.denominator, b.denominator);
+  for (const double eps : {0.25, 0.05, 0.01, 0.001})
+    EXPECT_EQ(a.diameter(eps), b.diameter(eps)) << "eps " << eps;
+  EXPECT_EQ(a.diameter_absolute(0.01), b.diameter_absolute(0.01));
+  expect_equivalent_stats(a.stats, b.stats);
+}
+
+// Every lane of a block must reproduce its per-source engine EXACTLY at
+// every level: hop budget, fixpoint flag, the changed list (content AND
+// publication order), the pre-change snapshots, and every frontier's
+// bytes. This is the invariant everything else (CDF bit-identity at any
+// B) rests on.
+TEST(BatchedEngine, LanesMatchPerSourceEnginesLevelByLevel) {
+  for (const bool directed : {false, true}) {
+    const TemporalGraph g = random_graph(directed ? 71 : 17, 9, 60, directed,
+                                         directed ? -50.0 : 0.0);
+    std::vector<NodeId> sources;
+    for (NodeId s = 0; s < g.num_nodes(); ++s) sources.push_back(s);
+    BatchedSourceEngine block(g, sources);
+    std::vector<SingleSourceEngine> solo;
+    solo.reserve(sources.size());
+    for (const NodeId s : sources) solo.emplace_back(g, s);
+
+    for (int level = 1; level <= 20; ++level) {
+      bool any_solo = false;
+      for (SingleSourceEngine& e : solo) any_solo |= e.step();
+      const bool any_block = block.step();
+      ASSERT_EQ(any_block, any_solo) << "level " << level;
+      for (std::size_t l = 0; l < sources.size(); ++l) {
+        ASSERT_EQ(block.lane_hops(l), solo[l].hops()) << "lane " << l;
+        ASSERT_EQ(block.lane_at_fixpoint(l), solo[l].at_fixpoint())
+            << "lane " << l;
+        ASSERT_EQ(block.last_changed(l), solo[l].last_changed())
+            << "lane " << l << " level " << level;
+        for (std::size_t i = 0; i < block.last_changed(l).size(); ++i)
+          expect_views_bit_identical(block.previous_frontier_view(l, i),
+                                     solo[l].previous_frontier_view(i));
+        for (NodeId d = 0; d < g.num_nodes(); ++d)
+          expect_views_bit_identical(block.frontier_view(l, d),
+                                     solo[l].frontier_view(d));
+      }
+      if (!any_block) break;
+    }
+    ASSERT_TRUE(block.all_at_fixpoint());
+  }
+}
+
+// reset() must recycle the workspace for a different block (different
+// width included) without residue from the previous block.
+TEST(BatchedEngine, ResetRecyclesAcrossBlocks) {
+  const TemporalGraph g = random_graph(23, 8, 50);
+  const std::vector<NodeId> first = {0, 1, 2, 3, 4};
+  const std::vector<NodeId> second = {5, 6, 7};
+  BatchedSourceEngine recycled(g, first);
+  while (recycled.step()) {
+  }
+  recycled.reset(second);
+  BatchedSourceEngine fresh(g, second);
+  for (int level = 1; level <= 20; ++level) {
+    const bool a = recycled.step();
+    const bool b = fresh.step();
+    ASSERT_EQ(a, b);
+    for (std::size_t l = 0; l < second.size(); ++l) {
+      ASSERT_EQ(recycled.last_changed(l), fresh.last_changed(l));
+      for (NodeId d = 0; d < g.num_nodes(); ++d)
+        expect_views_bit_identical(recycled.frontier_view(l, d),
+                                   fresh.frontier_view(l, d));
+    }
+    if (!a) break;
+  }
+  EXPECT_EQ(recycled.stats().batch_blocks, 2u);
+  EXPECT_EQ(recycled.stats().workspace_allocations, 1u);
+  EXPECT_EQ(recycled.stats().workspace_reuses, 1u);
+}
+
+// process_source_block partials vs per-source process_source partials,
+// bit for bit -- including a single-lane block (B = 1 ≡ pooled) and
+// multi-window accumulation.
+TEST(BatchedEngine, BlockPartialsMatchPerSourcePartials) {
+  const TemporalGraph g = random_graph(5, 10, 70, false, -30.0);
+  DelayCdfOptions opt = base_options();
+  opt.windows = {{-30.0, -5.0}, {0.0, 40.0}, {55.0, 60.0}};
+  const TimeWindows w = resolve_cdf_windows(g, opt);
+  const std::vector<NodeId> endpoints = resolve_cdf_endpoints(g, opt);
+  std::vector<std::uint8_t> is_endpoint(g.num_nodes(), 0);
+  for (const NodeId n : endpoints) is_endpoint[n] = 1;
+
+  std::vector<SourceCdfPartial> reference;
+  SourceCdfWorker solo_worker;
+  for (const NodeId src : endpoints) {
+    SourceCdfPartial p(opt.grid, opt.max_hops);
+    process_source(g, src, endpoints, is_endpoint, w, opt.max_hops,
+                   opt.max_levels, EngineMode::kPooled, true, solo_worker, p);
+    reference.push_back(std::move(p));
+  }
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{3},
+                                  endpoints.size()}) {
+    BatchedCdfWorker worker;
+    std::vector<SourceCdfPartial> outs;
+    for (std::size_t j = 0; j < width; ++j)
+      outs.emplace_back(opt.grid, opt.max_hops);
+    for (std::size_t lo = 0; lo < endpoints.size(); lo += width) {
+      const std::size_t n = std::min(width, endpoints.size() - lo);
+      for (std::size_t j = 0; j < n; ++j) outs[j].clear();
+      process_source_block(g, std::span(endpoints).subspan(lo, n), endpoints,
+                           is_endpoint, w, opt.max_hops, opt.max_levels,
+                           worker, outs);
+      for (std::size_t j = 0; j < n; ++j)
+        expect_partial_bit_identical(outs[j], reference[lo + j]);
+    }
+  }
+}
+
+// Driver-level invariance: every batch size (including B larger than the
+// source count, which clamps) must reproduce the per-source driver's
+// result bit for bit, on undirected, directed and negative-time traces.
+TEST(BatchedEngine, DriverBitIdenticalAcrossBatchSizes) {
+  struct Workload {
+    std::uint64_t seed;
+    std::size_t nodes;
+    int contacts;
+    bool directed;
+    double t0;
+  };
+  const Workload workloads[] = {
+      {11, 12, 90, false, 0.0},
+      {12, 10, 80, true, 0.0},
+      {13, 11, 85, false, -200.0},
+  };
+  for (const Workload& wl : workloads) {
+    const TemporalGraph g =
+        random_graph(wl.seed, wl.nodes, wl.contacts, wl.directed, wl.t0);
+    DelayCdfOptions opt = base_options();
+    const DelayCdfResult reference = compute_delay_cdf(g, opt);
+    for (const int batch : {2, 3, 5, 64}) {
+      opt.source_batch = batch;
+      const DelayCdfResult batched = compute_delay_cdf(g, opt);
+      expect_bit_identical(batched, reference);
+      EXPECT_GT(batched.stats.batch_blocks, 0u) << "batch " << batch;
+      EXPECT_GE(batched.stats.batch_lane_slots,
+                batched.stats.batch_lane_steps);
+      EXPECT_EQ(reference.stats.batch_blocks, 0u);
+    }
+  }
+}
+
+// Endpoint subsets restrict both the sources batched into blocks and
+// the destinations integrated; the batched driver must respect both.
+TEST(BatchedEngine, EndpointSubsetBitIdentical) {
+  const TemporalGraph g = random_graph(29, 14, 110);
+  DelayCdfOptions opt = base_options();
+  opt.endpoints = {1, 3, 4, 8, 11, 13};
+  const DelayCdfResult reference = compute_delay_cdf(g, opt);
+  for (const int batch : {2, 4, 6, 99}) {
+    opt.source_batch = batch;
+    expect_bit_identical(compute_delay_cdf(g, opt), reference);
+  }
+}
+
+// The shared index walk only pays off when several lanes are active on
+// the same node at the same level; on an all-pairs run of a connected
+// trace that must actually happen.
+TEST(BatchedEngine, CountsSavedIndexWalks) {
+  const TemporalGraph g = random_graph(31, 10, 120);
+  DelayCdfOptions opt = base_options();
+  opt.source_batch = 10;
+  const DelayCdfResult r = compute_delay_cdf(g, opt);
+  EXPECT_GT(r.stats.index_walks_saved, 0u);
+  EXPECT_GT(r.stats.batch_lane_steps, 0u);
+}
+
+// The sharded driver passes source_batch through the versioned wire
+// request; each shard batches its OWN sources, and the coordinator's
+// canonical fold must still reproduce the unsharded unbatched result.
+TEST(BatchedEngine, ShardedBatchedBitIdentical) {
+  const TemporalGraph g = random_graph(41, 12, 100);
+  DelayCdfOptions opt = base_options();
+  const DelayCdfResult reference = compute_delay_cdf(g, opt);
+  opt.source_batch = 4;
+  for (const int shards : {1, 3, 5}) {
+    opt.sharding.num_shards = shards;
+    expect_bit_identical(compute_delay_cdf(g, opt), reference);
+  }
+}
+
+// Serving path: batched cold blocks, then a mixed hit/miss block (some
+// sources pre-seeded by source_cdf), then a fully warm pass -- the CDFs
+// must match the per-source engine's bit for bit in all three regimes
+// (stats legitimately differ: hits skip the engine entirely).
+TEST(BatchedEngine, QueryEngineBatchedColdWarmAndMixed) {
+  const TemporalGraph g = random_graph(43, 10, 90);
+  QueryEngineOptions qopt;
+  qopt.grid = make_log_grid(0.1, 200.0, 24);
+  qopt.max_hops = 5;
+  qopt.num_threads = 1;
+  QueryEngine plain(TemporalGraph(g), qopt);
+  const DelayCdfResult reference = plain.all_pairs();
+
+  qopt.source_batch = 4;
+  QueryEngine batched(TemporalGraph(g), qopt);
+  batched.source_cdf(2);  // seed a couple of partials so the
+  batched.source_cdf(7);  // all-pairs blocks see a hit/miss mix
+  const DelayCdfResult mixed = batched.all_pairs();
+  const DelayCdfResult warm = batched.all_pairs();
+  for (const DelayCdfResult* r : {&mixed, &warm}) {
+    ASSERT_EQ(r->cdf_by_hops, reference.cdf_by_hops);
+    ASSERT_EQ(r->cdf_unbounded, reference.cdf_unbounded);
+    EXPECT_EQ(r->fixpoint_hops, reference.fixpoint_hops);
+    EXPECT_EQ(r->denominator, reference.denominator);
+    EXPECT_EQ(r->diameter(0.01), reference.diameter(0.01));
+  }
+  EXPECT_EQ(mixed.stats.cache_hits, 2u);
+  EXPECT_EQ(warm.stats.cache_hits, g.num_nodes());
+  EXPECT_EQ(warm.stats.batch_blocks, 0u);  // nothing left to compute
+}
+
+// Live-engine bootstrap: the first bulk batch seeds the per-source DPs
+// from lockstep blocks; the version lists -- and hence every later
+// all_pairs() and epoch append -- must match the per-source bootstrap
+// bit for bit.
+TEST(BatchedEngine, IncrementalBootstrapBatchedBitIdentical) {
+  Rng rng(53);
+  const std::size_t nodes = 9;
+  std::vector<Contact> cs;
+  for (int i = 0; i < 90; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(nodes));
+    auto v = static_cast<NodeId>(rng.below(nodes - 1));
+    if (v >= u) ++v;
+    const double b = rng.uniform(0, 100);
+    cs.push_back({u, v, b, b + rng.uniform(0, 5)});
+  }
+  std::sort(cs.begin(), cs.end(),
+            [](const Contact& a, const Contact& b) { return a.begin < b.begin; });
+  const std::span<const Contact> all(cs);
+  const std::span<const Contact> bulk = all.subspan(0, 70);
+  const std::span<const Contact> tail = all.subspan(70);
+
+  IncrementalCdfOptions iopt;
+  iopt.grid = make_log_grid(0.1, 200.0, 24);
+  iopt.max_hops = 5;
+  iopt.num_threads = 1;
+  IncrementalAllPairsEngine plain(nodes, false, iopt);
+  iopt.source_batch = 4;
+  IncrementalAllPairsEngine batched(nodes, false, iopt);
+
+  auto expect_same = [](const DelayCdfResult& a, const DelayCdfResult& b) {
+    ASSERT_EQ(a.cdf_by_hops, b.cdf_by_hops);
+    ASSERT_EQ(a.cdf_unbounded, b.cdf_unbounded);
+    EXPECT_EQ(a.fixpoint_hops, b.fixpoint_hops);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.denominator, b.denominator);
+    EXPECT_EQ(a.diameter(0.01), b.diameter(0.01));
+  };
+  plain.append(bulk);
+  batched.append(bulk);
+  expect_same(batched.all_pairs(), plain.all_pairs());
+  plain.append(tail);  // later epochs always use the epoch machinery;
+  batched.append(tail);  // they must compose with the batched bootstrap
+  expect_same(batched.all_pairs(), plain.all_pairs());
+}
+
+TEST(BatchedEngine, ValidatesOptions) {
+  const TemporalGraph g = random_graph(37, 6, 30);
+  DelayCdfOptions opt = base_options();
+  opt.source_batch = 0;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.source_batch = -4;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.source_batch = 2;
+  opt.accumulation = CdfAccumulation::kDirect;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.accumulation = CdfAccumulation::kAuto;
+  opt.engine = EngineMode::kIndexed;
+  EXPECT_THROW(compute_delay_cdf(g, opt), std::invalid_argument);
+  opt.engine = EngineMode::kPooled;
+  EXPECT_NO_THROW(compute_delay_cdf(g, opt));
+  EXPECT_THROW(BatchedSourceEngine(g, std::span<const NodeId>{}),
+               std::invalid_argument);
+  const std::vector<NodeId> bad = {0, 99};
+  EXPECT_THROW(BatchedSourceEngine(g, bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odtn

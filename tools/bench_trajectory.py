@@ -44,6 +44,25 @@ def max_speedup(record):
     return best
 
 
+def top_level_gates(data):
+    """Split a bench's top-level "gates" list (pr10+) into hard boolean
+    gates and perf targets. A target entry carries "value"/"threshold"
+    and records a measurement against a goal -- it is summarized but
+    does not fail the aggregation (the bench binary already chose its
+    exit-code semantics; bench_perf_batch documents its CPU sweep as a
+    negative result on single-core containers)."""
+    hard, targets = [], []
+    for g in data.get("gates", []):
+        if "value" in g and "threshold" in g:
+            targets.append({"gate": g.get("gate"),
+                            "value": g.get("value"),
+                            "threshold": g.get("threshold"),
+                            "gate_pass": bool(g.get("gate_pass"))})
+        elif "gate" in g and "gate_pass" in g:
+            hard.append((str(g["gate"]), bool(g["gate_pass"])))
+    return hard, targets
+
+
 def summarize(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
@@ -61,6 +80,12 @@ def summarize(path):
         s = max_speedup(record)
         if s is not None:
             best = s if best is None else max(best, s)
+    hard, targets = top_level_gates(data)
+    for name, ok in hard:
+        gates_total += 1
+        gates_passed += ok
+        if not ok:
+            failed.append(name)
     summary = {
         "pr": data.get("pr"),
         "bench": data.get("bench"),
@@ -71,6 +96,8 @@ def summarize(path):
         "gates_passed": gates_passed,
         "max_speedup": best,
     }
+    if targets:
+        summary["perf_targets"] = targets
     if failed:
         summary["failed_gates"] = sorted(set(failed))
     return summary

@@ -40,6 +40,12 @@
 // bitwise (the canonical-fold contract), and every sharded run
 // round-trips the ShardRequest / ShardResult byte encodings.
 //
+// Batch mode (--batch N): differential of the batched multi-source
+// driver (core/batched_engine, source_batch > 1) against the per-source
+// one -- random batch sizes including ones past the source count, random
+// endpoint subsets, occasionally composed with the sharded driver. The
+// comparison is bitwise, including the additive engine counters.
+//
 // Snapshot mode (--snapshot N): round-trips the binary snapshot codec
 // (bit-identical re-encode, engine equivalence of the mmap-style view),
 // rejects every truncation prefix / trailing byte / bad magic+version,
@@ -58,7 +64,8 @@
 // to match the one-shot read_trace graph exactly.
 //
 // Usage: odtn_fuzz [--engine N] [--parser N] [--kernel N] [--shard N]
-//                  [--snapshot N] [--live N] [--corpus DIR] [--seed S]
+//                  [--batch N] [--snapshot N] [--live N] [--corpus DIR]
+//                  [--seed S]
 //        odtn_fuzz [trials] [base-seed]        (legacy: engine mode)
 #include <algorithm>
 #include <cmath>
@@ -626,6 +633,97 @@ int shard_trials(long trials, std::uint64_t base_seed) {
   return 0;
 }
 
+[[noreturn]] void batch_failure(const char* what, const TemporalGraph& g,
+                                int batch, std::size_t shards,
+                                std::uint64_t seed) {
+  std::fprintf(stderr,
+               "BATCH MISMATCH seed=%llu batch=%d shards=%zu: %s\n"
+               "reproducer trace:\n",
+               static_cast<unsigned long long>(seed), batch, shards, what);
+  std::ostringstream out;
+  write_trace(out, g);
+  std::fputs(out.str().c_str(), stderr);
+  std::exit(1);
+}
+
+/// Batch mode (--batch N): differential of the batched multi-source
+/// driver (source_batch > 1) against the per-source one on adversarial
+/// traces -- random batch size (occasionally larger than the source
+/// count, exercising the clamp), directedness, hop budget, grid and
+/// endpoint subset per trial, and occasionally composed with the
+/// sharded driver so the wire-carried source_batch is fuzzed with real
+/// payloads too. Accumulation stays kAuto (batching requires the
+/// incremental scheme; the kDirect combination is a tested hard error,
+/// not a fuzz target). The contract is BIT-identity at every batch
+/// size, so every comparison is ==, never a tolerance.
+int batch_trials(long trials, std::uint64_t base_seed) {
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    TemporalGraph g = adversarial_trace(rng);
+    if (rng.bernoulli(0.3))
+      g = TemporalGraph(g.num_nodes(), g.contacts_vector(),
+                        /*directed=*/true);
+
+    DelayCdfOptions opt;
+    opt.grid = make_log_grid(0.5, 400.0, 8 + rng.below(17));
+    opt.max_hops = 1 + static_cast<int>(rng.below(6));
+    opt.num_threads = 1;
+    if (rng.bernoulli(0.3)) {
+      // Random endpoint subset of >= 2 nodes.
+      for (NodeId n = 0; n < g.num_nodes(); ++n)
+        if (rng.bernoulli(0.6)) opt.endpoints.push_back(n);
+      while (opt.endpoints.size() < 2) {
+        const auto n = static_cast<NodeId>(rng.below(g.num_nodes()));
+        if (std::find(opt.endpoints.begin(), opt.endpoints.end(), n) ==
+            opt.endpoints.end())
+          opt.endpoints.push_back(n);
+      }
+      std::sort(opt.endpoints.begin(), opt.endpoints.end());
+    }
+
+    const DelayCdfResult a = compute_delay_cdf(g, opt);
+    const int batch =
+        rng.bernoulli(0.15)
+            ? static_cast<int>(g.num_nodes() + 1 + rng.below(40))
+            : static_cast<int>(2 + rng.below(7));
+    opt.source_batch = batch;
+    std::size_t shards = 0;
+    if (rng.bernoulli(0.25)) {
+      shards = 1 + rng.below(4);
+      opt.sharding.num_shards = shards;
+      opt.sharding.policy = static_cast<ShardPolicy>(rng.below(3));
+    }
+    const DelayCdfResult b = compute_delay_cdf(g, opt);
+
+    if (a.cdf_by_hops != b.cdf_by_hops)
+      batch_failure("cdf_by_hops diverged", g, batch, shards, seed);
+    if (a.cdf_unbounded != b.cdf_unbounded)
+      batch_failure("cdf_unbounded diverged", g, batch, shards, seed);
+    if (a.fixpoint_hops != b.fixpoint_hops)
+      batch_failure("fixpoint_hops diverged", g, batch, shards, seed);
+    if (a.converged != b.converged)
+      batch_failure("converged flag diverged", g, batch, shards, seed);
+    if (a.denominator != b.denominator)
+      batch_failure("denominator diverged", g, batch, shards, seed);
+    if (a.diameter(0.01) != b.diameter(0.01) ||
+        a.diameter_absolute(0.01) != b.diameter_absolute(0.01))
+      batch_failure("diameter diverged", g, batch, shards, seed);
+    if (a.stats.cdf_pairs_integrated != b.stats.cdf_pairs_integrated ||
+        a.stats.contacts_examined != b.stats.contacts_examined ||
+        a.stats.pairs_inserted != b.stats.pairs_inserted ||
+        a.stats.pairs_dominated != b.stats.pairs_dominated ||
+        a.stats.merge_batches != b.stats.merge_batches)
+      batch_failure("additive engine counters diverged", g, batch, shards,
+                    seed);
+  }
+  std::printf("odtn_fuzz: %ld batch trials passed (seeds %llu..%llu)\n",
+              trials, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(
+                  base_seed + static_cast<std::uint64_t>(trials) - 1));
+  return 0;
+}
+
 [[noreturn]] void snapshot_failure(const char* what, const TemporalGraph& g,
                                    std::uint64_t seed) {
   std::fprintf(stderr, "SNAPSHOT MISMATCH seed=%llu: %s\nreproducer trace:\n",
@@ -906,6 +1004,7 @@ int main(int argc, char** argv) {
   long parser_count = -1;
   long kernel_count = -1;
   long shard_count = -1;
+  long batch_count = -1;
   long snapshot_count = -1;
   long live_count = -1;
   std::string corpus_dir;
@@ -928,6 +1027,8 @@ int main(int argc, char** argv) {
       kernel_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--shard") {
       shard_count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--batch") {
+      batch_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--snapshot") {
       snapshot_count = std::strtol(next(), nullptr, 10);
     } else if (arg == "--live") {
@@ -947,8 +1048,8 @@ int main(int argc, char** argv) {
     seed = static_cast<std::uint64_t>(
         std::strtoll(positional[1].c_str(), nullptr, 10));
   if (engine_count < 0 && parser_count < 0 && kernel_count < 0 &&
-      shard_count < 0 && snapshot_count < 0 && live_count < 0 &&
-      corpus_dir.empty())
+      shard_count < 0 && batch_count < 0 && snapshot_count < 0 &&
+      live_count < 0 && corpus_dir.empty())
     engine_count = 200;
 
   int rc = 0;
@@ -956,6 +1057,7 @@ int main(int argc, char** argv) {
   if (parser_count > 0) rc |= parser_trials(parser_count, seed);
   if (kernel_count > 0) rc |= kernel_trials(kernel_count, seed);
   if (shard_count > 0) rc |= shard_trials(shard_count, seed);
+  if (batch_count > 0) rc |= batch_trials(batch_count, seed);
   if (snapshot_count > 0) rc |= snapshot_trials(snapshot_count, seed);
   if (live_count > 0) rc |= live_trials(live_count, seed);
   if (engine_count > 0) rc |= engine_trials(engine_count, seed);

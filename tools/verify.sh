@@ -4,8 +4,9 @@
 # ASan + UBSan (the `sanitize` CMake preset) plus fuzz smokes under the
 # same sanitizers -- parser (malformed-trace corpus + randomized byte
 # mutations), kernel (batched frontier merge vs per-pair insert
-# differential, pooled-vs-indexed engine parity, arena span bounds) and
-# snapshot (framing rejection + round-trip bit-identity) --
+# differential, pooled-vs-indexed engine parity, arena span bounds),
+# batch (lockstep multi-source blocks vs the per-source pooled driver)
+# and snapshot (framing rejection + round-trip bit-identity) --
 # and a final pass of the concurrency suites (thread pool,
 # MC harness, empirical distribution, phase transition) under
 # ThreadSanitizer (the `tsan` preset). Run from the repository root.
@@ -35,6 +36,10 @@ echo "== tier-2b: parser + kernel + shard fuzz smoke under ASan+UBSan =="
 # must reproduce the classic driver bit for bit, and every run
 # round-trips the ShardRequest/ShardResult wire encodings.
 ./build-sanitize/tools/odtn_fuzz --shard 60 --seed 1
+# Batched-vs-pooled differential: random traces, batch sizes and
+# endpoint subsets must reproduce the per-source pooled driver bit for
+# bit at every B (including B > num_sources and B = 1).
+./build-sanitize/tools/odtn_fuzz --batch 60 --seed 1
 # Snapshot framing: encode/decode round-trips bit-identically, every
 # prefix truncation, header lie and random bit flip must throw
 # SnapshotError (or decode to a graph that re-encodes to the mutated
